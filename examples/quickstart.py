@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: run S-VGG11 inference on the Snitch cluster model.
+
+This example runs the paper's three evaluated configurations (parallel SIMD
+baseline in FP16, SpikeStream in FP16 and FP8) over a small batch of
+synthetic frames in statistical mode and prints the per-layer and network
+metrics: runtime, FPU utilization, IPC, energy and power.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SpikeStreamInference, baseline_config, spikestream_config
+from repro.eval.reporting import format_table
+from repro.types import Precision
+
+BATCH_SIZE = 4
+SEED = 2025
+
+
+def run_variant(label, config):
+    """Run one configuration and return (label, InferenceResult)."""
+    engine = SpikeStreamInference(config)
+    result = engine.run_statistical(batch_size=BATCH_SIZE, seed=SEED)
+    return label, result
+
+
+def main():
+    variants = [
+        run_variant("baseline FP16", baseline_config(Precision.FP16, batch_size=BATCH_SIZE)),
+        run_variant("SpikeStream FP16", spikestream_config(Precision.FP16, batch_size=BATCH_SIZE)),
+        run_variant("SpikeStream FP8", spikestream_config(Precision.FP8, batch_size=BATCH_SIZE)),
+    ]
+
+    print("=== Network-level summary (S-VGG11, single timestep) ===")
+    summary_rows = []
+    for label, result in variants:
+        row = {"variant": label}
+        row.update(result.summary())
+        summary_rows.append(row)
+    print(format_table(summary_rows, columns=[
+        "variant", "total_runtime_ms", "total_energy_mj", "network_fpu_utilization",
+        "network_ipc", "average_power_w",
+    ]))
+
+    baseline_result = variants[0][1]
+    spikestream_result = variants[1][1]
+    speedup = baseline_result.total_cycles / spikestream_result.total_cycles
+    print(f"\nSpikeStream FP16 end-to-end speedup over the baseline: {speedup:.2f}x")
+
+    print("\n=== Per-layer metrics (SpikeStream FP16) ===")
+    print(format_table(spikestream_result.per_layer_table(), columns=[
+        "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
+        "mean_energy_mj", "mean_power_w",
+    ]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Explore the SpVA inner loop at the instruction level (Listing 1).
+
+Builds the baseline (Listing 1b) and streaming (Listing 1c) SpVA micro-
+programs, prints their assembly listings, runs both on the instruction-level
+executor for a range of stream lengths and reports cycles, instruction counts
+and FPU utilization — the per-element view of where SpikeStream's speedup
+comes from.
+
+Run with::
+
+    python examples/spva_microkernel.py
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.isa import (
+    build_baseline_spva_program,
+    build_streaming_spva_program,
+    make_spva_setup,
+    run_baseline_spva,
+    run_streaming_spva,
+)
+
+
+def main():
+    print("=== Listing 1b: baseline SpVA loop ===")
+    print(build_baseline_spva_program().listing())
+    print("\n=== Listing 1c: SpikeStream SpVA (indirect SSR + frep) ===")
+    print(build_streaming_spva_program().listing())
+
+    rng = np.random.default_rng(0)
+    rows = []
+    for length in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        weights = rng.normal(size=max(2 * length, 8))
+        c_idcs = rng.choice(len(weights), size=length, replace=False).astype(np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        base_value, base = run_baseline_spva(setup)
+        stream_value, stream = run_streaming_spva(setup)
+        assert np.isclose(base_value, stream_value), "listings disagree functionally"
+        rows.append({
+            "stream_length": length,
+            "baseline_cycles": base.cycles,
+            "baseline_instrs": base.instructions,
+            "streaming_cycles": stream.cycles,
+            "streaming_instrs": stream.instructions,
+            "speedup": base.cycles / stream.cycles,
+            "baseline_fpu_util": base.fpu_utilization,
+            "streaming_fpu_util": stream.fpu_utilization,
+        })
+
+    print("\n=== Cycle-level comparison across stream lengths ===")
+    print(format_table(rows))
+    print(
+        "\nThe baseline spends 8 instructions (and ~12 cycles) per gathered weight;"
+        "\nwith the indirect stream register and the frep hardware loop the same"
+        "\naccumulation sustains one element every ~1.7 cycles, which is where the"
+        "\npaper's ~6-7x per-layer speedup comes from."
+    )
+
+
+if __name__ == "__main__":
+    main()

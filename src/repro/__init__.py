@@ -1,0 +1,46 @@
+"""SpikeStream reproduction library.
+
+A Python reproduction of *SpikeStream: Accelerating Spiking Neural Network
+Inference on RISC-V Clusters with Sparse Computation Extensions* (DATE 2025).
+The library contains the SNN substrate, the sparse spike-tensor formats, a
+behavioral model of the Snitch multi-core streaming cluster, the baseline and
+SpikeStream inference kernels, an activity-based energy model, analytical
+models of the compared neuromorphic accelerators and experiment drivers that
+regenerate every figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import spikestream_config, SpikeStreamInference
+
+    config = spikestream_config()              # FP16, all optimizations
+    engine = SpikeStreamInference(config)
+    result = engine.run_statistical(batch_size=8)
+    print(result.summary())
+"""
+
+from .config import RunConfig, baseline_config, spikestream_config
+from .types import OptimizationFlag, Precision, TensorShape
+from .core import (
+    InferenceResult,
+    LayerPlan,
+    LayerResult,
+    SpikeStreamInference,
+    SpikeStreamOptimizer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RunConfig",
+    "baseline_config",
+    "spikestream_config",
+    "OptimizationFlag",
+    "Precision",
+    "TensorShape",
+    "InferenceResult",
+    "LayerPlan",
+    "LayerResult",
+    "SpikeStreamInference",
+    "SpikeStreamOptimizer",
+    "__version__",
+]

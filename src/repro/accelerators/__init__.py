@@ -1,0 +1,30 @@
+"""Analytical models of the neuromorphic accelerators compared in Section IV-C.
+
+The paper compares SpikeStream against four state-of-the-art neuromorphic
+processors (Loihi, ODIN, LSMCore and NeuroRVcore) on the sixth layer of
+S-VGG11 over 500 timesteps, using the latency/energy numbers reported by
+Yang et al. [17].  Since those are literature values rather than something a
+software artifact can re-measure, each accelerator is modeled analytically
+from its peak synaptic-operation rate, arithmetic precision, technology node
+and effective energy per synaptic operation, calibrated to land on the same
+latency/energy points.
+"""
+
+from .base import AcceleratorModel, synaptic_operations
+from .loihi import LOIHI
+from .odin import ODIN
+from .lsmcore import LSMCORE
+from .neurorvcore import NEURORVCORE
+from .comparison import ComparisonEntry, compare_accelerators, soa_accelerators
+
+__all__ = [
+    "AcceleratorModel",
+    "synaptic_operations",
+    "LOIHI",
+    "ODIN",
+    "LSMCORE",
+    "NEURORVCORE",
+    "ComparisonEntry",
+    "compare_accelerators",
+    "soa_accelerators",
+]

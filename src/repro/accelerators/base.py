@@ -1,0 +1,87 @@
+"""Analytical accelerator model and synaptic-operation accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import TensorShape
+
+
+@dataclass(frozen=True)
+class AcceleratorModel:
+    """A neuromorphic accelerator described by its headline figures.
+
+    Attributes
+    ----------
+    name:
+        Accelerator name.
+    peak_gsop:
+        Peak synaptic operations per second, in GSOP/s.
+    precision_bits:
+        Weight arithmetic precision in bits.
+    technology_nm:
+        Silicon technology node.
+    energy_per_sop_pj:
+        Effective energy per synaptic operation on this workload, in pJ
+        (includes memory traffic and control; calibrated to the published
+        per-inference energies rather than the marketing pJ/SOP figure).
+    efficiency:
+        Fraction of the peak SOP rate sustained on the sparse S-VGG11 layer
+        (captures load imbalance, input sparsity handling and I/O overheads).
+    """
+
+    name: str
+    peak_gsop: float
+    precision_bits: int
+    technology_nm: float
+    energy_per_sop_pj: float
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_gsop <= 0:
+            raise ValueError("peak_gsop must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.energy_per_sop_pj <= 0:
+            raise ValueError("energy_per_sop_pj must be positive")
+
+    @property
+    def sustained_sop_per_s(self) -> float:
+        """Sustained synaptic operations per second on the modeled workload."""
+        return self.peak_gsop * 1.0e9 * self.efficiency
+
+    def latency_s(self, synaptic_ops: float) -> float:
+        """Runtime for a workload of ``synaptic_ops`` synaptic operations."""
+        if synaptic_ops < 0:
+            raise ValueError("synaptic_ops must be non-negative")
+        return synaptic_ops / self.sustained_sop_per_s
+
+    def energy_j(self, synaptic_ops: float) -> float:
+        """Energy for a workload of ``synaptic_ops`` synaptic operations."""
+        if synaptic_ops < 0:
+            raise ValueError("synaptic_ops must be non-negative")
+        return synaptic_ops * self.energy_per_sop_pj * 1.0e-12
+
+
+def synaptic_operations(
+    output_shape: TensorShape,
+    kernel_size: int,
+    in_channels: int,
+    firing_rate: float,
+    timesteps: int = 1,
+) -> float:
+    """Synaptic operations of one convolutional SNN layer.
+
+    Every input spike inside a receptive field fans out to all output
+    channels of that position, so the SOP count is::
+
+        out_h * out_w * kh * kw * C_in * firing_rate * C_out * timesteps
+    """
+    if not 0.0 <= firing_rate <= 1.0:
+        raise ValueError("firing_rate must be in [0, 1]")
+    if timesteps <= 0:
+        raise ValueError("timesteps must be positive")
+    gathers = (
+        output_shape.spatial_size * kernel_size * kernel_size * in_channels * firing_rate
+    )
+    return gathers * output_shape.channels * timesteps

@@ -1,0 +1,142 @@
+"""Layer-6 / 500-timestep comparison against the SoA neuromorphic processors.
+
+This module regenerates Figure 5: the latency (against peak GSOP) and energy
+(against technology node) of Loihi, ODIN, LSMCore, NeuroRVcore and the three
+Snitch-cluster variants (baseline FP16, SpikeStream FP16, SpikeStream FP8) on
+the sixth convolutional layer of S-VGG11 executed for 500 timesteps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..config import RunConfig, baseline_config, spikestream_config
+from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES, svgg11_layer_shapes
+from ..types import Precision
+from .base import AcceleratorModel, synaptic_operations
+from .loihi import LOIHI
+from .lsmcore import LSMCORE
+from .neurorvcore import NEURORVCORE
+from .odin import ODIN
+
+#: Peak GSOP of the Snitch cluster at FP8 (8 cores x 8 lanes x 1 GHz); the
+#: paper notes its peak SOP rate is 6.25x lower than LSMCore's.
+SNITCH_PEAK_GSOP_FP8 = 64.0
+
+COMPARISON_LAYER = "conv6"
+COMPARISON_TIMESTEPS = 500
+
+
+def soa_accelerators() -> List[AcceleratorModel]:
+    """The four state-of-the-art accelerators of the comparison."""
+    return [LOIHI, ODIN, LSMCORE, NEURORVCORE]
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """One system's point in the Figure 5 comparison."""
+
+    name: str
+    latency_ms: float
+    energy_mj: float
+    peak_gsop: float
+    technology_nm: float
+    precision_bits: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (one table row)."""
+        return {
+            "system": self.name,
+            "latency_ms": self.latency_ms,
+            "energy_mj": self.energy_mj,
+            "peak_gsop": self.peak_gsop,
+            "technology_nm": self.technology_nm,
+            "precision_bits": self.precision_bits,
+        }
+
+
+def _layer6_description() -> dict:
+    for description in svgg11_layer_shapes():
+        if description["name"] == COMPARISON_LAYER:
+            return description
+    raise RuntimeError(f"{COMPARISON_LAYER} not found in the S-VGG11 description")
+
+
+def layer6_synaptic_operations(timesteps: int = COMPARISON_TIMESTEPS,
+                               firing_rate: Optional[float] = None) -> float:
+    """Synaptic operations of the comparison workload."""
+    description = _layer6_description()
+    rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES[COMPARISON_LAYER]
+    return synaptic_operations(
+        output_shape=description["output_shape"],
+        kernel_size=description["kernel_size"],
+        in_channels=description["in_channels"],
+        firing_rate=rate,
+        timesteps=timesteps,
+    )
+
+
+def _snitch_entries(
+    timesteps: int,
+    batch_size: int,
+    seed: int,
+    configs: Optional[Sequence[RunConfig]] = None,
+) -> List[ComparisonEntry]:
+    """Run the cluster variants on the comparison workload."""
+    from ..core.pipeline import SpikeStreamInference
+
+    if configs is None:
+        configs = [
+            baseline_config(Precision.FP16, batch_size=batch_size, timesteps=timesteps, seed=seed),
+            spikestream_config(Precision.FP16, batch_size=batch_size, timesteps=timesteps, seed=seed),
+            spikestream_config(Precision.FP8, batch_size=batch_size, timesteps=timesteps, seed=seed),
+        ]
+    entries = []
+    for config in configs:
+        engine = SpikeStreamInference(config)
+        plans = [p for p in engine.optimizer.plan_svgg11() if p.name == COMPARISON_LAYER]
+        result = engine.run_statistical(plans=plans, batch_size=config.batch_size)
+        layer = result.layer(COMPARISON_LAYER)
+        variant = "SpikeStream" if config.streaming_enabled else "Baseline"
+        peak_gsop = SNITCH_PEAK_GSOP_FP8 * config.precision.simd_width / Precision.FP8.simd_width
+        entries.append(
+            ComparisonEntry(
+                name=f"{variant} {config.precision.value.upper()}",
+                latency_ms=layer.mean_runtime_s * 1e3,
+                energy_mj=layer.mean_energy_j * 1e3,
+                peak_gsop=peak_gsop,
+                technology_nm=12,
+                precision_bits=config.precision.bits,
+            )
+        )
+    return entries
+
+
+def compare_accelerators(
+    timesteps: int = COMPARISON_TIMESTEPS,
+    batch_size: int = 8,
+    seed: int = 2025,
+    firing_rate: Optional[float] = None,
+    include_snitch: bool = True,
+) -> List[ComparisonEntry]:
+    """Build the full Figure 5 comparison table.
+
+    ``batch_size`` controls how many synthetic frames the cluster variants
+    average over (the accelerator models are deterministic).
+    """
+    ops = layer6_synaptic_operations(timesteps=timesteps, firing_rate=firing_rate)
+    entries = [
+        ComparisonEntry(
+            name=model.name,
+            latency_ms=model.latency_s(ops) * 1e3,
+            energy_mj=model.energy_j(ops) * 1e3,
+            peak_gsop=model.peak_gsop,
+            technology_nm=model.technology_nm,
+            precision_bits=model.precision_bits,
+        )
+        for model in soa_accelerators()
+    ]
+    if include_snitch:
+        entries.extend(_snitch_entries(timesteps, batch_size, seed))
+    return entries

@@ -1,0 +1,19 @@
+"""Intel Loihi accelerator model.
+
+Loihi is a GALS many-core neuromorphic processor with 128 cores of 1024
+spiking neurons each, implemented in a 14 nm node with a peak rate of
+37.5 GSOP/s and 1-64 bit synaptic precision.  The effective per-SOP energy is
+calibrated to the per-inference energy reported for the S-VGG11 layer-6
+workload in the comparison of Yang et al. [17].
+"""
+
+from .base import AcceleratorModel
+
+LOIHI = AcceleratorModel(
+    name="Loihi",
+    peak_gsop=37.5,
+    precision_bits=8,
+    technology_nm=14,
+    energy_per_sop_pj=60.0,
+    efficiency=0.39,
+)

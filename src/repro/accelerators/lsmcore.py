@@ -1,0 +1,19 @@
+"""LSMCore accelerator model.
+
+LSMCore is a digital fully-synchronous liquid-state-machine processor with
+1024 LIF neurons, bitmap ifmap storage with weight zero-skipping, 4-bit
+weights and a 400 MHz clock in 40 nm, reaching a peak of 400 GSOP/s.  It is
+the fastest and most energy-efficient of the compared neuromorphic
+processors.
+"""
+
+from .base import AcceleratorModel
+
+LSMCORE = AcceleratorModel(
+    name="LSMCore",
+    peak_gsop=400.0,
+    precision_bits=4,
+    technology_nm=40,
+    energy_per_sop_pj=30.0,
+    efficiency=0.41,
+)

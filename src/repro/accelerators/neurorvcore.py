@@ -1,0 +1,18 @@
+"""NeuroRVcore accelerator model.
+
+NeuroRVcore extends the RISC-V ri5cy core with a tightly-coupled neuromorphic
+accelerator (neuron array, adder trees, vector load/store unit) at a 149 %
+area overhead, fixed 4-bit weights, 1 GHz in 28 nm and a peak rate of
+128 GSOP/s.
+"""
+
+from .base import AcceleratorModel
+
+NEURORVCORE = AcceleratorModel(
+    name="NeuroRVcore",
+    peak_gsop=128.0,
+    precision_bits=4,
+    technology_nm=28,
+    energy_per_sop_pj=45.0,
+    efficiency=0.40,
+)

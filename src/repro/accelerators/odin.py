@@ -1,0 +1,17 @@
+"""ODIN accelerator model.
+
+ODIN is a 0.086 mm² online-learning digital neuromorphic processor in 28 nm
+with 256 Izhikevich neurons, 64k synapses and a 75 MHz clock; its peak rate of
+0.038 GSOP/s makes it by far the slowest system in the comparison.
+"""
+
+from .base import AcceleratorModel
+
+ODIN = AcceleratorModel(
+    name="ODIN",
+    peak_gsop=0.038,
+    precision_bits=4,
+    technology_nm=28,
+    energy_per_sop_pj=50.0,
+    efficiency=0.40,
+)

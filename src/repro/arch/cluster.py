@@ -1,0 +1,84 @@
+"""The Snitch compute cluster: worker cores, DMA core, scratchpad and caches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .core import SnitchCore
+from .dma import DmaEngine
+from .icache import InstructionCache
+from .params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from .tcdm import Tcdm
+from .trace import ClusterStats, CoreStats
+
+
+@dataclass
+class SnitchCluster:
+    """A cluster of eight worker cores plus a DMA core and shared memories.
+
+    Kernels drive the cluster by obtaining per-core accounting objects
+    (:class:`~repro.arch.core.SnitchCore`), submitting DMA transfers and then
+    calling :meth:`finalize` to combine everything into a
+    :class:`~repro.arch.trace.ClusterStats` record.
+    """
+
+    params: ClusterParams = DEFAULT_CLUSTER
+    costs: CostModelParams = DEFAULT_COSTS
+    cores: List[SnitchCore] = field(init=False)
+    dma: DmaEngine = field(init=False)
+    tcdm: Tcdm = field(init=False)
+    icache: InstructionCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cores = [
+            SnitchCore(core_id=i, params=self.params, costs=self.costs)
+            for i in range(self.params.num_worker_cores)
+        ]
+        self.dma = DmaEngine(params=self.params, costs=self.costs)
+        self.tcdm = Tcdm(params=self.params)
+        self.icache = InstructionCache(params=self.params, costs=self.costs)
+
+    @property
+    def num_cores(self) -> int:
+        """Number of worker cores."""
+        return self.params.num_worker_cores
+
+    def reset(self) -> None:
+        """Reset all per-kernel state (counters, DMA log, SPM allocations)."""
+        for core in self.cores:
+            core.reset()
+        self.dma.reset()
+        self.tcdm.reset()
+
+    def core_stats(self) -> List[CoreStats]:
+        """Snapshot of the per-core statistics."""
+        return [core.stats for core in self.cores]
+
+    def conflict_stall_factor(self, active_requesters: Optional[int] = None) -> float:
+        """Bank-conflict slowdown for the given number of concurrently active cores."""
+        if active_requesters is None:
+            active_requesters = self.num_cores
+        return self.tcdm.conflict_stall_factor(active_requesters)
+
+    def finalize(self, label: str = "", dma_exposed_cycles: Optional[float] = None) -> ClusterStats:
+        """Combine core and DMA accounting into a :class:`ClusterStats` record.
+
+        ``dma_exposed_cycles`` is the portion of DMA time *not* hidden behind
+        computation (the tiling planner computes it); if omitted, DMA time is
+        assumed fully overlapped except when it exceeds the compute time.
+        """
+        stats = [core.stats for core in self.cores]
+        compute_cycles = max((s.total_cycles for s in stats), default=0.0)
+        dma_cycles = self.dma.total_cycles
+        if dma_exposed_cycles is None:
+            dma_exposed_cycles = max(0.0, dma_cycles - compute_cycles)
+        total_cycles = compute_cycles + dma_exposed_cycles
+        return ClusterStats(
+            core_stats=[CoreStats(**vars(s)) for s in stats],
+            dma_cycles=dma_cycles,
+            dma_bytes=float(self.dma.total_bytes),
+            dma_exposed_cycles=dma_exposed_cycles,
+            total_cycles=total_cycles,
+            label=label,
+        )

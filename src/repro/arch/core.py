@@ -1,0 +1,138 @@
+"""Per-core cycle accounting.
+
+The Snitch worker core is a single-issue integer core that shares its issue
+slot with FP instructions unless the FP subsystem runs autonomously from the
+``frep`` repetition buffer with SSR-provided operands.  :class:`SnitchCore`
+therefore exposes two accounting primitives:
+
+* :meth:`SnitchCore.sequential_block` — instructions issued one per cycle by
+  the integer core (the baseline kernels);
+* :meth:`SnitchCore.decoupled_block` — an integer instruction stream and an
+  FP/stream workload that proceed concurrently, costing the maximum of the
+  two (the SpikeStream kernels).
+
+Both update the same :class:`~repro.arch.trace.CoreStats` record, from which
+FPU utilization and IPC are derived exactly as the paper reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .frep import FrepUnit
+from .fpu import FpuModel
+from .params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from .ssr import StreamRegister, make_core_stream_registers
+from .trace import CoreStats
+
+
+@dataclass
+class SnitchCore:
+    """Cycle-accounting model of one RV32G worker core with SSRs and frep."""
+
+    core_id: int = 0
+    params: ClusterParams = DEFAULT_CLUSTER
+    costs: CostModelParams = DEFAULT_COSTS
+    fpu: FpuModel = field(default_factory=FpuModel)
+    frep: FrepUnit = field(default_factory=FrepUnit)
+    stats: CoreStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = CoreStats(core_id=self.core_id)
+        self.ssrs = make_core_stream_registers(self.params)
+
+    # ------------------------------------------------------------------ #
+    # Accounting primitives
+    # ------------------------------------------------------------------ #
+    def sequential_block(
+        self,
+        int_instructions: float = 0.0,
+        fp_instructions: float = 0.0,
+        stall_cycles: float = 0.0,
+        spm_accesses: float = 0.0,
+    ) -> float:
+        """Account for a block issued sequentially by the integer core.
+
+        Every instruction (integer or FP) occupies one issue cycle; stalls
+        add on top.  Returns the cycles consumed.
+        """
+        self._check_non_negative(int_instructions, fp_instructions, stall_cycles, spm_accesses)
+        cycles = int_instructions + fp_instructions + stall_cycles
+        self.stats.int_instructions += int_instructions
+        self.stats.fp_instructions += fp_instructions
+        self.stats.fpu_busy_cycles += fp_instructions
+        self.stats.stall_cycles += stall_cycles
+        self.stats.spm_accesses += spm_accesses
+        self.stats.total_cycles += cycles
+        return cycles
+
+    def decoupled_block(
+        self,
+        int_instructions: float = 0.0,
+        fp_cycles: float = 0.0,
+        fp_instructions: float = 0.0,
+        sync_cycles: float = 0.0,
+        spm_accesses: float = 0.0,
+        ssr_spm_accesses: float = 0.0,
+    ) -> float:
+        """Account for a block where the FPU runs decoupled from the integer core.
+
+        ``fp_cycles`` is the time the FP/stream subsystem needs (including
+        stream stalls); ``fp_instructions`` of those cycles perform useful FP
+        work.  The block costs ``max(int, fp) + sync`` cycles.
+        """
+        self._check_non_negative(
+            int_instructions, fp_cycles, fp_instructions, sync_cycles, spm_accesses, ssr_spm_accesses
+        )
+        if fp_instructions > fp_cycles + 1e-9:
+            raise ValueError("fp_instructions cannot exceed fp_cycles in a decoupled block")
+        cycles = max(int_instructions, fp_cycles) + sync_cycles
+        self.stats.int_instructions += int_instructions
+        self.stats.fp_instructions += fp_instructions
+        self.stats.fpu_busy_cycles += fp_instructions
+        self.stats.stall_cycles += max(0.0, cycles - int_instructions - fp_instructions)
+        self.stats.spm_accesses += spm_accesses
+        self.stats.ssr_spm_accesses += ssr_spm_accesses
+        self.stats.total_cycles += cycles
+        return cycles
+
+    def stall(self, cycles: float) -> float:
+        """Account for pure stall cycles (i-cache misses, barriers, conflicts)."""
+        self._check_non_negative(cycles)
+        self.stats.stall_cycles += cycles
+        self.stats.total_cycles += cycles
+        return cycles
+
+    def atomic_operation(self) -> float:
+        """Account for one atomic tagging operation of the stealing scheduler."""
+        cycles = self.costs.atomic_operation_cycles
+        self.stats.atomic_operations += 1
+        self.stats.int_instructions += 1
+        self.stats.total_cycles += cycles
+        self.stats.stall_cycles += max(0.0, cycles - 1)
+        return cycles
+
+    @staticmethod
+    def _check_non_negative(*values: float) -> None:
+        for value in values:
+            if value < 0:
+                raise ValueError(f"cycle/instruction counts must be non-negative, got {value}")
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def indirect_ssrs(self) -> list:
+        """Stream registers supporting indirect streams."""
+        return [ssr for ssr in self.ssrs if ssr.supports_indirect]
+
+    def ssr(self, index: int) -> StreamRegister:
+        """Return stream register ``index``."""
+        return self.ssrs[index]
+
+    def reset(self) -> None:
+        """Clear all counters for a new kernel execution."""
+        self.stats = CoreStats(core_id=self.core_id)
+        self.fpu.reset()
+        self.frep.reset()
+        self.ssrs = make_core_stream_registers(self.params)

@@ -1,0 +1,101 @@
+"""DMA engine model.
+
+A ninth core without FPU or SSRs programs a 512-bit DMA engine that moves
+tiles between global memory and the cluster scratchpad.  With double
+buffering the transfers overlap kernel computation; the model therefore
+reports per-transfer cycle counts that the tiling planner compares against
+compute time, and keeps byte counters for the energy model.
+
+The engine also supports the 2-D (strided) transfers SpikeStream uses to
+perform the im2row reshaping of the first layer's dense input on the fly
+(Section III-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+
+
+@dataclass(frozen=True)
+class DmaTransfer:
+    """One programmed DMA transfer."""
+
+    name: str
+    bytes_moved: int
+    rows: int = 1
+    is_write_back: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bytes_moved < 0:
+            raise ValueError(f"bytes_moved must be non-negative, got {self.bytes_moved}")
+        if self.rows <= 0:
+            raise ValueError(f"rows must be positive, got {self.rows}")
+
+
+@dataclass
+class DmaEngine:
+    """Cycle and byte accounting for the cluster DMA engine."""
+
+    params: ClusterParams = DEFAULT_CLUSTER
+    costs: CostModelParams = DEFAULT_COSTS
+    transfers: List[DmaTransfer] = field(default_factory=list)
+
+    def transfer_cycles(self, transfer: DmaTransfer) -> float:
+        """Cycles needed to complete ``transfer``.
+
+        Each row of a 2-D transfer pays the descriptor/setup cost once; the
+        payload moves at the full bus width.  1-D transfers are the
+        ``rows == 1`` special case.
+        """
+        payload_cycles = transfer.bytes_moved / self.costs.dma_bytes_per_cycle
+        setup_cycles = self.costs.dma_setup_cycles * transfer.rows
+        return payload_cycles + setup_cycles
+
+    def submit(self, transfer: DmaTransfer) -> float:
+        """Record a transfer and return its duration in cycles."""
+        self.transfers.append(transfer)
+        return self.transfer_cycles(transfer)
+
+    def submit_1d(self, name: str, bytes_moved: int, is_write_back: bool = False) -> float:
+        """Record a 1-D transfer."""
+        return self.submit(DmaTransfer(name=name, bytes_moved=bytes_moved, is_write_back=is_write_back))
+
+    def submit_2d(
+        self, name: str, bytes_per_row: int, rows: int, is_write_back: bool = False
+    ) -> float:
+        """Record a 2-D (strided) transfer such as the im2row reshape."""
+        return self.submit(
+            DmaTransfer(
+                name=name,
+                bytes_moved=bytes_per_row * rows,
+                rows=rows,
+                is_write_back=is_write_back,
+            )
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes moved."""
+        return sum(t.bytes_moved for t in self.transfers)
+
+    @property
+    def total_cycles(self) -> float:
+        """Total DMA busy cycles across all transfers."""
+        return sum(self.transfer_cycles(t) for t in self.transfers)
+
+    @property
+    def bytes_read(self) -> int:
+        """Bytes moved from global memory into the SPM."""
+        return sum(t.bytes_moved for t in self.transfers if not t.is_write_back)
+
+    @property
+    def bytes_written(self) -> int:
+        """Bytes written back from the SPM to global memory."""
+        return sum(t.bytes_moved for t in self.transfers if t.is_write_back)
+
+    def reset(self) -> None:
+        """Clear the transfer log."""
+        self.transfers = []

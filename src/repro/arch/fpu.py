@@ -1,0 +1,63 @@
+"""SIMD floating-point unit model.
+
+Each Snitch worker core has a 64-bit FPU that packs narrower formats into
+SIMD lanes (2xFP32, 4xFP16, 8xFP8).  The model exposes the lane count used by
+the data-parallelization optimization and simple latency/throughput figures
+used by the cycle model and the instruction-level executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..types import Precision
+
+
+@dataclass
+class FpuModel:
+    """Throughput/latency model of the SIMD FPU."""
+
+    register_bits: int = 64
+    add_latency: int = 3
+    mul_latency: int = 3
+    fma_latency: int = 4
+    issue_rate: int = 1
+
+    #: Dynamic counters of issued operations (per precision).
+    ops_issued: Dict[Precision, int] = field(default_factory=dict)
+
+    def simd_width(self, precision: Precision) -> int:
+        """Number of elements processed per FPU instruction at ``precision``."""
+        width = self.register_bits // precision.bits
+        if width < 1:
+            raise ValueError(
+                f"precision {precision} wider than the {self.register_bits}-bit datapath"
+            )
+        return width
+
+    def groups_for_channels(self, channels: int, precision: Precision) -> int:
+        """Number of SIMD channel groups needed to cover ``channels`` outputs."""
+        if channels <= 0:
+            raise ValueError(f"channels must be positive, got {channels}")
+        width = self.simd_width(precision)
+        return (channels + width - 1) // width
+
+    def issue(self, precision: Precision, count: int = 1) -> None:
+        """Record ``count`` issued FPU instructions at ``precision``."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self.ops_issued[precision] = self.ops_issued.get(precision, 0) + count
+
+    @property
+    def total_ops(self) -> int:
+        """Total FPU instructions issued so far."""
+        return sum(self.ops_issued.values())
+
+    def elementwise_ops(self, precision: Precision) -> int:
+        """Scalar-equivalent operations issued at ``precision`` (instr x lanes)."""
+        return self.ops_issued.get(precision, 0) * self.simd_width(precision)
+
+    def reset(self) -> None:
+        """Clear the operation counters."""
+        self.ops_issued = {}

@@ -1,0 +1,64 @@
+"""Floating-point repetition buffer (``frep`` hardware loop).
+
+The ``frep`` instruction marks a window of FP instructions that the FP
+subsystem re-issues from a small buffer for a programmable number of
+iterations, without any further involvement of the integer core.  Combined
+with SSR operand streams this is what decouples the FPU from the integer
+pipeline in SpikeStream's SpVA loop (Listing 1c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrepConfig:
+    """One hardware-loop configuration: ``num_instructions`` repeated ``iterations`` times."""
+
+    num_instructions: int
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.num_instructions <= 0:
+            raise ValueError(f"num_instructions must be positive, got {self.num_instructions}")
+        if self.iterations < 0:
+            raise ValueError(f"iterations must be non-negative, got {self.iterations}")
+
+    @property
+    def total_fp_instructions(self) -> int:
+        """FP instructions issued over the whole loop."""
+        return self.num_instructions * self.iterations
+
+
+class FrepUnit:
+    """Tracks hardware-loop usage of one core.
+
+    The unit reports how many FP issue slots a loop occupies and how many
+    integer-core issue slots it saves compared to a software loop (which
+    would need the loop-control and address instructions counted in the
+    baseline cost model).
+    """
+
+    MAX_BUFFER_INSTRUCTIONS = 16
+
+    def __init__(self) -> None:
+        self.loops_executed = 0
+        self.fp_instructions_issued = 0
+
+    def execute(self, config: FrepConfig) -> int:
+        """Run one hardware loop and return the FP instructions issued."""
+        if config.num_instructions > self.MAX_BUFFER_INSTRUCTIONS:
+            raise ValueError(
+                f"frep buffer holds at most {self.MAX_BUFFER_INSTRUCTIONS} instructions, "
+                f"got {config.num_instructions}"
+            )
+        self.loops_executed += 1
+        issued = config.total_fp_instructions
+        self.fp_instructions_issued += issued
+        return issued
+
+    def reset(self) -> None:
+        """Clear the usage counters."""
+        self.loops_executed = 0
+        self.fp_instructions_issued = 0

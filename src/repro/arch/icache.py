@@ -1,0 +1,48 @@
+"""Shared instruction-cache model.
+
+The cluster's 8 KiB shared L1 instruction cache easily holds the SpikeStream
+kernels, so misses are dominated by cold misses at the start of each tile
+plus a small residual (capacity/conflict) rate.  The paper attributes part of
+the gap between the measured and ideal speedups to these misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+
+
+@dataclass
+class InstructionCache:
+    """Simple cold-miss + residual-miss instruction cache model."""
+
+    params: ClusterParams = DEFAULT_CLUSTER
+    costs: CostModelParams = DEFAULT_COSTS
+
+    @property
+    def capacity_lines(self) -> int:
+        """Number of cache lines."""
+        return self.params.icache_bytes // self.params.icache_line_bytes
+
+    def kernel_fits(self, kernel_bytes: int) -> bool:
+        """Whether a kernel's code footprint fits entirely in the cache."""
+        return kernel_bytes <= self.params.icache_bytes
+
+    def miss_cycles(self, instructions_executed: float, tiles: int = 1) -> float:
+        """Estimated stall cycles caused by instruction fetch misses.
+
+        ``tiles`` cold-start phases each touch ``icache_cold_miss_lines``
+        lines; afterwards a small residual per-instruction miss rate applies.
+        """
+        if instructions_executed < 0:
+            raise ValueError("instructions_executed must be non-negative")
+        if tiles < 0:
+            raise ValueError("tiles must be non-negative")
+        cold = tiles * self.costs.icache_cold_miss_lines * self.costs.icache_miss_penalty_cycles
+        steady = (
+            instructions_executed
+            * self.costs.icache_capacity_miss_rate
+            * self.costs.icache_miss_penalty_cycles
+        )
+        return cold + steady

@@ -1,0 +1,280 @@
+"""Stream-register (SSR) model.
+
+Snitch's stream registers map memory streams directly onto reads and writes
+of FP architectural registers.  Each worker core has three SSRs supporting up
+to 4-D affine address patterns; two of them additionally support 1-D indirect
+streams that gather (or scatter) data through an index array with 8-, 16- or
+32-bit indices (Section II-B).
+
+The model generates the exact address sequences — used by the functional
+kernels and verified against an index-arithmetic oracle in the tests — and
+exposes the shadow-register behaviour that allows the next stream to be
+configured while the current one is still running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .params import ClusterParams, DEFAULT_CLUSTER
+
+
+@dataclass(frozen=True)
+class AffineStreamConfig:
+    """Configuration of an affine (up to 4-D) address stream.
+
+    Addresses follow the nested-loop pattern::
+
+        for i3 in range(bounds[3]):
+          ...
+            for i0 in range(bounds[0]):
+                address = base + i0*strides[0] + i1*strides[1] + ...
+
+    with dimension 0 innermost.  Bounds and strides are given innermost
+    first; strides are in bytes.
+    """
+
+    base_address: int
+    bounds: Sequence[int]
+    strides: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if len(self.bounds) != len(self.strides):
+            raise ValueError("bounds and strides must have the same number of dimensions")
+        if not self.bounds:
+            raise ValueError("at least one dimension is required")
+        if any(b <= 0 for b in self.bounds):
+            raise ValueError(f"all bounds must be positive, got {self.bounds}")
+
+    @property
+    def dimensions(self) -> int:
+        """Number of nested loop dimensions."""
+        return len(self.bounds)
+
+    @property
+    def length(self) -> int:
+        """Total number of stream elements."""
+        return int(np.prod(self.bounds))
+
+    def addresses(self) -> np.ndarray:
+        """Return the full address sequence as an int64 array.
+
+        Dimension 0 varies fastest, exactly like the innermost hardware loop.
+        """
+        offset = np.zeros(self.length, dtype=np.int64)
+        for dim, (bound, stride) in enumerate(zip(self.bounds, self.strides)):
+            repeat_inner = int(np.prod(self.bounds[:dim])) if dim > 0 else 1
+            tile_outer = self.length // (bound * repeat_inner)
+            pattern = np.repeat(np.arange(bound, dtype=np.int64), repeat_inner)
+            offset += np.tile(pattern, tile_outer) * stride
+        return self.base_address + offset
+
+
+@dataclass(frozen=True)
+class IndirectStreamConfig:
+    """Configuration of a 1-D indirect (gather/scatter) stream.
+
+    Each stream element accesses ``base_address + indices[i] * element_bytes``.
+    The index array itself resides in the SPM and is fetched by the SSR,
+    which is why indirect streaming costs an extra SPM access per element in
+    the timing model.
+    """
+
+    base_address: int
+    indices: np.ndarray
+    element_bytes: int
+    index_bits: int = 16
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", np.asarray(self.indices, dtype=np.int64))
+        if self.element_bytes <= 0:
+            raise ValueError(f"element_bytes must be positive, got {self.element_bytes}")
+        if np.any(self.indices < 0):
+            raise ValueError("indices must be non-negative")
+        if len(self.indices) and int(self.indices.max()) >= 2 ** self.index_bits:
+            raise ValueError(
+                f"index {int(self.indices.max())} does not fit into {self.index_bits}-bit indices"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of stream elements."""
+        return int(len(self.indices))
+
+    def addresses(self) -> np.ndarray:
+        """Return the gathered address sequence."""
+        return self.base_address + self.indices * self.element_bytes
+
+
+@dataclass(frozen=True)
+class StridedIndirectStreamConfig:
+    """Strided indirect stream: one index array reused across several passes.
+
+    This models the extension the paper lists as future work ("enhancing SRs
+    with strided indirect execution to enable higher degrees of computation
+    overlap"): the same gather index array is replayed ``num_groups`` times
+    with the data base address advanced by ``group_stride_bytes`` per pass, so
+    the SpVAs of consecutive SIMD output-channel groups reuse the index fetch
+    instead of paying for it again.
+    """
+
+    base_address: int
+    indices: np.ndarray
+    element_bytes: int
+    group_stride_bytes: int
+    num_groups: int
+    index_bits: int = 16
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "indices", np.asarray(self.indices, dtype=np.int64))
+        if self.element_bytes <= 0:
+            raise ValueError(f"element_bytes must be positive, got {self.element_bytes}")
+        if self.group_stride_bytes < 0:
+            raise ValueError("group_stride_bytes must be non-negative")
+        if self.num_groups <= 0:
+            raise ValueError(f"num_groups must be positive, got {self.num_groups}")
+        if np.any(self.indices < 0):
+            raise ValueError("indices must be non-negative")
+        if len(self.indices) and int(self.indices.max()) >= 2 ** self.index_bits:
+            raise ValueError(
+                f"index {int(self.indices.max())} does not fit into {self.index_bits}-bit indices"
+            )
+
+    @property
+    def length(self) -> int:
+        """Total elements streamed across all group passes."""
+        return int(len(self.indices)) * self.num_groups
+
+    def addresses(self) -> np.ndarray:
+        """Gathered addresses, grouped pass by pass."""
+        per_group = self.base_address + self.indices * self.element_bytes
+        groups = [per_group + g * self.group_stride_bytes for g in range(self.num_groups)]
+        if not groups:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(groups)
+
+
+StreamConfig = Union[AffineStreamConfig, IndirectStreamConfig, StridedIndirectStreamConfig]
+
+
+class StreamRegister:
+    """A single stream register with an active and a shadow configuration."""
+
+    def __init__(
+        self,
+        index: int,
+        supports_indirect: bool,
+        params: ClusterParams = DEFAULT_CLUSTER,
+    ):
+        self.index = index
+        self.supports_indirect = supports_indirect
+        self.params = params
+        self._active: Optional[StreamConfig] = None
+        self._shadow: Optional[StreamConfig] = None
+        self._consumed = 0
+        self.total_elements_streamed = 0
+        self.total_streams = 0
+
+    def _validate(self, config: StreamConfig) -> None:
+        if isinstance(config, AffineStreamConfig):
+            if config.dimensions > self.params.max_affine_dims:
+                raise ValueError(
+                    f"SSR{self.index} supports at most {self.params.max_affine_dims} affine "
+                    f"dimensions, got {config.dimensions}"
+                )
+        elif isinstance(config, (IndirectStreamConfig, StridedIndirectStreamConfig)):
+            if not self.supports_indirect:
+                raise ValueError(f"SSR{self.index} does not support indirect streams")
+            if config.index_bits not in self.params.supported_index_bits:
+                raise ValueError(
+                    f"index width {config.index_bits} not supported; expected one of "
+                    f"{self.params.supported_index_bits}"
+                )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported stream configuration type {type(config)!r}")
+
+    @property
+    def is_active(self) -> bool:
+        """Whether a stream is currently configured and not fully consumed."""
+        return self._active is not None and self._consumed < self._active.length
+
+    def configure(self, config: StreamConfig) -> None:
+        """Program the stream register.
+
+        If a stream is currently active the new configuration lands in the
+        shadow register and becomes active when the running stream completes
+        — this is what lets the integer core prepare the next SpVA while the
+        FPU is still consuming the current one.
+        """
+        self._validate(config)
+        if self.is_active:
+            self._shadow = config
+        else:
+            self._active = config
+            self._consumed = 0
+        self.total_streams += 1
+
+    def read_all(self) -> np.ndarray:
+        """Consume the active stream completely, returning its address sequence."""
+        if self._active is None:
+            raise RuntimeError(f"SSR{self.index} has no configured stream")
+        addresses = self._active.addresses()[self._consumed :]
+        self.total_elements_streamed += len(addresses)
+        self._consumed = self._active.length
+        self._promote_shadow()
+        return addresses
+
+    def read_next(self) -> int:
+        """Consume a single stream element and return its address."""
+        if self._active is None:
+            raise RuntimeError(f"SSR{self.index} has no configured stream")
+        if self._consumed >= self._active.length:
+            raise RuntimeError(f"SSR{self.index} stream exhausted")
+        address = int(self._active.addresses()[self._consumed])
+        self._consumed += 1
+        self.total_elements_streamed += 1
+        if self._consumed >= self._active.length:
+            self._promote_shadow()
+        return address
+
+    def _promote_shadow(self) -> None:
+        if self._shadow is not None:
+            self._active = self._shadow
+            self._shadow = None
+            self._consumed = 0
+        elif self._active is not None and self._consumed >= self._active.length:
+            # Stream finished with no shadow pending: stay configured but
+            # exhausted so double-reads raise.
+            pass
+
+    def spm_accesses_per_element(self, config: Optional[StreamConfig] = None) -> int:
+        """SPM accesses per streamed element (2 for indirect: index + data).
+
+        Strided-indirect streams amortize the index fetch over their group
+        passes, approaching one access per element for many groups.
+        """
+        config = config or self._active
+        if isinstance(config, StridedIndirectStreamConfig):
+            return 2 if config.num_groups == 1 else 1
+        if isinstance(config, IndirectStreamConfig):
+            return 2
+        return 1
+
+
+def make_core_stream_registers(params: ClusterParams = DEFAULT_CLUSTER) -> List[StreamRegister]:
+    """Create the stream registers of one worker core.
+
+    The first ``num_indirect_stream_registers`` SSRs support indirection, as
+    in the Snitch sparse-SSR extension.
+    """
+    return [
+        StreamRegister(
+            index=i,
+            supports_indirect=(i < params.num_indirect_stream_registers),
+            params=params,
+        )
+        for i in range(params.num_stream_registers)
+    ]

@@ -1,0 +1,164 @@
+"""Statistics records produced by the behavioral timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CoreStats:
+    """Cycle and instruction counters of a single worker core."""
+
+    core_id: int = 0
+    int_instructions: float = 0.0
+    fp_instructions: float = 0.0
+    total_cycles: float = 0.0
+    fpu_busy_cycles: float = 0.0
+    stall_cycles: float = 0.0
+    spm_accesses: float = 0.0
+    ssr_spm_accesses: float = 0.0
+    atomic_operations: float = 0.0
+
+    @property
+    def instructions(self) -> float:
+        """Total instructions retired (integer + FP)."""
+        return self.int_instructions + self.fp_instructions
+
+    @property
+    def fpu_utilization(self) -> float:
+        """Fraction of cycles during which the FPU performs useful work."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.fpu_busy_cycles / self.total_cycles)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per cycle."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.instructions / self.total_cycles
+
+    def merge(self, other: "CoreStats") -> "CoreStats":
+        """Return the element-wise sum of two stat records (same core)."""
+        return CoreStats(
+            core_id=self.core_id,
+            int_instructions=self.int_instructions + other.int_instructions,
+            fp_instructions=self.fp_instructions + other.fp_instructions,
+            total_cycles=self.total_cycles + other.total_cycles,
+            fpu_busy_cycles=self.fpu_busy_cycles + other.fpu_busy_cycles,
+            stall_cycles=self.stall_cycles + other.stall_cycles,
+            spm_accesses=self.spm_accesses + other.spm_accesses,
+            ssr_spm_accesses=self.ssr_spm_accesses + other.ssr_spm_accesses,
+            atomic_operations=self.atomic_operations + other.atomic_operations,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary form of the counters plus derived metrics."""
+        return {
+            "core_id": self.core_id,
+            "int_instructions": self.int_instructions,
+            "fp_instructions": self.fp_instructions,
+            "total_cycles": self.total_cycles,
+            "fpu_busy_cycles": self.fpu_busy_cycles,
+            "stall_cycles": self.stall_cycles,
+            "spm_accesses": self.spm_accesses,
+            "ssr_spm_accesses": self.ssr_spm_accesses,
+            "atomic_operations": self.atomic_operations,
+            "fpu_utilization": self.fpu_utilization,
+            "ipc": self.ipc,
+        }
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate statistics of one kernel execution on the whole cluster."""
+
+    core_stats: List[CoreStats] = field(default_factory=list)
+    dma_cycles: float = 0.0
+    dma_bytes: float = 0.0
+    dma_exposed_cycles: float = 0.0
+    total_cycles: float = 0.0
+    label: str = ""
+
+    @property
+    def num_cores(self) -> int:
+        """Number of worker cores that contributed statistics."""
+        return len(self.core_stats)
+
+    @property
+    def compute_cycles(self) -> float:
+        """Critical-path compute cycles (slowest worker core)."""
+        if not self.core_stats:
+            return 0.0
+        return max(stats.total_cycles for stats in self.core_stats)
+
+    @property
+    def fpu_utilization(self) -> float:
+        """Average FPU utilization over the worker cores, relative to total runtime."""
+        if not self.core_stats or self.total_cycles <= 0:
+            return 0.0
+        busy = sum(stats.fpu_busy_cycles for stats in self.core_stats)
+        return min(1.0, busy / (self.total_cycles * self.num_cores))
+
+    @property
+    def ipc(self) -> float:
+        """Average per-core instructions per cycle, relative to total runtime."""
+        if not self.core_stats or self.total_cycles <= 0:
+            return 0.0
+        instructions = sum(stats.instructions for stats in self.core_stats)
+        return instructions / (self.total_cycles * self.num_cores)
+
+    @property
+    def total_instructions(self) -> float:
+        """Total instructions retired across the cluster."""
+        return sum(stats.instructions for stats in self.core_stats)
+
+    @property
+    def total_fp_instructions(self) -> float:
+        """Total FP instructions retired across the cluster."""
+        return sum(stats.fp_instructions for stats in self.core_stats)
+
+    @property
+    def total_spm_accesses(self) -> float:
+        """Total scratchpad accesses (core loads/stores plus SSR streams)."""
+        return sum(stats.spm_accesses + stats.ssr_spm_accesses for stats in self.core_stats)
+
+    def runtime_seconds(self, clock_hz: float) -> float:
+        """Wall-clock runtime at the given clock frequency."""
+        return self.total_cycles / clock_hz
+
+    def merge(self, other: "ClusterStats", label: Optional[str] = None) -> "ClusterStats":
+        """Concatenate two executions (e.g. consecutive layers) sequentially."""
+        if self.num_cores and other.num_cores and self.num_cores != other.num_cores:
+            raise ValueError("cannot merge ClusterStats with different core counts")
+        if not self.core_stats:
+            merged_cores = [CoreStats(**vars(s)) for s in other.core_stats]
+        elif not other.core_stats:
+            merged_cores = [CoreStats(**vars(s)) for s in self.core_stats]
+        else:
+            merged_cores = [a.merge(b) for a, b in zip(self.core_stats, other.core_stats)]
+        return ClusterStats(
+            core_stats=merged_cores,
+            dma_cycles=self.dma_cycles + other.dma_cycles,
+            dma_bytes=self.dma_bytes + other.dma_bytes,
+            dma_exposed_cycles=self.dma_exposed_cycles + other.dma_exposed_cycles,
+            total_cycles=self.total_cycles + other.total_cycles,
+            label=label if label is not None else (self.label or other.label),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the aggregate metrics."""
+        return {
+            "label": self.label,
+            "total_cycles": self.total_cycles,
+            "compute_cycles": self.compute_cycles,
+            "dma_cycles": self.dma_cycles,
+            "dma_exposed_cycles": self.dma_exposed_cycles,
+            "dma_bytes": self.dma_bytes,
+            "fpu_utilization": self.fpu_utilization,
+            "ipc": self.ipc,
+            "total_instructions": self.total_instructions,
+            "total_fp_instructions": self.total_fp_instructions,
+            "total_spm_accesses": self.total_spm_accesses,
+        }

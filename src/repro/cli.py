@@ -1,0 +1,132 @@
+"""Command-line interface for the SpikeStream reproduction.
+
+Four subcommands cover the common workflows::
+
+    python -m repro.cli run        --precision fp16 --batch 8        # S-VGG11 inference
+    python -m repro.cli figures    --figure fig3c --batch 8          # regenerate one figure
+    python -m repro.cli compare    --timesteps 500                   # Figure-5 comparison
+    python -m repro.cli spva       --lengths 1 8 64                  # Listing-1 micro-benchmark
+
+Every command prints an aligned text table (the same rows the corresponding
+paper figure reports).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .config import baseline_config, spikestream_config
+from .core.pipeline import SpikeStreamInference
+from .eval.experiments import (
+    accelerator_comparison_experiment,
+    energy_experiment,
+    memory_footprint_experiment,
+    run_svgg11_variants,
+    speedup_experiment,
+    spva_microbenchmark_experiment,
+    utilization_experiment,
+)
+from .eval.reporting import format_table, render_experiment
+from .types import Precision
+
+_FIGURES = ("fig3a", "fig3b", "fig3c", "fig4", "fig5", "listing1")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run S-VGG11 inference on the cluster model")
+    run.add_argument("--precision", default="fp16", choices=[p.value for p in Precision])
+    run.add_argument("--baseline", action="store_true", help="disable streaming acceleration")
+    run.add_argument("--batch", type=int, default=8, help="number of synthetic frames")
+    run.add_argument("--timesteps", type=int, default=1)
+    run.add_argument("--seed", type=int, default=2025)
+
+    figures = subparsers.add_parser("figures", help="regenerate one of the paper's figures")
+    figures.add_argument("--figure", required=True, choices=_FIGURES)
+    figures.add_argument("--batch", type=int, default=8)
+    figures.add_argument("--seed", type=int, default=2025)
+
+    compare = subparsers.add_parser("compare", help="Figure-5 accelerator comparison")
+    compare.add_argument("--timesteps", type=int, default=500)
+    compare.add_argument("--batch", type=int, default=4)
+    compare.add_argument("--seed", type=int, default=2025)
+
+    spva = subparsers.add_parser("spva", help="Listing-1 SpVA micro-benchmark")
+    spva.add_argument("--lengths", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64, 128])
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> str:
+    precision = Precision.from_name(args.precision)
+    factory = baseline_config if args.baseline else spikestream_config
+    config = factory(precision, batch_size=args.batch, timesteps=args.timesteps, seed=args.seed)
+    engine = SpikeStreamInference(config)
+    result = engine.run_statistical(batch_size=args.batch, seed=args.seed)
+    variant = "baseline" if args.baseline else "SpikeStream"
+    lines = [
+        f"== S-VGG11 on the Snitch cluster model ({variant}, {precision.value}, "
+        f"batch {args.batch}, {args.timesteps} timestep(s)) ==",
+        format_table(result.per_layer_table(), columns=[
+            "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
+            "mean_energy_mj", "mean_power_w",
+        ]),
+        "",
+        format_table([result.summary()]),
+    ]
+    return "\n".join(lines)
+
+
+def _command_figures(args: argparse.Namespace) -> str:
+    if args.figure == "fig3a":
+        result = memory_footprint_experiment(batch_size=max(args.batch, 16), seed=args.seed)
+    elif args.figure == "fig5":
+        result = accelerator_comparison_experiment(batch_size=args.batch, seed=args.seed)
+    elif args.figure == "listing1":
+        result = spva_microbenchmark_experiment(seed=args.seed)
+    else:
+        variants = run_svgg11_variants(batch_size=args.batch, seed=args.seed)
+        driver = {
+            "fig3b": utilization_experiment,
+            "fig3c": speedup_experiment,
+            "fig4": energy_experiment,
+        }[args.figure]
+        result = driver(variants=variants)
+    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
+    return render_experiment(f"{result.figure}: {result.name}", result.rows, notes=notes)
+
+
+def _command_compare(args: argparse.Namespace) -> str:
+    result = accelerator_comparison_experiment(
+        timesteps=args.timesteps, batch_size=args.batch, seed=args.seed
+    )
+    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
+    return render_experiment("Figure 5: accelerator comparison", result.rows, notes=notes)
+
+
+def _command_spva(args: argparse.Namespace) -> str:
+    result = spva_microbenchmark_experiment(stream_lengths=tuple(args.lengths))
+    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
+    return render_experiment("Listing 1: SpVA micro-benchmark", result.rows, notes=notes)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "figures": _command_figures,
+        "compare": _command_compare,
+        "spva": _command_spva,
+    }
+    output = handlers[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Global configuration objects for a SpikeStream run.
+
+A :class:`RunConfig` collects the knobs that the evaluation section of the
+paper sweeps: numeric precision, which optimizations are enabled, the batch of
+input frames, and the random seed used to generate synthetic data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .types import OptimizationFlag, Precision
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration of a single inference experiment.
+
+    Parameters
+    ----------
+    precision:
+        Numeric precision of weights and accumulations.
+    optimizations:
+        Set of enabled SpikeStream optimizations.  The paper's baseline is
+        ``OptimizationFlag.baseline()`` and the full technique is
+        ``OptimizationFlag.spikestream()``.
+    batch_size:
+        Number of input frames evaluated; the paper uses 128 and reports mean
+        and standard deviation across the batch.
+    timesteps:
+        Number of SNN timesteps per frame.  The main evaluation uses a
+        single-timestep S-VGG11; the accelerator comparison uses 500.
+    seed:
+        Seed for synthetic data generation.
+    index_bytes:
+        Width of compressed-format indices in bytes (16-bit in the paper).
+    """
+
+    precision: Precision = Precision.FP16
+    optimizations: OptimizationFlag = field(default_factory=OptimizationFlag.spikestream)
+    batch_size: int = 128
+    timesteps: int = 1
+    seed: int = 2025
+    index_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {self.batch_size}")
+        if self.timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {self.timesteps}")
+        if self.index_bytes not in (1, 2, 4):
+            raise ValueError(f"index_bytes must be 1, 2 or 4, got {self.index_bytes}")
+
+    @property
+    def streaming_enabled(self) -> bool:
+        """Whether the SA optimization (stream registers + frep) is active."""
+        return bool(self.optimizations & OptimizationFlag.STREAMING_ACCELERATION)
+
+    @property
+    def simd_width(self) -> int:
+        """SIMD lanes available at the configured precision."""
+        return self.precision.simd_width
+
+    def with_precision(self, precision: Precision) -> "RunConfig":
+        """Return a copy of this configuration with a different precision."""
+        return replace(self, precision=precision)
+
+    def with_optimizations(self, optimizations: OptimizationFlag) -> "RunConfig":
+        """Return a copy of this configuration with different optimizations."""
+        return replace(self, optimizations=optimizations)
+
+    def as_baseline(self) -> "RunConfig":
+        """Return the non-streaming baseline variant of this configuration."""
+        return self.with_optimizations(OptimizationFlag.baseline())
+
+    def as_spikestream(self) -> "RunConfig":
+        """Return the full SpikeStream variant of this configuration."""
+        return self.with_optimizations(OptimizationFlag.spikestream())
+
+
+def baseline_config(precision: Precision = Precision.FP16, **kwargs) -> RunConfig:
+    """Convenience constructor for the paper's parallel SIMD baseline."""
+    return RunConfig(precision=precision, optimizations=OptimizationFlag.baseline(), **kwargs)
+
+
+def spikestream_config(precision: Precision = Precision.FP16, **kwargs) -> RunConfig:
+    """Convenience constructor for the full SpikeStream configuration."""
+    return RunConfig(precision=precision, optimizations=OptimizationFlag.spikestream(), **kwargs)

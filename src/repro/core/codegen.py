@@ -1,0 +1,73 @@
+"""SpVA code generation for layer plans.
+
+The paper lists "automatic SpikeStream code generation" as future work; this
+module provides a first cut: given a :class:`~repro.core.layer_mapping.LayerPlan`
+it emits either the baseline or the streaming SpVA inner loop as a runnable
+micro-program (:class:`repro.isa.program.Program`) plus a human-readable
+pseudocode rendering similar to Listing 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from ..isa.program import Program
+from ..isa.spva_listings import build_baseline_spva_program, build_streaming_spva_program
+from .layer_mapping import KernelKind, LayerPlan
+
+
+def generate_spva_program(plan: LayerPlan) -> Program:
+    """Generate the SpVA inner-loop micro-program for a layer plan.
+
+    Dense encoding layers have no SpVA (they run an affine-stream matmul), so
+    requesting a program for them raises ``ValueError``.
+    """
+    if plan.kernel is KernelKind.ENCODE:
+        raise ValueError(
+            f"layer {plan.name!r} is the dense encoding layer and has no SpVA inner loop"
+        )
+    if plan.streaming:
+        program = build_streaming_spva_program()
+    else:
+        program = build_baseline_spva_program()
+    program.name = f"{plan.name}-spva-{'stream' if plan.streaming else 'baseline'}"
+    return program
+
+
+def spva_pseudocode(plan: LayerPlan) -> str:
+    """Render the layer's SpVA strategy as Listing-1-style pseudocode."""
+    simd = plan.simd_width
+    if plan.kernel is KernelKind.ENCODE:
+        return (
+            f"// {plan.name}: dense spike-encoding layer ({plan.precision.value}, "
+            f"SIMD width {simd})\n"
+            "for each output position (im2row row):\n"
+            "    configure affine SR0 on the input-current row\n"
+            "    configure affine SR1 on the weight column block\n"
+            "    frep k*k*C_in:  ic[0:simd] += sr_read(SR0) * sr_read(SR1)\n"
+            "    fused LIF activation, emit compressed output spikes\n"
+        )
+    header = (
+        f"// {plan.name}: compressed {plan.kernel.value} layer ({plan.precision.value}, "
+        f"SIMD width {simd}, {'SSR+frep' if plan.streaming else 'baseline'})\n"
+    )
+    if plan.streaming:
+        body = (
+            "for each receptive field (workload stealing):\n"
+            "    for each SIMD output-channel group:\n"
+            "        for each spatial position in the RF:\n"
+            "            if s_len != 0:\n"
+            "                sr_set_indir(SR1, &w[w_baddr])\n"
+            "                sr_set_idcs(SR1, &c_idcs[s_baddr])\n"
+            "                sr_set_bound(SR1, s_len)\n"
+            "                frep s_len:  ic += sr_read(SR1)\n"
+            "        fused LIF activation, emit compressed output spikes\n"
+        )
+    else:
+        body = (
+            "for each receptive field (workload stealing):\n"
+            "    for each SIMD output-channel group:\n"
+            "        for each spatial position in the RF:\n"
+            "            for j in range(s_len):            # 8 instructions per element\n"
+            "                ic += w[c_idcs[s_baddr + j] + w_baddr]\n"
+            "        fused LIF activation, emit compressed output spikes\n"
+        )
+    return header + body

@@ -1,0 +1,288 @@
+"""End-to-end SpikeStream inference on the Snitch cluster model.
+
+:class:`SpikeStreamInference` ties the library together: the optimizer maps
+each layer to a kernel, the kernels produce cycle-level
+:class:`~repro.arch.trace.ClusterStats`, the energy model converts activity
+into joules, and everything is aggregated over a batch of input frames into
+an :class:`~repro.core.results.InferenceResult`.
+
+Two execution modes are provided:
+
+* **statistical** (:meth:`SpikeStreamInference.run_statistical`): per-layer
+  ifmap spike counts are drawn from the layer's firing-rate profile (the
+  default profile follows Figure 3a).  This is what the figure-level
+  experiments use — performance and energy depend only on tensor shapes and
+  spike counts, so a batch of 128 frames runs in seconds.
+* **functional** (:meth:`SpikeStreamInference.run_functional`): an actual
+  :class:`~repro.snn.network.SpikingNetwork` forward pass supplies the real
+  per-layer spike maps, and the same performance model is evaluated on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch.params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from ..arch.trace import ClusterStats
+from ..config import RunConfig
+from ..energy.model import EnergyModel
+from ..energy.params import DEFAULT_ENERGY, EnergyParams
+from ..formats.convert import compress_ifmap, compress_vector
+from ..kernels.conv import conv_layer_perf
+from ..kernels.encode import encode_layer_perf
+from ..kernels.fc import fc_layer_perf
+from ..snn.network import NetworkActivity, SpikingNetwork
+from ..types import LayerKind
+from ..utils.rng import SeedLike, make_rng, spawn_rngs
+from .layer_mapping import KernelKind, LayerPlan
+from .optimizer import SpikeStreamOptimizer
+from .results import InferenceResult, LayerResult
+
+
+@dataclass
+class _LayerAccumulator:
+    """Per-layer collection of per-frame metrics."""
+
+    plan: LayerPlan
+    cycles: List[float] = field(default_factory=list)
+    utilization: List[float] = field(default_factory=list)
+    ipc: List[float] = field(default_factory=list)
+    energy_j: List[float] = field(default_factory=list)
+    power_w: List[float] = field(default_factory=list)
+    dma_bytes: List[float] = field(default_factory=list)
+
+    def add(self, stats: ClusterStats, energy_j: float, clock_hz: float) -> None:
+        self.cycles.append(stats.total_cycles)
+        self.utilization.append(stats.fpu_utilization)
+        self.ipc.append(stats.ipc)
+        self.energy_j.append(energy_j)
+        runtime = stats.runtime_seconds(clock_hz)
+        self.power_w.append(energy_j / runtime if runtime > 0 else 0.0)
+        self.dma_bytes.append(stats.dma_bytes)
+
+    def result(self, clock_hz: float) -> LayerResult:
+        return LayerResult(
+            name=self.plan.name,
+            kernel=self.plan.kernel.value,
+            precision=self.plan.precision,
+            streaming=self.plan.streaming,
+            cycles=np.asarray(self.cycles),
+            fpu_utilization=np.asarray(self.utilization),
+            ipc=np.asarray(self.ipc),
+            energy_j=np.asarray(self.energy_j),
+            power_w=np.asarray(self.power_w),
+            dma_bytes=np.asarray(self.dma_bytes),
+            clock_hz=clock_hz,
+        )
+
+
+class SpikeStreamInference:
+    """Run SNN inference on the Snitch cluster model under a given configuration."""
+
+    def __init__(
+        self,
+        config: RunConfig,
+        cluster: ClusterParams = DEFAULT_CLUSTER,
+        costs: CostModelParams = DEFAULT_COSTS,
+        energy: EnergyParams = DEFAULT_ENERGY,
+    ):
+        self.config = config
+        self.cluster = cluster
+        self.costs = costs
+        self.optimizer = SpikeStreamOptimizer(config, cluster)
+        self.energy_model = EnergyModel(params=energy, cluster=cluster)
+
+    # ------------------------------------------------------------------ #
+    # Single-layer execution
+    # ------------------------------------------------------------------ #
+    def run_layer(self, plan: LayerPlan, spike_counts: Optional[np.ndarray] = None,
+                  nnz: Optional[int] = None) -> ClusterStats:
+        """Run the performance model of one layer.
+
+        Convolutional layers need the per-position ``spike_counts`` map of
+        their padded ifmap; FC layers need the spike count ``nnz``; the dense
+        encoding layer needs neither.
+        """
+        if plan.kernel is KernelKind.ENCODE:
+            return encode_layer_perf(
+                plan.spec,
+                precision=plan.precision,
+                streaming=plan.streaming,
+                params=self.cluster,
+                costs=self.costs,
+                index_bytes=self.config.index_bytes,
+            )
+        if plan.kernel is KernelKind.CONV:
+            if spike_counts is None:
+                raise ValueError(f"layer {plan.name!r} needs a spike_counts map")
+            return conv_layer_perf(
+                plan.spec,
+                spike_counts,
+                precision=plan.precision,
+                streaming=plan.streaming,
+                params=self.cluster,
+                costs=self.costs,
+                index_bytes=self.config.index_bytes,
+            )
+        if nnz is None:
+            raise ValueError(f"layer {plan.name!r} needs the input spike count nnz")
+        return fc_layer_perf(
+            plan.spec,
+            nnz=nnz,
+            precision=plan.precision,
+            streaming=plan.streaming,
+            params=self.cluster,
+            costs=self.costs,
+            index_bytes=self.config.index_bytes,
+        )
+
+    def layer_energy(self, plan: LayerPlan, stats: ClusterStats) -> float:
+        """Energy in joules of one layer execution."""
+        report = self.energy_model.layer_energy(
+            stats,
+            precision=plan.precision,
+            streaming=plan.streaming,
+            uses_mac=plan.kernel is KernelKind.ENCODE,
+        )
+        return report.energy_j
+
+    # ------------------------------------------------------------------ #
+    # Statistical batch execution
+    # ------------------------------------------------------------------ #
+    def _synthetic_counts(
+        self, plan: LayerPlan, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw a padded per-position spike-count map for a conv layer."""
+        spec = plan.spec
+        unpadded = spec.input_shape
+        counts = rng.binomial(
+            unpadded.channels, plan.firing_rate, size=(unpadded.height, unpadded.width)
+        ).astype(np.float64)
+        if spec.padding:
+            counts = np.pad(counts, spec.padding)
+        return counts
+
+    def run_statistical(
+        self,
+        plans: Optional[Sequence[LayerPlan]] = None,
+        batch_size: Optional[int] = None,
+        firing_rates: Optional[Dict[str, float]] = None,
+        seed: SeedLike = None,
+        timesteps: Optional[int] = None,
+    ) -> InferenceResult:
+        """Run a batch of frames in statistical mode (default: full S-VGG11).
+
+        Per-frame spike counts are drawn from a binomial distribution with
+        each layer's firing rate, reproducing the dynamic-sparsity variation
+        the paper captures with its batch of 128 CIFAR-10 frames.
+        """
+        plans = list(plans) if plans is not None else self.optimizer.plan_svgg11(firing_rates)
+        batch_size = batch_size or self.config.batch_size
+        timesteps = timesteps or self.config.timesteps
+        seed = seed if seed is not None else self.config.seed
+        frame_rngs = spawn_rngs(seed, batch_size)
+
+        accumulators = [_LayerAccumulator(plan) for plan in plans]
+        for rng in frame_rngs:
+            for accumulator in accumulators:
+                plan = accumulator.plan
+                if plan.kernel is KernelKind.CONV:
+                    counts = self._synthetic_counts(plan, rng)
+                    stats = self.run_layer(plan, spike_counts=counts)
+                elif plan.kernel is KernelKind.FC:
+                    nnz = int(rng.binomial(plan.spec.in_features, plan.firing_rate))
+                    stats = self.run_layer(plan, nnz=nnz)
+                else:
+                    stats = self.run_layer(plan)
+                if timesteps > 1:
+                    stats = _scale_stats(stats, timesteps)
+                energy = self.layer_energy(plan, stats)
+                accumulator.add(stats, energy, self.cluster.clock_hz)
+        return InferenceResult(
+            config=self.config,
+            layers=[a.result(self.cluster.clock_hz) for a in accumulators],
+            clock_hz=self.cluster.clock_hz,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Functional batch execution
+    # ------------------------------------------------------------------ #
+    def run_functional(
+        self,
+        network: SpikingNetwork,
+        frames: Sequence[np.ndarray],
+        firing_rates: Optional[Dict[str, float]] = None,
+    ) -> InferenceResult:
+        """Run the performance model on the *actual* activity of a network.
+
+        Every frame is passed through the functional network
+        (:meth:`repro.snn.network.SpikingNetwork.forward`); the recorded
+        per-layer spike maps then drive the same kernels' performance model.
+        """
+        plans = self.optimizer.plan_network(network, firing_rates)
+        plans_by_name = {plan.name: plan for plan in plans}
+        accumulators = {plan.name: _LayerAccumulator(plan) for plan in plans}
+
+        for frame in frames:
+            activity = network.forward(frame, timesteps=self.config.timesteps)
+            self._accumulate_activity(activity, plans_by_name, accumulators)
+        return InferenceResult(
+            config=self.config,
+            layers=[accumulators[plan.name].result(self.cluster.clock_hz) for plan in plans],
+            clock_hz=self.cluster.clock_hz,
+        )
+
+    def _accumulate_activity(
+        self,
+        activity: NetworkActivity,
+        plans_by_name: Dict[str, LayerPlan],
+        accumulators: Dict[str, "_LayerAccumulator"],
+    ) -> None:
+        for record in activity.records:
+            plan = plans_by_name.get(record.name)
+            if plan is None:
+                continue
+            if plan.kernel is KernelKind.ENCODE:
+                stats = self.run_layer(plan)
+            elif plan.kernel is KernelKind.CONV:
+                spikes = record.input_spikes
+                padded = np.pad(
+                    spikes,
+                    (
+                        (plan.spec.padding, plan.spec.padding),
+                        (plan.spec.padding, plan.spec.padding),
+                        (0, 0),
+                    ),
+                )
+                counts = np.count_nonzero(padded, axis=2).astype(np.float64)
+                stats = self.run_layer(plan, spike_counts=counts)
+            else:
+                nnz = int(np.count_nonzero(record.input_spikes))
+                stats = self.run_layer(plan, nnz=nnz)
+            energy = self.layer_energy(plan, stats)
+            accumulators[record.name].add(stats, energy, self.cluster.clock_hz)
+
+
+def _scale_stats(stats: ClusterStats, timesteps: int) -> ClusterStats:
+    """Repeat a single-timestep execution for ``timesteps`` timesteps.
+
+    All activity counters scale linearly; derived ratios (utilization, IPC)
+    are unchanged, which matches executing the same layer once per timestep.
+    """
+    if timesteps <= 1:
+        return stats
+    scaled_cores = []
+    for core in stats.core_stats:
+        fields = {key: value * timesteps for key, value in vars(core).items() if key != "core_id"}
+        scaled_cores.append(type(core)(core_id=core.core_id, **fields))
+    return ClusterStats(
+        core_stats=scaled_cores,
+        dma_cycles=stats.dma_cycles * timesteps,
+        dma_bytes=stats.dma_bytes * timesteps,
+        dma_exposed_cycles=stats.dma_exposed_cycles * timesteps,
+        total_cycles=stats.total_cycles * timesteps,
+        label=stats.label,
+    )

@@ -1,0 +1,15 @@
+"""Activity-based energy and power model of the Snitch cluster.
+
+The paper obtains energy from post-layout gate-level simulation in GF 12LP+
+at 1 GHz / 0.8 V.  This package replaces that flow with an activity-based
+model: every instruction, scratchpad access, stream element and DMA byte
+carries an energy coefficient, plus a constant cluster background power.  The
+coefficients (:class:`EnergyParams`) are calibrated so that the per-layer
+powers of Figure 4 (≈0.13 W baseline FP16, ≈0.23 W SpikeStream FP16,
+≈0.22 W SpikeStream FP8 for the convolutional layers) are reproduced.
+"""
+
+from .params import EnergyParams, DEFAULT_ENERGY
+from .model import EnergyModel, EnergyReport
+
+__all__ = ["EnergyParams", "DEFAULT_ENERGY", "EnergyModel", "EnergyReport"]

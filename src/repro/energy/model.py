@@ -1,0 +1,94 @@
+"""Energy/power estimation from cluster activity counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..arch.params import ClusterParams, DEFAULT_CLUSTER
+from ..arch.trace import ClusterStats
+from ..types import Precision
+from .params import EnergyParams, DEFAULT_ENERGY
+
+_PJ = 1.0e-12
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy and average power of one kernel/layer execution."""
+
+    label: str
+    energy_j: float
+    runtime_s: float
+    breakdown_j: Dict[str, float]
+
+    @property
+    def power_w(self) -> float:
+        """Average power over the execution."""
+        if self.runtime_s <= 0:
+            return 0.0
+        return self.energy_j / self.runtime_s
+
+    @property
+    def energy_mj(self) -> float:
+        """Energy in millijoules (the unit used by the paper's figures)."""
+        return self.energy_j * 1.0e3
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers."""
+        return {
+            "label": self.label,
+            "energy_mj": self.energy_mj,
+            "power_w": self.power_w,
+            "runtime_ms": self.runtime_s * 1.0e3,
+        }
+
+
+@dataclass
+class EnergyModel:
+    """Maps :class:`~repro.arch.trace.ClusterStats` activity to energy."""
+
+    params: EnergyParams = DEFAULT_ENERGY
+    cluster: ClusterParams = DEFAULT_CLUSTER
+
+    def layer_energy(
+        self,
+        stats: ClusterStats,
+        precision: Precision,
+        streaming: bool,
+        uses_mac: bool = False,
+    ) -> EnergyReport:
+        """Energy of one layer execution.
+
+        ``uses_mac`` marks the dense first layer whose FP instructions are
+        multiply-accumulates rather than plain adds (its power is visibly
+        higher in Figure 4).
+        """
+        runtime_s = stats.runtime_seconds(self.cluster.clock_hz)
+        int_instrs = sum(core.int_instructions for core in stats.core_stats)
+        fp_instrs = stats.total_fp_instructions
+        spm_accesses = stats.total_spm_accesses
+        ssr_busy_core_cycles = (
+            sum(core.total_cycles for core in stats.core_stats) if streaming else 0.0
+        )
+
+        breakdown = {
+            "integer": int_instrs * self.params.integer_instruction_pj * _PJ,
+            "fpu": fp_instrs * self.params.fp_instruction_pj(precision, is_mac=uses_mac) * _PJ,
+            "spm": spm_accesses * self.params.spm_access_pj * _PJ,
+            "ssr": ssr_busy_core_cycles
+            * self.params.ssr_active_power_w_per_core
+            / self.cluster.clock_hz,
+            "dma": stats.dma_bytes * self.params.dma_byte_pj * _PJ,
+            "background": self.params.cluster_background_power_w * runtime_s,
+        }
+        return EnergyReport(
+            label=stats.label,
+            energy_j=sum(breakdown.values()),
+            runtime_s=runtime_s,
+            breakdown_j=breakdown,
+        )
+
+    def total_energy(self, reports) -> float:
+        """Sum the energy of a collection of :class:`EnergyReport` objects (joules)."""
+        return float(sum(report.energy_j for report in reports))

@@ -1,0 +1,44 @@
+"""Energy coefficients of the cluster power model (GF 12LP+, 1 GHz, 0.8 V)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import Precision
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (picojoules) and background power (watts).
+
+    The absolute values are calibrated against the cluster powers reported in
+    Figure 4 of the paper rather than taken from a physical library; their
+    *relative* ordering follows common 12 nm energy ratios (an SPM access and
+    a SIMD FP operation cost roughly the same, an integer instruction a bit
+    less, external DMA traffic far more per byte than on-cluster accesses).
+    """
+
+    integer_instruction_pj: float = 14.0
+    fp64_instruction_pj: float = 25.0
+    fp_mac_multiplier: float = 1.6
+    spm_access_pj: float = 12.0
+    ssr_active_power_w_per_core: float = 0.002
+    dma_byte_pj: float = 4.0
+    icache_miss_pj: float = 60.0
+    cluster_background_power_w: float = 0.040
+
+    def fp_instruction_pj(self, precision: Precision, is_mac: bool = False) -> float:
+        """Energy of one SIMD FP instruction at the given precision.
+
+        Narrower formats use dedicated, clock-gated execution slices and are
+        therefore slightly cheaper per instruction even though they process
+        more lanes; multiply-accumulates cost more than plain adds.
+        """
+        base = self.fp64_instruction_pj * precision.fpu_energy_scale
+        if is_mac:
+            base *= self.fp_mac_multiplier
+        return base
+
+
+DEFAULT_ENERGY = EnergyParams()
+"""Default coefficients used throughout the evaluation."""

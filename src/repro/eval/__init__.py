@@ -1,0 +1,44 @@
+"""Experiment drivers regenerating every figure of the paper's evaluation."""
+
+from .metrics import geometric_mean, ratio, summarize
+from .reporting import format_table, render_experiment
+from .experiments import (
+    ExperimentResult,
+    accelerator_comparison_experiment,
+    energy_experiment,
+    memory_footprint_experiment,
+    run_svgg11_variants,
+    speedup_experiment,
+    spva_microbenchmark_experiment,
+    utilization_experiment,
+)
+from .sweeps import (
+    core_count_sweep,
+    firing_rate_sweep,
+    optimization_ablation,
+    precision_sweep,
+    stream_length_sweep,
+    strided_indirect_sweep,
+)
+
+__all__ = [
+    "geometric_mean",
+    "ratio",
+    "summarize",
+    "format_table",
+    "render_experiment",
+    "ExperimentResult",
+    "accelerator_comparison_experiment",
+    "energy_experiment",
+    "memory_footprint_experiment",
+    "run_svgg11_variants",
+    "speedup_experiment",
+    "spva_microbenchmark_experiment",
+    "utilization_experiment",
+    "core_count_sweep",
+    "firing_rate_sweep",
+    "optimization_ablation",
+    "precision_sweep",
+    "stream_length_sweep",
+    "strided_indirect_sweep",
+]

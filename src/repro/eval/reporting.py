@@ -1,0 +1,50 @@
+"""Plain-text rendering of experiment tables.
+
+The experiments return lists of row dictionaries; :func:`format_table`
+renders them as aligned ASCII tables so that the benchmark harness can print
+the same rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return "(no data)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(cells[i]) for cells in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cells[i].ljust(widths[i]) for i in range(len(columns))) for cells in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def render_experiment(title: str, rows: Sequence[Dict[str, object]],
+                      notes: str = "", columns: Sequence[str] = None) -> str:
+    """Render an experiment (title, table, optional notes) as text."""
+    parts = [f"== {title} ==", format_table(rows, columns)]
+    if notes:
+        parts.append(notes)
+    return "\n".join(parts) + "\n"

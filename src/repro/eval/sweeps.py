@@ -1,0 +1,265 @@
+"""Parameter sweeps and ablation studies.
+
+These go beyond the paper's figures: they quantify the contribution of each
+SpikeStream optimization and the sensitivity of the results to firing rate,
+core count, precision and stream length — the design-choice ablations called
+out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..arch.params import DEFAULT_CLUSTER, DEFAULT_COSTS, ClusterParams
+from ..config import baseline_config, spikestream_config
+from ..core.pipeline import SpikeStreamInference
+from ..kernels.conv import ConvLayerSpec, conv_layer_perf
+from ..kernels.scheduler import workload_stealing_schedule
+from ..kernels.spva import baseline_spva_cost, streaming_spva_cost
+from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES
+from ..types import Precision, TensorShape
+from .experiments import ExperimentResult
+from .metrics import ratio
+
+
+def _conv6_spec() -> ConvLayerSpec:
+    """The layer used by most sweeps (S-VGG11 conv6: 10x10x512 ifmap, 512 filters)."""
+    return ConvLayerSpec(
+        name="conv6",
+        input_shape=TensorShape(8, 8, 512),
+        in_channels=512,
+        out_channels=512,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+    )
+
+
+def _counts_for_rate(spec: ConvLayerSpec, rate: float, rng: np.random.Generator) -> np.ndarray:
+    unpadded = spec.input_shape
+    counts = rng.binomial(unpadded.channels, rate, size=(unpadded.height, unpadded.width))
+    return np.pad(counts.astype(np.float64), spec.padding)
+
+
+def firing_rate_sweep(
+    rates: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    precision: Precision = Precision.FP16,
+    seed: int = 2025,
+) -> ExperimentResult:
+    """Speedup and utilization of conv6 as a function of the ifmap firing rate."""
+    spec = _conv6_spec()
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for rate in rates:
+        counts = _counts_for_rate(spec, rate, rng)
+        base = conv_layer_perf(spec, counts, precision, streaming=False)
+        stream = conv_layer_perf(spec, counts, precision, streaming=True)
+        rows.append(
+            {
+                "firing_rate": rate,
+                "baseline_cycles": base.total_cycles,
+                "spikestream_cycles": stream.total_cycles,
+                "speedup": ratio(base.total_cycles, stream.total_cycles),
+                "spikestream_fpu_util": stream.fpu_utilization,
+            }
+        )
+    return ExperimentResult(
+        name="firing_rate_sweep",
+        figure="ablation",
+        rows=rows,
+        headline={"max_speedup": max(r["speedup"] for r in rows)},
+    )
+
+
+def core_count_sweep(
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+    precision: Precision = Precision.FP16,
+    firing_rate: Optional[float] = None,
+    seed: int = 2025,
+) -> ExperimentResult:
+    """Strong scaling of the SpikeStream conv kernel with the number of cores."""
+    spec = _conv6_spec()
+    rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES["conv6"]
+    rng = np.random.default_rng(seed)
+    counts = _counts_for_rate(spec, rate, rng)
+    rows: List[Dict[str, object]] = []
+    single_core_cycles = None
+    for cores in core_counts:
+        params = ClusterParams(num_worker_cores=cores)
+        stats = conv_layer_perf(spec, counts, precision, streaming=True, params=params,
+                                num_active_cores=cores)
+        if single_core_cycles is None:
+            single_core_cycles = stats.total_cycles * cores / core_counts[0] if cores != 1 else stats.total_cycles
+        rows.append(
+            {
+                "cores": cores,
+                "cycles": stats.total_cycles,
+                "fpu_util": stats.fpu_utilization,
+            }
+        )
+    reference = rows[0]["cycles"] * core_counts[0]
+    for row in rows:
+        row["parallel_efficiency"] = ratio(reference, row["cycles"] * row["cores"])
+    return ExperimentResult(
+        name="core_count_sweep",
+        figure="ablation",
+        rows=rows,
+        headline={"efficiency_at_8_cores": rows[-1]["parallel_efficiency"]},
+    )
+
+
+def precision_sweep(
+    precisions: Sequence[Precision] = (Precision.FP32, Precision.FP16, Precision.FP8),
+    batch_size: int = 4,
+    seed: int = 2025,
+) -> ExperimentResult:
+    """End-to-end S-VGG11 runtime and energy across numeric precisions."""
+    rows: List[Dict[str, object]] = []
+    for precision in precisions:
+        config = spikestream_config(precision, batch_size=batch_size, seed=seed)
+        result = SpikeStreamInference(config).run_statistical(batch_size=batch_size, seed=seed)
+        rows.append(
+            {
+                "precision": precision.value,
+                "simd_width": precision.simd_width,
+                "runtime_ms": result.total_runtime_s * 1e3,
+                "energy_mj": result.total_energy_j * 1e3,
+                "fpu_util": result.network_fpu_utilization,
+            }
+        )
+    return ExperimentResult(
+        name="precision_sweep",
+        figure="ablation",
+        rows=rows,
+        headline={"fp8_over_fp16_speedup": ratio(rows[-2]["runtime_ms"], rows[-1]["runtime_ms"])
+                  if len(rows) >= 2 else 1.0},
+    )
+
+
+def stream_length_sweep(
+    lengths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+) -> ExperimentResult:
+    """Per-SpVA speedup of streaming over the baseline as a function of stream length."""
+    rows: List[Dict[str, object]] = []
+    for length in lengths:
+        base = baseline_spva_cost(float(length))
+        stream = streaming_spva_cost(float(length))
+        rows.append(
+            {
+                "stream_length": int(length),
+                "baseline_cycles": float(base.cycles),
+                "streaming_cycles": float(stream.cycles),
+                "speedup": ratio(float(base.cycles), float(stream.cycles)),
+            }
+        )
+    return ExperimentResult(
+        name="stream_length_sweep",
+        figure="ablation",
+        rows=rows,
+        headline={"asymptotic_speedup": rows[-1]["speedup"]},
+    )
+
+
+def strided_indirect_sweep(
+    rates: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    precision: Precision = Precision.FP16,
+    seed: int = 2025,
+) -> ExperimentResult:
+    """Projected benefit of the strided-indirect SSR extension (paper future work).
+
+    Compares the standard SpikeStream conv kernel against a variant whose
+    gather index array is replayed across SIMD channel groups, on conv6 over
+    a range of firing rates.
+    """
+    spec = _conv6_spec()
+    rng = np.random.default_rng(seed)
+    rows: List[Dict[str, object]] = []
+    for rate in rates:
+        counts = _counts_for_rate(spec, rate, rng)
+        standard = conv_layer_perf(spec, counts, precision, streaming=True)
+        strided = conv_layer_perf(spec, counts, precision, streaming=True, strided_indirect=True)
+        rows.append(
+            {
+                "firing_rate": rate,
+                "spikestream_cycles": standard.total_cycles,
+                "strided_indirect_cycles": strided.total_cycles,
+                "additional_speedup": ratio(standard.total_cycles, strided.total_cycles),
+                "spikestream_fpu_util": standard.fpu_utilization,
+                "strided_indirect_fpu_util": strided.fpu_utilization,
+            }
+        )
+    return ExperimentResult(
+        name="strided_indirect_sweep",
+        figure="ablation",
+        rows=rows,
+        headline={"max_additional_speedup": max(r["additional_speedup"] for r in rows)},
+    )
+
+
+def optimization_ablation(batch_size: int = 4, seed: int = 2025) -> ExperimentResult:
+    """Contribution of the main SpikeStream design choices.
+
+    Compares four variants of the full S-VGG11 run:
+
+    * the parallel SIMD baseline (TC+TP+DP+DB),
+    * the baseline with *static* RF partitioning instead of workload stealing
+      (isolates the scheduler's contribution on one layer),
+    * SpikeStream (baseline + SA),
+    * SpikeStream in FP8 (adds narrower SIMD lanes).
+    """
+    rows: List[Dict[str, object]] = []
+    base_cfg = baseline_config(Precision.FP16, batch_size=batch_size, seed=seed)
+    stream_cfg = spikestream_config(Precision.FP16, batch_size=batch_size, seed=seed)
+    fp8_cfg = spikestream_config(Precision.FP8, batch_size=batch_size, seed=seed)
+
+    base = SpikeStreamInference(base_cfg).run_statistical(batch_size=batch_size, seed=seed)
+    stream = SpikeStreamInference(stream_cfg).run_statistical(batch_size=batch_size, seed=seed)
+    fp8 = SpikeStreamInference(fp8_cfg).run_statistical(batch_size=batch_size, seed=seed)
+
+    for label, result in (
+        ("baseline FP16 (TC+TP+DP+DB)", base),
+        ("SpikeStream FP16 (+SA)", stream),
+        ("SpikeStream FP8 (+narrow SIMD)", fp8),
+    ):
+        rows.append(
+            {
+                "variant": label,
+                "runtime_ms": result.total_runtime_s * 1e3,
+                "energy_mj": result.total_energy_j * 1e3,
+                "fpu_util": result.network_fpu_utilization,
+                "speedup_vs_baseline": ratio(base.total_cycles, result.total_cycles),
+            }
+        )
+
+    # Workload stealing vs static partitioning on the most imbalanced layer.
+    spec = _conv6_spec()
+    rng = np.random.default_rng(seed)
+    counts = _counts_for_rate(spec, SVGG11_LAYER_FIRING_RATES["conv6"], rng)
+    from ..kernels.conv import window_sum  # local import to avoid cycle at module load
+
+    rf_costs = window_sum(counts, spec.kernel_size, spec.stride).reshape(-1)
+    stealing = workload_stealing_schedule(rf_costs, DEFAULT_CLUSTER.num_worker_cores,
+                                          DEFAULT_COSTS.atomic_operation_cycles)
+    static = workload_stealing_schedule(rf_costs, DEFAULT_CLUSTER.num_worker_cores,
+                                        0.0, static=True)
+    rows.append(
+        {
+            "variant": "workload stealing vs static partition (conv6 RF imbalance)",
+            "runtime_ms": float("nan"),
+            "energy_mj": float("nan"),
+            "fpu_util": float("nan"),
+            "speedup_vs_baseline": ratio(static.makespan, stealing.makespan),
+        }
+    )
+    return ExperimentResult(
+        name="optimization_ablation",
+        figure="ablation",
+        rows=rows,
+        headline={
+            "sa_speedup": ratio(base.total_cycles, stream.total_cycles),
+            "fp8_speedup": ratio(base.total_cycles, fp8.total_cycles),
+            "stealing_gain": rows[-1]["speedup_vs_baseline"],
+        },
+    )

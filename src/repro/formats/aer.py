@@ -1,0 +1,94 @@
+"""Address-event representation (AER) of spike tensors.
+
+Neuromorphic processors such as Loihi and ODIN exchange spikes as
+address-events: each spike is transmitted as the absolute coordinates of the
+firing neuron plus a timestamp.  The paper contrasts this against the
+SpikeStream CSR-derived format, which processes ifmaps sequentially and
+therefore needs neither timestamps nor absolute spatial coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+import numpy as np
+
+from ..types import INDEX_BYTES_DEFAULT, TensorShape
+
+AER_FIELDS_PER_EVENT = 3
+"""16-bit fields stored per AER event.
+
+Neuromorphic processors transmit each spike as the firing neuron's absolute
+address plus a timestamp.  Following the paper's assumption of 16-bit values,
+an event is modeled as three fields: the packed spatial coordinate, the
+channel index and the timestamp.  (The Python-side :class:`AEREvent` keeps
+row and column separate for convenience; the footprint model counts them as
+one packed field.)
+"""
+
+
+@dataclass(frozen=True)
+class AEREvent:
+    """A single address-event: neuron coordinates and the firing timestep."""
+
+    row: int
+    col: int
+    channel: int
+    timestep: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("row", "col", "channel", "timestep"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+
+
+@dataclass
+class AERStream:
+    """A stream of address events for a tensor of a given dense shape."""
+
+    shape: TensorShape
+    events: List[AEREvent] = field(default_factory=list)
+    index_bytes: int = INDEX_BYTES_DEFAULT
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            self._check_event(event)
+
+    def _check_event(self, event: AEREvent) -> None:
+        if event.row >= self.shape.height or event.col >= self.shape.width:
+            raise ValueError(f"event {event} outside spatial bounds of {self.shape}")
+        if event.channel >= self.shape.channels:
+            raise ValueError(f"event {event} channel out of range for {self.shape}")
+
+    def append(self, event: AEREvent) -> None:
+        """Add an event to the stream after bounds checking."""
+        self._check_event(event)
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AEREvent]:
+        return iter(self.events)
+
+    @property
+    def nnz(self) -> int:
+        """Number of events (spikes) in the stream."""
+        return len(self.events)
+
+    def footprint_bytes(self) -> int:
+        """Bytes required to store the stream.
+
+        Each event stores absolute x/y coordinates, a channel index and a
+        timestamp, each ``index_bytes`` wide (16 bits in the paper).
+        """
+        return self.nnz * AER_FIELDS_PER_EVENT * self.index_bytes
+
+    def coordinates(self) -> np.ndarray:
+        """Return an ``(nnz, 4)`` int array of (row, col, channel, timestep)."""
+        if not self.events:
+            return np.zeros((0, 4), dtype=np.int64)
+        return np.asarray(
+            [(e.row, e.col, e.channel, e.timestep) for e in self.events], dtype=np.int64
+        )

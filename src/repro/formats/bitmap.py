@@ -1,0 +1,43 @@
+"""Bitmap spike representation as used by LSMCore.
+
+LSMCore stores the dynamic sparsity of ifmaps in a bitmap (one bit per
+neuron) and performs zero-skipping on the weights.  The format is included as
+a comparison point for footprint studies and for the LSMCore accelerator
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import TensorShape
+
+
+@dataclass
+class BitmapIfmap:
+    """One-bit-per-neuron representation of a spike map."""
+
+    shape: TensorShape
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.bits = np.asarray(self.bits, dtype=bool)
+        expected = self.shape.as_tuple()
+        if self.bits.shape != expected:
+            raise ValueError(f"bits has shape {self.bits.shape}, expected {expected}")
+
+    @property
+    def nnz(self) -> int:
+        """Number of set bits (spikes)."""
+        return int(np.count_nonzero(self.bits))
+
+    @property
+    def firing_rate(self) -> float:
+        """Fraction of active neurons."""
+        return self.nnz / self.shape.numel if self.shape.numel else 0.0
+
+    def footprint_bytes(self) -> int:
+        """Bytes required for the bitmap (one bit per neuron, rounded up)."""
+        return (self.shape.numel + 7) // 8

@@ -1,0 +1,37 @@
+"""Instruction-level model of the RV32G + stream/frep extensions.
+
+The package encodes the two inner-loop variants shown in Listing 1 of the
+paper — the baseline SpVA assembly loop and the SSR + ``frep`` streaming
+version — and executes them functionally and with cycle timing on a small
+single-issue core model.  It exists to validate the coefficients of the
+higher-level cost model (:mod:`repro.arch.params`) against an actual
+instruction trace and to power the Listing-1 micro-benchmark.
+"""
+
+from .instructions import Instruction
+from .memory import Memory
+from .program import Program
+from .executor import ExecutionResult, Executor, ExecutorParams
+from .spva_listings import (
+    SpvaSetup,
+    build_baseline_spva_program,
+    build_streaming_spva_program,
+    make_spva_setup,
+    run_baseline_spva,
+    run_streaming_spva,
+)
+
+__all__ = [
+    "Instruction",
+    "Memory",
+    "Program",
+    "ExecutionResult",
+    "Executor",
+    "ExecutorParams",
+    "SpvaSetup",
+    "build_baseline_spva_program",
+    "build_streaming_spva_program",
+    "make_spva_setup",
+    "run_baseline_spva",
+    "run_streaming_spva",
+]

@@ -1,0 +1,377 @@
+"""Functional and timed execution of micro-programs.
+
+The executor models a single-issue in-order core: every instruction occupies
+one issue cycle, integer loads and FP loads add stall cycles when a dependent
+instruction follows too closely, and taken branches pay a flush penalty.  The
+stream-register and ``frep`` extensions are modeled exactly as the timing
+model of :mod:`repro.arch` assumes: an indirect stream supplies at most one
+element every ``streaming_cycles_per_element`` cycles (one SPM access for the
+index, one for the data word), and a hardware loop issues its body from the
+repetition buffer without occupying integer issue slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .instructions import (
+    BRANCH_OPS,
+    FP_ALU_OPS,
+    INT_ALU_OPS,
+    LOAD_BYTES,
+    STORE_BYTES,
+    Instruction,
+)
+from .memory import Memory
+from .program import Program
+
+_SSR_MAPPED_REGISTERS = {"ft0": 0, "ft1": 1, "ft2": 2}
+
+
+@dataclass(frozen=True)
+class ExecutorParams:
+    """Timing parameters of the micro-architectural model."""
+
+    int_load_use_stall: float = 2.0
+    fp_load_latency: int = 4
+    taken_branch_penalty: float = 2.0
+    streaming_cycles_per_element: float = 1.55
+    stream_startup_cycles: float = 3.0
+    max_steps: int = 5_000_000
+
+
+@dataclass
+class _StreamState:
+    """Active configuration of one indirect or affine stream."""
+
+    kind: str
+    base_address: int
+    element_bytes: int
+    bound: int
+    index_pointer: int = 0
+    index_bytes: int = 2
+    stride: int = 0
+    consumed: int = 0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running a micro-program."""
+
+    cycles: float
+    int_instructions: int
+    fp_instructions: int
+    fpu_busy_cycles: float
+    stall_cycles: float
+    loads: int
+    stores: int
+    int_registers: Dict[str, int] = field(default_factory=dict)
+    fp_registers: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions retired."""
+        return self.int_instructions + self.fp_instructions
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def fpu_utilization(self) -> float:
+        """Fraction of cycles with useful FP work."""
+        return min(1.0, self.fpu_busy_cycles / self.cycles) if self.cycles > 0 else 0.0
+
+
+class Executor:
+    """Single-issue executor for :class:`~repro.isa.program.Program` objects."""
+
+    def __init__(self, memory: Optional[Memory] = None, params: Optional[ExecutorParams] = None):
+        self.memory = memory if memory is not None else Memory()
+        self.params = params or ExecutorParams()
+        self.int_regs: Dict[str, int] = {"zero": 0}
+        self.fp_regs: Dict[str, float] = {}
+        self._streams: Dict[int, _StreamState] = {}
+        self._ssr_enabled = False
+
+    # ------------------------------------------------------------------ #
+    # Register helpers
+    # ------------------------------------------------------------------ #
+    def set_int(self, name: str, value: int) -> None:
+        """Set an integer register before execution."""
+        self.int_regs[name] = int(value)
+
+    def set_fp(self, name: str, value: float) -> None:
+        """Set an FP register before execution."""
+        self.fp_regs[name] = float(value)
+
+    def _read_int(self, operand) -> int:
+        if isinstance(operand, str):
+            if operand == "zero":
+                return 0
+            return int(self.int_regs.get(operand, 0))
+        return int(operand)
+
+    def _read_fp(self, name: str) -> float:
+        if self._ssr_enabled and name in _SSR_MAPPED_REGISTERS:
+            return self._stream_read(_SSR_MAPPED_REGISTERS[name])
+        return float(self.fp_regs.get(name, 0.0))
+
+    # ------------------------------------------------------------------ #
+    # Stream handling
+    # ------------------------------------------------------------------ #
+    def _stream_read(self, stream_index: int) -> float:
+        stream = self._streams.get(stream_index)
+        if stream is None:
+            raise RuntimeError(f"read from unconfigured stream register {stream_index}")
+        if stream.consumed >= stream.bound:
+            raise RuntimeError(f"stream register {stream_index} exhausted")
+        if stream.kind == "indirect":
+            index_address = stream.index_pointer + stream.consumed * stream.index_bytes
+            index = self.memory.read_int(index_address, stream.index_bytes)
+            address = stream.base_address + index * stream.element_bytes
+        else:
+            address = stream.base_address + stream.consumed * stream.stride
+        stream.consumed += 1
+        return self.memory.read_f64(address)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute ``program`` to completion and return statistics."""
+        cycles = 0.0
+        stall_cycles = 0.0
+        int_instructions = 0
+        fp_instructions = 0
+        fpu_busy = 0.0
+        loads = 0
+        stores = 0
+        pc = 0
+        steps = 0
+
+        while 0 <= pc < len(program):
+            steps += 1
+            if steps > self.params.max_steps:
+                raise RuntimeError(f"program {program.name!r} exceeded {self.params.max_steps} steps")
+            instruction = program.instructions[pc]
+            op = instruction.op
+            ops = instruction.operands
+
+            if op == "frep":
+                pc, extra = self._execute_frep(program, pc)
+                cycles += 1 + extra["cycles"]
+                stall_cycles += extra["stalls"]
+                int_instructions += 1
+                fp_instructions += extra["fp_instructions"]
+                fpu_busy += extra["fp_instructions"]
+                continue
+
+            cycles += 1
+            taken = False
+            if op in INT_ALU_OPS:
+                self._execute_int_alu(instruction)
+                int_instructions += 1
+            elif op in LOAD_BYTES and op != "fld":
+                destination, offset, base = ops
+                address = self._read_int(base) + int(offset)
+                signed = op in ("lh", "lb", "lw")
+                value = self.memory.read_int(address, LOAD_BYTES[op], signed=signed)
+                self.int_regs[str(destination)] = value
+                int_instructions += 1
+                loads += 1
+                penalty = self._load_use_penalty(program, pc, str(destination), is_fp=False)
+                cycles += penalty
+                stall_cycles += penalty
+            elif op in STORE_BYTES and op != "fsd":
+                source, offset, base = ops
+                address = self._read_int(base) + int(offset)
+                self.memory.write_int(address, self._read_int(source), STORE_BYTES[op])
+                int_instructions += 1
+                stores += 1
+            elif op == "fld":
+                destination, offset, base = ops
+                address = self._read_int(base) + int(offset)
+                self.fp_regs[str(destination)] = self.memory.read_f64(address)
+                fp_instructions += 1
+                loads += 1
+                penalty = self._load_use_penalty(program, pc, str(destination), is_fp=True)
+                cycles += penalty
+                stall_cycles += penalty
+            elif op == "fsd":
+                source, offset, base = ops
+                address = self._read_int(base) + int(offset)
+                self.memory.write_f64(address, self._read_fp(str(source)))
+                fp_instructions += 1
+                stores += 1
+            elif op in FP_ALU_OPS:
+                self._execute_fp_alu(instruction)
+                fp_instructions += 1
+                fpu_busy += 1
+            elif op in BRANCH_OPS:
+                taken = self._branch_taken(instruction)
+                int_instructions += 1
+                if taken:
+                    pc = program.target(str(ops[2]))
+                    cycles += self.params.taken_branch_penalty
+                    stall_cycles += self.params.taken_branch_penalty
+                    continue
+            elif op == "ssr.cfg.indirect":
+                stream_index, base, idx_ptr, bound, elem_bytes, idx_bytes = ops
+                self._streams[int(stream_index)] = _StreamState(
+                    kind="indirect",
+                    base_address=self._read_int(base),
+                    index_pointer=self._read_int(idx_ptr),
+                    bound=self._read_int(bound),
+                    element_bytes=int(elem_bytes),
+                    index_bytes=int(idx_bytes),
+                )
+                int_instructions += 1
+            elif op == "ssr.cfg.affine":
+                stream_index, base, stride, bound = ops
+                self._streams[int(stream_index)] = _StreamState(
+                    kind="affine",
+                    base_address=self._read_int(base),
+                    stride=int(stride),
+                    bound=self._read_int(bound),
+                    element_bytes=8,
+                )
+                int_instructions += 1
+            elif op == "ssr.enable":
+                self._ssr_enabled = True
+                int_instructions += 1
+            elif op == "ssr.disable":
+                self._ssr_enabled = False
+                int_instructions += 1
+            elif op == "nop":
+                int_instructions += 1
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"unsupported mnemonic {op!r}")
+
+            if not taken:
+                pc += 1
+
+        return ExecutionResult(
+            cycles=cycles,
+            int_instructions=int_instructions,
+            fp_instructions=fp_instructions,
+            fpu_busy_cycles=fpu_busy,
+            stall_cycles=stall_cycles,
+            loads=loads,
+            stores=stores,
+            int_registers=dict(self.int_regs),
+            fp_registers=dict(self.fp_regs),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _execute_int_alu(self, instruction: Instruction) -> None:
+        op, ops = instruction.op, instruction.operands
+        if op == "li":
+            self.int_regs[str(ops[0])] = int(ops[1])
+        elif op == "mv":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1])
+        elif op == "add":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) + self._read_int(ops[2])
+        elif op == "addi":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) + int(ops[2])
+        elif op == "sub":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) - self._read_int(ops[2])
+        elif op == "mul":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) * self._read_int(ops[2])
+        elif op == "slli":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) << int(ops[2])
+        elif op == "srli":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) >> int(ops[2])
+        elif op == "and":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) & self._read_int(ops[2])
+        elif op == "or":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) | self._read_int(ops[2])
+        elif op == "xor":
+            self.int_regs[str(ops[0])] = self._read_int(ops[1]) ^ self._read_int(ops[2])
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(op)
+
+    def _execute_fp_alu(self, instruction: Instruction) -> None:
+        op, ops = instruction.op, instruction.operands
+        destination = str(ops[0])
+        if op == "fadd.d":
+            value = self._read_fp(str(ops[1])) + self._read_fp(str(ops[2]))
+        elif op == "fsub.d":
+            value = self._read_fp(str(ops[1])) - self._read_fp(str(ops[2]))
+        elif op == "fmul.d":
+            value = self._read_fp(str(ops[1])) * self._read_fp(str(ops[2]))
+        elif op == "fmadd.d":
+            value = self._read_fp(str(ops[1])) * self._read_fp(str(ops[2])) + self._read_fp(str(ops[3]))
+        elif op == "fmax.d":
+            value = max(self._read_fp(str(ops[1])), self._read_fp(str(ops[2])))
+        elif op == "fmv.d":
+            value = self._read_fp(str(ops[1]))
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(op)
+        self.fp_regs[destination] = value
+
+    def _branch_taken(self, instruction: Instruction) -> bool:
+        op, ops = instruction.op, instruction.operands
+        lhs, rhs = self._read_int(ops[0]), self._read_int(ops[1])
+        if op == "bne":
+            return lhs != rhs
+        if op == "beq":
+            return lhs == rhs
+        if op == "blt":
+            return lhs < rhs
+        return lhs >= rhs
+
+    def _load_use_penalty(self, program: Program, pc: int, destination: str, is_fp: bool) -> float:
+        """Stall cycles caused by an instruction that uses a just-loaded value."""
+        if is_fp:
+            latency = self.params.fp_load_latency
+            window = latency - 1
+            for distance in range(1, window + 1):
+                nxt = program.instruction_at(pc + distance)
+                if nxt is None:
+                    break
+                if destination in nxt.sources():
+                    return float(max(0, latency - distance - 1))
+            return 0.0
+        nxt = program.instruction_at(pc + 1)
+        if nxt is not None and destination in nxt.sources():
+            return self.params.int_load_use_stall
+        return 0.0
+
+    def _execute_frep(self, program: Program, pc: int):
+        """Execute a hardware loop: ``frep iterations, num_instructions``."""
+        iterations_operand, num_instructions = program.instructions[pc].operands
+        iterations = self._read_int(iterations_operand)
+        num_instructions = int(num_instructions)
+        body = [
+            program.instructions[pc + 1 + i]
+            for i in range(num_instructions)
+            if program.instruction_at(pc + 1 + i) is not None
+        ]
+        if len(body) != num_instructions:
+            raise RuntimeError("frep body extends past the end of the program")
+        fp_instruction_count = 0
+        uses_stream = any(
+            source in _SSR_MAPPED_REGISTERS for instr in body for source in instr.sources()
+        )
+        for _ in range(iterations):
+            for instr in body:
+                if instr.op not in FP_ALU_OPS:
+                    raise RuntimeError("frep bodies may contain only FP arithmetic instructions")
+                self._execute_fp_alu(instr)
+                fp_instruction_count += 1
+        per_iteration = max(
+            float(num_instructions),
+            self.params.streaming_cycles_per_element if uses_stream else float(num_instructions),
+        )
+        cycles = iterations * per_iteration + self.params.stream_startup_cycles
+        stalls = max(0.0, cycles - fp_instruction_count)
+        return pc + 1 + num_instructions, {
+            "cycles": cycles,
+            "stalls": stalls,
+            "fp_instructions": fp_instruction_count,
+        }

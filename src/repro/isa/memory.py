@@ -1,0 +1,96 @@
+"""Byte-addressable memory for the micro-simulator.
+
+The memory plays the role of the cluster scratchpad for the SpVA
+micro-kernels: index arrays and weight tensors are *placed* into it at known
+base addresses, and the executor performs the same loads the real kernel
+would.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+import numpy as np
+
+
+class Memory:
+    """A flat little-endian byte-addressable memory."""
+
+    def __init__(self, size_bytes: int = 256 * 1024):
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+        self._allocations: Dict[str, int] = {}
+        self._cursor = 0
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or address + length > self.size_bytes:
+            raise IndexError(
+                f"access of {length} bytes at address {address} outside memory of "
+                f"{self.size_bytes} bytes"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Scalar accessors
+    # ------------------------------------------------------------------ #
+    def read_int(self, address: int, num_bytes: int, signed: bool = False) -> int:
+        """Read an integer of ``num_bytes`` bytes."""
+        self._check_range(address, num_bytes)
+        raw = bytes(self._data[address : address + num_bytes])
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def write_int(self, address: int, value: int, num_bytes: int) -> None:
+        """Write an integer of ``num_bytes`` bytes."""
+        self._check_range(address, num_bytes)
+        signed = value < 0
+        self._data[address : address + num_bytes] = int(value).to_bytes(
+            num_bytes, "little", signed=signed
+        )
+
+    def read_f64(self, address: int) -> float:
+        """Read a double-precision float."""
+        self._check_range(address, 8)
+        return struct.unpack("<d", bytes(self._data[address : address + 8]))[0]
+
+    def write_f64(self, address: int, value: float) -> None:
+        """Write a double-precision float."""
+        self._check_range(address, 8)
+        self._data[address : address + 8] = struct.pack("<d", float(value))
+
+    # ------------------------------------------------------------------ #
+    # Array placement helpers
+    # ------------------------------------------------------------------ #
+    def allocate(self, name: str, size_bytes: int, align: int = 8) -> int:
+        """Reserve ``size_bytes`` and return the base address."""
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        address = (self._cursor + align - 1) // align * align
+        self._check_range(address, size_bytes)
+        self._allocations[name] = address
+        self._cursor = address + size_bytes
+        return address
+
+    def base_address(self, name: str) -> int:
+        """Base address of a named allocation."""
+        return self._allocations[name]
+
+    def place_u16_array(self, name: str, values: np.ndarray) -> int:
+        """Allocate and write an array of unsigned 16-bit integers."""
+        values = np.asarray(values, dtype=np.uint16)
+        address = self.allocate(name, values.size * 2, align=2)
+        self._data[address : address + values.size * 2] = values.astype("<u2").tobytes()
+        return address
+
+    def place_f64_array(self, name: str, values: np.ndarray) -> int:
+        """Allocate and write an array of double-precision floats."""
+        values = np.asarray(values, dtype=np.float64)
+        address = self.allocate(name, values.size * 8, align=8)
+        self._data[address : address + values.size * 8] = values.astype("<f8").tobytes()
+        return address
+
+    def read_f64_array(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` doubles starting at ``address``."""
+        self._check_range(address, count * 8)
+        return np.frombuffer(bytes(self._data[address : address + count * 8]), dtype="<f8").copy()

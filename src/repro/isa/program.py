@@ -1,0 +1,74 @@
+"""Program container with label resolution for the micro-simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instructions import Instruction
+
+
+@dataclass
+class Program:
+    """An ordered list of instructions with named labels.
+
+    Labels mark instruction indices and are used as branch targets; they are
+    resolved lazily so instructions can branch forward.
+    """
+
+    name: str = "program"
+    instructions: List[Instruction] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def label(self, name: str) -> "Program":
+        """Attach a label to the next appended instruction."""
+        if name in self.labels:
+            raise ValueError(f"label {name!r} already defined")
+        self.labels[name] = len(self.instructions)
+        return self
+
+    def emit(self, op: str, *operands) -> "Program":
+        """Append an instruction and return ``self`` for chaining."""
+        self.instructions.append(Instruction(op, operands))
+        return self
+
+    def extend(self, other: "Program") -> "Program":
+        """Append another program, shifting its labels."""
+        offset = len(self.instructions)
+        for name, index in other.labels.items():
+            if name in self.labels:
+                raise ValueError(f"label {name!r} defined in both programs")
+            self.labels[name] = index + offset
+        self.instructions.extend(other.instructions)
+        return self
+
+    def target(self, label: str) -> int:
+        """Instruction index of a label."""
+        try:
+            return self.labels[label]
+        except KeyError as exc:
+            raise KeyError(f"undefined label {label!r} in program {self.name!r}") from exc
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def instruction_at(self, index: int) -> Optional[Instruction]:
+        """Instruction at ``index`` or None past the end."""
+        if 0 <= index < len(self.instructions):
+            return self.instructions[index]
+        return None
+
+    def listing(self) -> str:
+        """Human-readable assembly listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines: List[str] = []
+        for index, instruction in enumerate(self.instructions):
+            for name in by_index.get(index, []):
+                lines.append(f"{name}:")
+            lines.append(f"    {instruction}")
+        return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""The two SpVA inner-loop variants of Listing 1, as runnable micro-programs.
+
+``build_baseline_spva_program`` reproduces Listing 1b: per gathered weight the
+core executes eight instructions (index load, shift, address add, FP load,
+two pointer/counter increments, the accumulating add and the loop branch).
+``build_streaming_spva_program`` reproduces Listing 1c: the indirect stream
+register is configured once and a single ``fadd`` inside a ``frep`` hardware
+loop accumulates the streamed weights.
+
+Both programs are functionally equivalent: they accumulate
+``sum(weights[c_idcs[j]] for j in range(s_len))`` into register ``fa0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .executor import ExecutionResult, Executor, ExecutorParams
+from .memory import Memory
+from .program import Program
+
+#: Register allocation shared by both listings.
+REG_CIDCS_PTR = "a0"
+REG_WEIGHT_BASE = "a1"
+REG_STREAM_LENGTH = "a2"
+REG_SCRATCH = "t0"
+REG_ITERATION = "t1"
+FREG_GATHERED = "ft3"
+FREG_ACCUMULATOR = "fa0"
+
+
+@dataclass
+class SpvaSetup:
+    """Memory image and initial register values for one SpVA execution."""
+
+    memory: Memory
+    c_idcs: np.ndarray
+    weights: np.ndarray
+    c_idcs_address: int
+    weights_address: int
+
+    @property
+    def stream_length(self) -> int:
+        """Number of gathered elements (spiking input neurons)."""
+        return int(len(self.c_idcs))
+
+    @property
+    def expected_sum(self) -> float:
+        """The value both listings must accumulate."""
+        if self.stream_length == 0:
+            return 0.0
+        return float(np.sum(self.weights[self.c_idcs.astype(np.int64)]))
+
+
+def make_spva_setup(c_idcs: np.ndarray, weights: np.ndarray) -> SpvaSetup:
+    """Place the index array and weight tensor into a fresh memory image."""
+    c_idcs = np.asarray(c_idcs, dtype=np.uint16)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(c_idcs) and int(c_idcs.max()) >= len(weights):
+        raise ValueError("c_idcs references a weight index out of range")
+    memory = Memory()
+    weights_address = memory.place_f64_array("weights", weights)
+    c_idcs_address = memory.place_u16_array("c_idcs", c_idcs) if len(c_idcs) else memory.allocate("c_idcs", 0, align=2)
+    return SpvaSetup(
+        memory=memory,
+        c_idcs=c_idcs,
+        weights=weights,
+        c_idcs_address=c_idcs_address,
+        weights_address=weights_address,
+    )
+
+
+def build_baseline_spva_program() -> Program:
+    """Baseline SpVA loop (Listing 1b).
+
+    The paper's listing uses a word load for the 16-bit index; here the
+    equivalent half-word load ``lh`` is used so that the pointer increment of
+    2 bytes matches the access width.
+    """
+    program = Program(name="spva-baseline")
+    program.label("SpVA")
+    program.emit("lh", REG_SCRATCH, 0, REG_CIDCS_PTR)
+    program.emit("slli", REG_SCRATCH, REG_SCRATCH, 3)
+    program.emit("add", REG_SCRATCH, REG_SCRATCH, REG_WEIGHT_BASE)
+    program.emit("fld", FREG_GATHERED, 0, REG_SCRATCH)
+    program.emit("addi", REG_CIDCS_PTR, REG_CIDCS_PTR, 2)
+    program.emit("addi", REG_ITERATION, REG_ITERATION, 1)
+    program.emit("fadd.d", FREG_ACCUMULATOR, FREG_GATHERED, FREG_ACCUMULATOR)
+    program.emit("bne", REG_ITERATION, REG_STREAM_LENGTH, "SpVA")
+    return program
+
+
+def build_streaming_spva_program() -> Program:
+    """SpikeStream SpVA loop (Listing 1c): indirect SSR plus ``frep``."""
+    program = Program(name="spva-streaming")
+    # Configure indirect stream register 1: gather 64-bit weights through the
+    # 16-bit index array, then accumulate one element per loop iteration.
+    program.emit(
+        "ssr.cfg.indirect", 1, REG_WEIGHT_BASE, REG_CIDCS_PTR, REG_STREAM_LENGTH, 8, 2
+    )
+    program.emit("ssr.enable")
+    program.emit("frep", REG_STREAM_LENGTH, 1)
+    program.emit("fadd.d", FREG_ACCUMULATOR, "ft1", FREG_ACCUMULATOR)
+    program.emit("ssr.disable")
+    return program
+
+
+def _prepare_executor(setup: SpvaSetup, params: Optional[ExecutorParams]) -> Executor:
+    executor = Executor(memory=setup.memory, params=params)
+    executor.set_int(REG_CIDCS_PTR, setup.c_idcs_address)
+    executor.set_int(REG_WEIGHT_BASE, setup.weights_address)
+    executor.set_int(REG_STREAM_LENGTH, setup.stream_length)
+    executor.set_int(REG_ITERATION, 0)
+    executor.set_fp(FREG_ACCUMULATOR, 0.0)
+    return executor
+
+
+def run_baseline_spva(
+    setup: SpvaSetup, params: Optional[ExecutorParams] = None
+) -> Tuple[float, ExecutionResult]:
+    """Run the baseline listing; returns ``(accumulated value, statistics)``."""
+    if setup.stream_length == 0:
+        return 0.0, ExecutionResult(
+            cycles=0.0,
+            int_instructions=0,
+            fp_instructions=0,
+            fpu_busy_cycles=0.0,
+            stall_cycles=0.0,
+            loads=0,
+            stores=0,
+        )
+    executor = _prepare_executor(setup, params)
+    result = executor.run(build_baseline_spva_program())
+    return result.fp_registers[FREG_ACCUMULATOR], result
+
+
+def run_streaming_spva(
+    setup: SpvaSetup, params: Optional[ExecutorParams] = None
+) -> Tuple[float, ExecutionResult]:
+    """Run the SpikeStream listing; returns ``(accumulated value, statistics)``."""
+    if setup.stream_length == 0:
+        return 0.0, ExecutionResult(
+            cycles=0.0,
+            int_instructions=0,
+            fp_instructions=0,
+            fpu_busy_cycles=0.0,
+            stall_cycles=0.0,
+            loads=0,
+            stores=0,
+        )
+    executor = _prepare_executor(setup, params)
+    result = executor.run(build_streaming_spva_program())
+    return result.fp_registers[FREG_ACCUMULATOR], result

@@ -1,0 +1,117 @@
+"""Spike max-pooling kernel.
+
+Max pooling on binary spike maps reduces to a logical OR over each window.
+On the cluster this is integer-only work on the compressed representation:
+the ``c_idcs`` lists of the window's spatial positions are merged and
+duplicate channels removed.  The kernel is cheap compared to the SpVA-based
+layers, but it is part of the end-to-end runtime, so both a functional and a
+performance path are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..arch.params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from ..arch.trace import ClusterStats, CoreStats
+from ..formats.convert import compress_ifmap, decompress_ifmap
+from ..formats.csr_fiber import CompressedIfmap
+from ..snn.reference import maxpool2d_hwc
+from ..types import TensorShape
+from .scheduler import workload_stealing_schedule
+
+
+@dataclass
+class PoolLayerSpec:
+    """Static description of a spike max-pooling layer."""
+
+    name: str
+    input_shape: TensorShape
+    kernel_size: int = 2
+    stride: int = 2
+
+    def __post_init__(self) -> None:
+        if self.kernel_size <= 0 or self.stride <= 0:
+            raise ValueError("kernel_size and stride must be positive")
+
+    @property
+    def output_shape(self) -> TensorShape:
+        """Shape of the pooled spike map."""
+        out_h = (self.input_shape.height - self.kernel_size) // self.stride + 1
+        out_w = (self.input_shape.width - self.kernel_size) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"pooling {self.name!r} produces an empty output for {self.input_shape}")
+        return TensorShape(out_h, out_w, self.input_shape.channels)
+
+
+def pool_layer_functional(spec: PoolLayerSpec, compressed_input: CompressedIfmap) -> CompressedIfmap:
+    """Max-pool a compressed spike map, returning the compressed result."""
+    if compressed_input.shape != spec.input_shape:
+        raise ValueError(
+            f"compressed input has shape {compressed_input.shape}, expected {spec.input_shape}"
+        )
+    dense = decompress_ifmap(compressed_input)
+    pooled = maxpool2d_hwc(dense, spec.kernel_size, spec.stride)
+    return compress_ifmap(pooled, index_bytes=compressed_input.index_bytes)
+
+
+def pool_layer_perf(
+    spec: PoolLayerSpec,
+    spike_counts: np.ndarray,
+    params: ClusterParams = DEFAULT_CLUSTER,
+    costs: CostModelParams = DEFAULT_COSTS,
+    num_active_cores: Optional[int] = None,
+) -> ClusterStats:
+    """Cycle model of the pooling kernel.
+
+    ``spike_counts`` is the per-position spike-count map of the input, shape
+    ``(H, W)``.  Each output position merges the index lists of its window:
+    roughly three integer instructions per merged spike (load, compare/insert,
+    store) plus a fixed per-position overhead.
+    """
+    spike_counts = np.asarray(spike_counts, dtype=np.float64)
+    if spike_counts.shape != (spec.input_shape.height, spec.input_shape.width):
+        raise ValueError(
+            f"spike_counts has shape {spike_counts.shape}, expected "
+            f"{(spec.input_shape.height, spec.input_shape.width)}"
+        )
+    from .conv import window_sum  # local import to avoid an import cycle
+
+    num_cores = num_active_cores or params.num_worker_cores
+    merged = window_sum(spike_counts, spec.kernel_size, spec.stride).reshape(-1)
+    instrs_per_spike = 3.0
+    position_overhead = 8.0
+    rf_cycles = merged * instrs_per_spike + position_overhead
+    schedule = workload_stealing_schedule(rf_cycles, num_cores, costs.atomic_operation_cycles)
+
+    core_stats = []
+    for core_id in range(num_cores):
+        indices = np.asarray(schedule.assignments[core_id], dtype=np.int64)
+        busy = float(schedule.core_busy_cycles[core_id])
+        atomics = float(schedule.atomic_operations_per_core[core_id])
+        int_instrs = float(np.sum(rf_cycles[indices]))
+        total = busy + atomics * costs.atomic_operation_cycles
+        core_stats.append(
+            CoreStats(
+                core_id=core_id,
+                int_instructions=int_instrs + atomics,
+                fp_instructions=0.0,
+                total_cycles=total,
+                fpu_busy_cycles=0.0,
+                stall_cycles=max(0.0, total - int_instrs - atomics),
+                spm_accesses=float(np.sum(merged[indices])) * 2.0,
+                atomic_operations=atomics,
+            )
+        )
+    compute = max(s.total_cycles for s in core_stats)
+    return ClusterStats(
+        core_stats=core_stats,
+        dma_cycles=0.0,
+        dma_bytes=0.0,
+        dma_exposed_cycles=0.0,
+        total_cycles=compute,
+        label=f"{spec.name}-pool",
+    )

@@ -1,0 +1,85 @@
+"""Spike encoders for converting RGB images into spike trains.
+
+Most directly-trained SNNs (including S-VGG11) use *direct encoding*: the
+first convolutional layer receives the raw pixel intensities as input
+currents and its LIF neurons emit the first spikes (Section III-F).  Rate and
+Poisson encoders are provided for multi-timestep experiments and for users
+whose networks expect spike inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from ..utils.validation import check_positive
+
+
+@dataclass
+class DirectEncoder:
+    """Identity encoder: pixel values become the first layer's input currents.
+
+    ``scale`` allows normalizing 0-255 images into the 0-1 range expected by
+    the trained network.
+    """
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("scale", self.scale)
+
+    def encode(self, image: np.ndarray, timesteps: int = 1) -> np.ndarray:
+        """Return a ``(timesteps, H, W, C)`` array of input currents."""
+        check_positive("timesteps", timesteps)
+        image = np.asarray(image, dtype=np.float64) * self.scale
+        return np.repeat(image[None, ...], timesteps, axis=0)
+
+
+@dataclass
+class PoissonEncoder:
+    """Poisson (Bernoulli-per-timestep) rate encoder.
+
+    Each pixel fires independently at every timestep with probability equal
+    to its normalized intensity.
+    """
+
+    max_rate: float = 1.0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_rate <= 1.0:
+            raise ValueError(f"max_rate must be in (0, 1], got {self.max_rate}")
+
+    def encode(self, image: np.ndarray, timesteps: int = 1) -> np.ndarray:
+        """Return a boolean ``(timesteps, H, W, C)`` spike train."""
+        check_positive("timesteps", timesteps)
+        rng = make_rng(self.seed)
+        image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0) * self.max_rate
+        draws = rng.random((timesteps,) + image.shape)
+        return draws < image[None, ...]
+
+
+@dataclass
+class RateEncoder:
+    """Deterministic rate encoder.
+
+    A pixel with normalized intensity ``p`` emits ``round(p * timesteps)``
+    spikes, spread as evenly as possible across the window — useful when a
+    reproducible spike count matters more than temporal realism.
+    """
+
+    def encode(self, image: np.ndarray, timesteps: int = 1) -> np.ndarray:
+        """Return a boolean ``(timesteps, H, W, C)`` spike train."""
+        check_positive("timesteps", timesteps)
+        image = np.clip(np.asarray(image, dtype=np.float64), 0.0, 1.0)
+        counts = np.round(image * timesteps).astype(np.int64)
+        spikes = np.zeros((timesteps,) + image.shape, dtype=bool)
+        # A neuron that must fire k times in T steps fires at steps where the
+        # accumulated phase crosses an integer (evenly spread pattern).
+        for t in range(timesteps):
+            threshold_before = (counts * t) // timesteps
+            threshold_after = (counts * (t + 1)) // timesteps
+            spikes[t] = threshold_after > threshold_before
+        return spikes

@@ -1,0 +1,213 @@
+"""Spiking network container and functional forward pass.
+
+:class:`SpikingNetwork` chains layers, keeps per-layer LIF membrane state
+across timesteps and records, for every weighted layer and timestep, the
+input spike map it consumed and the output spikes it produced.  Those records
+(:class:`LayerRecord`) are exactly what the cluster kernels need as their
+workload description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..types import LayerKind, TensorShape
+from .layers import Flatten, SpikingAvgPool2d, SpikingConv2d, SpikingLinear, SpikingMaxPool2d
+from .neuron import LIFState, lif_step
+from .reference import avgpool2d_hwc, conv2d_hwc, linear, maxpool2d_hwc
+
+Layer = Union[SpikingConv2d, SpikingLinear, SpikingMaxPool2d, SpikingAvgPool2d, Flatten]
+
+WEIGHTED_KINDS = (LayerKind.CONV, LayerKind.LINEAR)
+
+
+@dataclass
+class LayerRecord:
+    """What a weighted layer consumed and produced during one timestep."""
+
+    layer_index: int
+    name: str
+    kind: LayerKind
+    timestep: int
+    input_shape: TensorShape
+    output_shape: TensorShape
+    input_spikes: Optional[np.ndarray]
+    input_currents: Optional[np.ndarray]
+    output_spikes: np.ndarray
+
+    @property
+    def input_firing_rate(self) -> float:
+        """Fraction of active input neurons (1.0 for the dense encoding layer)."""
+        if self.input_spikes is None:
+            return 1.0
+        return float(np.count_nonzero(self.input_spikes)) / max(self.input_spikes.size, 1)
+
+    @property
+    def output_firing_rate(self) -> float:
+        """Fraction of active output neurons."""
+        return float(np.count_nonzero(self.output_spikes)) / max(self.output_spikes.size, 1)
+
+
+@dataclass
+class NetworkActivity:
+    """All layer records of a multi-timestep forward pass on one input frame."""
+
+    records: List[LayerRecord] = field(default_factory=list)
+
+    def for_layer(self, layer_index: int) -> List[LayerRecord]:
+        """Records of a specific weighted layer across timesteps."""
+        return [r for r in self.records if r.layer_index == layer_index]
+
+    def for_timestep(self, timestep: int) -> List[LayerRecord]:
+        """Records of all weighted layers for a specific timestep."""
+        return [r for r in self.records if r.timestep == timestep]
+
+    @property
+    def weighted_layer_indices(self) -> List[int]:
+        """Sorted indices of weighted layers that produced records."""
+        return sorted({r.layer_index for r in self.records})
+
+
+class SpikingNetwork:
+    """A feed-forward spiking network built from the layers in :mod:`repro.snn.layers`."""
+
+    def __init__(self, layers: Sequence[Layer], input_shape: TensorShape, name: str = "snn"):
+        self.layers: List[Layer] = list(layers)
+        self.input_shape = input_shape
+        self.name = name
+        self._states: Dict[int, LIFState] = {}
+        self._validate_shapes()
+        self.reset_state()
+
+    def _validate_shapes(self) -> None:
+        shape = self.input_shape
+        self._layer_input_shapes: List[TensorShape] = []
+        self._layer_output_shapes: List[TensorShape] = []
+        for layer in self.layers:
+            self._layer_input_shapes.append(shape)
+            shape = layer.output_shape(shape)
+            self._layer_output_shapes.append(shape)
+        self.output_shape = shape
+
+    def initialize(self, rng=None) -> None:
+        """Randomly initialize all weighted layers."""
+        from ..utils.rng import make_rng
+
+        rng = make_rng(rng)
+        for layer in self.layers:
+            if layer.kind in WEIGHTED_KINDS:
+                layer.initialize(rng)
+
+    def reset_state(self) -> None:
+        """Reset all membrane potentials to zero (start of a new input frame)."""
+        self._states = {}
+        for index, layer in enumerate(self.layers):
+            if layer.kind in WEIGHTED_KINDS:
+                out_shape = self._layer_output_shapes[index]
+                if layer.kind is LayerKind.CONV:
+                    state_shape = out_shape.as_tuple()
+                else:
+                    state_shape = (out_shape.channels,)
+                self._states[index] = LIFState.zeros(state_shape)
+
+    def layer_input_shape(self, index: int) -> TensorShape:
+        """Input shape of layer ``index``."""
+        return self._layer_input_shapes[index]
+
+    def layer_output_shape(self, index: int) -> TensorShape:
+        """Output shape of layer ``index``."""
+        return self._layer_output_shapes[index]
+
+    @property
+    def weighted_layers(self) -> List[int]:
+        """Indices of layers carrying weights (conv and FC)."""
+        return [i for i, layer in enumerate(self.layers) if layer.kind in WEIGHTED_KINDS]
+
+    def membrane_state(self, index: int) -> LIFState:
+        """Return the LIF state of weighted layer ``index``."""
+        return self._states[index]
+
+    def forward_timestep(self, frame: np.ndarray, timestep: int = 0) -> NetworkActivity:
+        """Run one timestep of the network on ``frame`` and record layer activity.
+
+        ``frame`` is the raw HWC image for the encoding layer (real-valued) or
+        a boolean spike map when the first layer is not an encoder.
+        """
+        activity = NetworkActivity()
+        current: np.ndarray = np.asarray(frame)
+        for index, layer in enumerate(self.layers):
+            if layer.kind is LayerKind.CONV:
+                currents = conv2d_hwc(
+                    current, layer.require_weights(), stride=layer.stride, padding=layer.padding
+                )
+                state, spikes = lif_step(self._states[index], currents, layer.lif)
+                self._states[index] = state
+                activity.records.append(
+                    LayerRecord(
+                        layer_index=index,
+                        name=layer.name,
+                        kind=layer.kind,
+                        timestep=timestep,
+                        input_shape=self._layer_input_shapes[index],
+                        output_shape=self._layer_output_shapes[index],
+                        input_spikes=None if layer.encodes_input else current.astype(bool),
+                        input_currents=current if layer.encodes_input else None,
+                        output_spikes=spikes,
+                    )
+                )
+                current = spikes
+            elif layer.kind is LayerKind.LINEAR:
+                currents = linear(current, layer.require_weights())
+                state, spikes = lif_step(self._states[index], currents, layer.lif)
+                self._states[index] = state
+                activity.records.append(
+                    LayerRecord(
+                        layer_index=index,
+                        name=layer.name,
+                        kind=layer.kind,
+                        timestep=timestep,
+                        input_shape=self._layer_input_shapes[index],
+                        output_shape=self._layer_output_shapes[index],
+                        input_spikes=np.asarray(current, dtype=bool).reshape(-1),
+                        input_currents=None,
+                        output_spikes=spikes,
+                    )
+                )
+                current = spikes
+            elif layer.kind is LayerKind.MAXPOOL:
+                current = maxpool2d_hwc(current, layer.kernel_size, layer.stride)
+            elif layer.kind is LayerKind.AVGPOOL:
+                current = avgpool2d_hwc(current, layer.kernel_size, layer.stride)
+            elif layer.kind is LayerKind.FLATTEN:
+                current = np.asarray(current).reshape(-1)
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"unsupported layer kind {layer.kind}")
+        return activity
+
+    def forward(self, frame: np.ndarray, timesteps: int = 1, reset: bool = True) -> NetworkActivity:
+        """Run the network for several timesteps on a single input frame.
+
+        With direct (first-layer) encoding the same frame is presented at
+        every timestep, as in the paper's 500-timestep accelerator comparison.
+        """
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        if reset:
+            self.reset_state()
+        activity = NetworkActivity()
+        for t in range(timesteps):
+            step_activity = self.forward_timestep(frame, timestep=t)
+            activity.records.extend(step_activity.records)
+        return activity
+
+    def predict(self, frame: np.ndarray, timesteps: int = 1) -> int:
+        """Classify a frame by accumulating output-layer spikes over time."""
+        activity = self.forward(frame, timesteps=timesteps)
+        output_index = self.weighted_layers[-1]
+        counts = np.zeros(self._layer_output_shapes[output_index].channels, dtype=np.int64)
+        for record in activity.for_layer(output_index):
+            counts += record.output_spikes.astype(np.int64).reshape(-1)
+        return int(np.argmax(counts))

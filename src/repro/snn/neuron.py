@@ -1,0 +1,144 @@
+"""Spiking neuron models.
+
+The Leaky Integrate-and-Fire (LIF) model of Eq. (1) in the paper is the
+workhorse of every S-VGG11 layer:
+
+.. math::
+
+    i_m(t)   &= \\sum_n s_{i,n}(t) \\, w_n \\\\
+    v_m(t)   &= \\alpha \\, v_m(t-1) + r \\, i_m(t) - v_{rst} \\, s_{o,m}(t) \\\\
+    s_{o,m}(t) &= 1 \\ \\text{if} \\ v_m(t) \\ge v_{th} \\ \\text{else} \\ 0
+
+The Izhikevich model used by ODIN is included for completeness (it is only
+needed by the accelerator comparison substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LIFParameters:
+    """Parameters of the Leaky Integrate-and-Fire neuron.
+
+    Attributes
+    ----------
+    alpha:
+        Membrane decay factor applied to the previous potential.
+    v_threshold:
+        Firing threshold ``v_th``.
+    v_reset:
+        Reset potential ``v_rst`` subtracted when the neuron fires
+        (soft reset, as in Eq. (1)).
+    resistance:
+        Membrane resistance ``r`` scaling the input current (usually 1).
+    """
+
+    alpha: float = 0.9
+    v_threshold: float = 1.0
+    v_reset: float = 1.0
+    resistance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.v_threshold <= 0.0:
+            raise ValueError(f"v_threshold must be positive, got {self.v_threshold}")
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+
+
+@dataclass
+class LIFState:
+    """Mutable membrane state of a population of LIF neurons."""
+
+    membrane: np.ndarray
+
+    @classmethod
+    def zeros(cls, shape: Tuple[int, ...], dtype=np.float64) -> "LIFState":
+        """Create a state with all membrane potentials at zero."""
+        return cls(membrane=np.zeros(shape, dtype=dtype))
+
+    def copy(self) -> "LIFState":
+        """Return an independent copy of the state."""
+        return LIFState(membrane=self.membrane.copy())
+
+
+def lif_step(
+    state: LIFState, input_current: np.ndarray, params: LIFParameters
+) -> Tuple[LIFState, np.ndarray]:
+    """Advance a LIF population by one timestep.
+
+    Parameters
+    ----------
+    state:
+        Current membrane state (not modified).
+    input_current:
+        Input current ``i_m(t)`` with the same shape as the membrane.
+    params:
+        Neuron parameters.
+
+    Returns
+    -------
+    (new_state, spikes):
+        The updated state and a boolean spike array ``s_{o,m}(t)``.
+    """
+    input_current = np.asarray(input_current)
+    if input_current.shape != state.membrane.shape:
+        raise ValueError(
+            f"input_current shape {input_current.shape} does not match membrane "
+            f"shape {state.membrane.shape}"
+        )
+    membrane = state.membrane * params.alpha + params.resistance * input_current
+    spikes = membrane >= params.v_threshold
+    membrane = membrane - params.v_reset * spikes
+    return LIFState(membrane=membrane), spikes
+
+
+@dataclass(frozen=True)
+class IzhikevichParameters:
+    """Parameters of the Izhikevich neuron model used by the ODIN accelerator."""
+
+    a: float = 0.02
+    b: float = 0.2
+    c: float = -65.0
+    d: float = 8.0
+    v_threshold: float = 30.0
+
+
+@dataclass
+class IzhikevichState:
+    """Membrane potential and recovery variable of an Izhikevich population."""
+
+    v: np.ndarray
+    u: np.ndarray
+
+    @classmethod
+    def resting(cls, shape: Tuple[int, ...], params: IzhikevichParameters) -> "IzhikevichState":
+        """Initialize the population at the resting potential."""
+        v = np.full(shape, params.c, dtype=np.float64)
+        u = params.b * v
+        return cls(v=v, u=u)
+
+
+def izhikevich_step(
+    state: IzhikevichState,
+    input_current: np.ndarray,
+    params: IzhikevichParameters,
+    dt: float = 1.0,
+) -> Tuple[IzhikevichState, np.ndarray]:
+    """Advance an Izhikevich population by one timestep of length ``dt`` ms."""
+    input_current = np.asarray(input_current)
+    v, u = state.v, state.u
+    dv = 0.04 * v * v + 5.0 * v + 140.0 - u + input_current
+    du = params.a * (params.b * v - u)
+    v = v + dt * dv
+    u = u + dt * du
+    spikes = v >= params.v_threshold
+    v = np.where(spikes, params.c, v)
+    u = np.where(spikes, u + params.d, u)
+    return IzhikevichState(v=v, u=u), spikes

@@ -1,0 +1,142 @@
+"""NumPy golden-reference implementations of the SNN layer arithmetic.
+
+These functions are the "ground truth" against which the cluster kernels of
+:mod:`repro.kernels` are validated.  They deliberately use a different
+computational route (dense im2col matrix products) than the kernels (gathers
+over compressed index arrays) so that agreement between the two is a
+meaningful correctness check.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def pad_hwc(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of an HWC tensor."""
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding}")
+    if padding == 0:
+        return np.asarray(x)
+    return np.pad(np.asarray(x), ((padding, padding), (padding, padding), (0, 0)))
+
+
+def conv_output_size(in_size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (in_size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size for in={in_size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def im2row(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Rearrange an HWC tensor into im2row form.
+
+    Returns an array of shape ``(out_h * out_w, kh * kw * C)`` where each row
+    contains the receptive field of one output position in (kh, kw, C) order —
+    the same layout SpikeStream produces with its 2-D DMA transfer for the
+    spike-encoding first layer (Section III-F).
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected an HWC tensor, got shape {x.shape}")
+    kh, kw = kernel
+    padded = pad_hwc(x, padding)
+    in_h, in_w, channels = padded.shape
+    out_h = (in_h - kh) // stride + 1
+    out_w = (in_w - kw) // stride + 1
+    rows = np.empty((out_h * out_w, kh * kw * channels), dtype=padded.dtype)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = padded[oy * stride : oy * stride + kh, ox * stride : ox * stride + kw, :]
+            rows[oy * out_w + ox] = patch.reshape(-1)
+    return rows
+
+
+def conv2d_hwc(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Dense 2-D convolution on HWC tensors.
+
+    Parameters
+    ----------
+    x:
+        Input tensor of shape ``(H, W, C_in)``; may be boolean spikes or real
+        valued input currents.
+    weights:
+        Filter bank of shape ``(kh, kw, C_in, C_out)``.
+
+    Returns
+    -------
+    Output currents of shape ``(out_h, out_w, C_out)``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (kh, kw, C_in, C_out), got shape {weights.shape}")
+    kh, kw, c_in, c_out = weights.shape
+    x = np.asarray(x)
+    if x.shape[-1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[-1]} channels but weights expect {c_in}"
+        )
+    rows = im2row(x.astype(np.float64), (kh, kw), stride, padding)
+    out_h = conv_output_size(x.shape[0], kh, stride, padding)
+    out_w = conv_output_size(x.shape[1], kw, stride, padding)
+    flat = rows @ weights.reshape(kh * kw * c_in, c_out)
+    return flat.reshape(out_h, out_w, c_out)
+
+
+def linear(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Dense fully connected layer: ``y = W^T x`` for HWC-flattened inputs.
+
+    ``weights`` has shape ``(in_features, out_features)``.
+    """
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    if x.shape[0] != weights.shape[0]:
+        raise ValueError(
+            f"input has {x.shape[0]} features but weights expect {weights.shape[0]}"
+        )
+    return x @ weights
+
+
+def maxpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
+    """Max pooling over the spatial dimensions of an HWC tensor.
+
+    On boolean spike tensors this reduces to a logical OR over the window,
+    which is how spike pooling is normally realized.
+    """
+    x = np.asarray(x)
+    height, width, channels = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = np.empty((out_h, out_w, channels), dtype=x.dtype)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = x[oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel, :]
+            out[oy, ox] = window.max(axis=(0, 1))
+    return out
+
+
+def avgpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
+    """Average pooling over the spatial dimensions of an HWC tensor."""
+    x = np.asarray(x, dtype=np.float64)
+    height, width, channels = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = np.empty((out_h, out_w, channels), dtype=np.float64)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = x[oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel, :]
+            out[oy, ox] = window.mean(axis=(0, 1))
+    return out

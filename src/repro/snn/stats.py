@@ -1,0 +1,74 @@
+"""Firing-rate and sparsity statistics over batches of network activity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from .network import LayerRecord, NetworkActivity
+
+
+@dataclass(frozen=True)
+class ActivityStats:
+    """Mean and standard deviation of a per-layer activity metric over a batch."""
+
+    layer_name: str
+    mean_firing_rate: float
+    std_firing_rate: float
+    mean_spike_count: float
+    std_spike_count: float
+    samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the statistics as a flat dictionary."""
+        return {
+            "layer": self.layer_name,
+            "mean_firing_rate": self.mean_firing_rate,
+            "std_firing_rate": self.std_firing_rate,
+            "mean_spike_count": self.mean_spike_count,
+            "std_spike_count": self.std_spike_count,
+            "samples": self.samples,
+        }
+
+
+def collect_activity_stats(activities: Iterable[NetworkActivity]) -> List[ActivityStats]:
+    """Aggregate input firing rates per layer over a batch of forward passes."""
+    per_layer_rates: Dict[str, List[float]] = {}
+    per_layer_counts: Dict[str, List[int]] = {}
+    for activity in activities:
+        for record in activity.records:
+            per_layer_rates.setdefault(record.name, []).append(record.input_firing_rate)
+            count = (
+                int(np.count_nonzero(record.input_spikes))
+                if record.input_spikes is not None
+                else record.input_shape.numel
+            )
+            per_layer_counts.setdefault(record.name, []).append(count)
+
+    stats: List[ActivityStats] = []
+    for name, rates in per_layer_rates.items():
+        counts = per_layer_counts[name]
+        stats.append(
+            ActivityStats(
+                layer_name=name,
+                mean_firing_rate=float(np.mean(rates)),
+                std_firing_rate=float(np.std(rates)),
+                mean_spike_count=float(np.mean(counts)),
+                std_spike_count=float(np.std(counts)),
+                samples=len(rates),
+            )
+        )
+    return stats
+
+
+def summarize_records(records: Sequence[LayerRecord]) -> Dict[str, float]:
+    """Summarize a list of layer records into mean input/output firing rates."""
+    if not records:
+        return {"mean_input_rate": 0.0, "mean_output_rate": 0.0, "records": 0}
+    return {
+        "mean_input_rate": float(np.mean([r.input_firing_rate for r in records])),
+        "mean_output_rate": float(np.mean([r.output_firing_rate for r in records])),
+        "records": len(records),
+    }

@@ -1,0 +1,196 @@
+"""Surrogate-gradient training for small spiking networks.
+
+The S-VGG11 of the paper is "trained with temporal backpropagation"; the
+trained weights are not public, and training a VGG-scale network in NumPy is
+out of scope.  This module provides the training substrate at laptop scale:
+single-timestep surrogate-gradient descent for networks built from
+:class:`~repro.snn.layers.SpikingLinear` (and flattening of spike maps), good
+enough to train the FC head of a network or a small classifier on synthetic
+data — and to demonstrate that the functional substrate is differentiable in
+the surrogate sense, not just a fixed-weight simulator.
+
+The surrogate used is the standard fast-sigmoid derivative
+
+.. math::  \\frac{\\partial s}{\\partial v} \\approx
+           \\frac{1}{(1 + \\beta |v - v_{th}|)^2}
+
+applied at the threshold crossing of each LIF neuron.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import SeedLike, make_rng
+from .layers import SpikingLinear
+from .neuron import LIFParameters
+
+
+def surrogate_gradient(membrane: np.ndarray, lif: LIFParameters, beta: float = 5.0) -> np.ndarray:
+    """Fast-sigmoid surrogate derivative of the spike w.r.t. the membrane potential."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    return 1.0 / (1.0 + beta * np.abs(membrane - lif.v_threshold)) ** 2
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of the surrogate-gradient trainer."""
+
+    learning_rate: float = 0.05
+    epochs: int = 20
+    batch_size: int = 32
+    surrogate_beta: float = 5.0
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+@dataclass
+class TrainingHistory:
+    """Loss and accuracy per epoch."""
+
+    loss: List[float] = field(default_factory=list)
+    accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy after the last epoch (0 if never trained)."""
+        return self.accuracy[-1] if self.accuracy else 0.0
+
+
+class SurrogateGradientTrainer:
+    """Train a stack of :class:`SpikingLinear` layers with surrogate gradients.
+
+    The network is run for a single timestep (direct encoding, as in the
+    paper's low-latency S-VGG11); the readout is the output layer's membrane
+    potential and the loss is a softmax cross-entropy on it.  Hidden layers
+    propagate gradients through the spike nonlinearity via the surrogate.
+    """
+
+    def __init__(self, layers: Sequence[SpikingLinear], config: Optional[TrainingConfig] = None):
+        if not layers:
+            raise ValueError("at least one SpikingLinear layer is required")
+        for first, second in zip(layers, layers[1:]):
+            if first.out_features != second.in_features:
+                raise ValueError(
+                    f"layer {first.name!r} output ({first.out_features}) does not match "
+                    f"layer {second.name!r} input ({second.in_features})"
+                )
+        self.layers = list(layers)
+        self.config = config or TrainingConfig()
+        rng = make_rng(self.config.seed)
+        for layer in self.layers:
+            if layer.weights is None:
+                layer.initialize(rng)
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def _forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[dict]]:
+        """Run one timestep; returns output membranes and per-layer caches."""
+        caches: List[dict] = []
+        activations = inputs.astype(np.float64)
+        for index, layer in enumerate(self.layers):
+            weights = layer.require_weights()
+            currents = activations @ weights
+            membrane = layer.lif.resistance * currents
+            is_output = index == len(self.layers) - 1
+            spikes = (membrane >= layer.lif.v_threshold).astype(np.float64)
+            caches.append(
+                {"inputs": activations, "membrane": membrane, "spikes": spikes, "layer": layer}
+            )
+            activations = membrane if is_output else spikes
+        return activations, caches
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def _backward(self, caches: List[dict], probabilities: np.ndarray, labels: np.ndarray) -> None:
+        batch = len(labels)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(batch), labels] = 1.0
+        grad = (probabilities - one_hot) / batch
+        for index in reversed(range(len(self.layers))):
+            cache = caches[index]
+            layer: SpikingLinear = cache["layer"]
+            if index != len(self.layers) - 1:
+                grad = grad * surrogate_gradient(
+                    cache["membrane"], layer.lif, self.config.surrogate_beta
+                )
+            grad_weights = cache["inputs"].T @ (grad * layer.lif.resistance)
+            grad = (grad * layer.lif.resistance) @ layer.require_weights().T
+            layer.weights = layer.require_weights() - self.config.learning_rate * grad_weights
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class per input row."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        logits, _ = self._forward(inputs)
+        return np.argmax(logits, axis=1)
+
+    def accuracy(self, inputs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a dataset."""
+        return float(np.mean(self.predict(inputs) == np.asarray(labels)))
+
+    def fit(self, inputs: np.ndarray, labels: np.ndarray) -> TrainingHistory:
+        """Train on ``(inputs, labels)`` and return the per-epoch history."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(inputs) != len(labels):
+            raise ValueError("inputs and labels must have the same length")
+        if inputs.shape[1] != self.layers[0].in_features:
+            raise ValueError(
+                f"inputs have {inputs.shape[1]} features, expected {self.layers[0].in_features}"
+            )
+        rng = make_rng(self.config.seed)
+        history = TrainingHistory()
+        for _ in range(self.config.epochs):
+            order = rng.permutation(len(inputs))
+            epoch_loss = 0.0
+            for start in range(0, len(inputs), self.config.batch_size):
+                batch_index = order[start : start + self.config.batch_size]
+                batch_inputs, batch_labels = inputs[batch_index], labels[batch_index]
+                logits, caches = self._forward(batch_inputs)
+                probabilities = self._softmax(logits)
+                losses = -np.log(
+                    probabilities[np.arange(len(batch_labels)), batch_labels] + 1e-12
+                )
+                epoch_loss += float(losses.sum())
+                self._backward(caches, probabilities, batch_labels)
+            history.loss.append(epoch_loss / len(inputs))
+            history.accuracy.append(self.accuracy(inputs, labels))
+        return history
+
+
+def make_two_moons(
+    samples: int = 200, noise: float = 0.08, seed: SeedLike = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A tiny two-class synthetic dataset for trainer tests and examples.
+
+    Two interleaved half-circles in 2-D, expanded with their squares so a
+    single spiking hidden layer can separate them.
+    """
+    if samples < 2:
+        raise ValueError("samples must be at least 2")
+    rng = make_rng(seed)
+    half = samples // 2
+    angles = rng.uniform(0.0, np.pi, size=half)
+    first = np.stack([np.cos(angles), np.sin(angles)], axis=1)
+    second = np.stack([1.0 - np.cos(angles), 0.5 - np.sin(angles)], axis=1)
+    points = np.concatenate([first, second]) + rng.normal(0.0, noise, size=(2 * half, 2))
+    labels = np.concatenate([np.zeros(half, dtype=np.int64), np.ones(half, dtype=np.int64)])
+    features = np.concatenate([points, points**2], axis=1)
+    return features, labels

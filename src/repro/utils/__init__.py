@@ -1,0 +1,16 @@
+"""Small shared utilities: quantization emulation, RNG helpers, validation."""
+
+from .quantize import dtype_for, quantize, quantization_error
+from .rng import make_rng, spawn_rngs
+from .validation import check_positive, check_probability, check_shape_match
+
+__all__ = [
+    "dtype_for",
+    "quantize",
+    "quantization_error",
+    "make_rng",
+    "spawn_rngs",
+    "check_positive",
+    "check_probability",
+    "check_shape_match",
+]

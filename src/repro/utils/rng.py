@@ -1,0 +1,34 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component (synthetic datasets, random firing patterns, weight
+initialization) receives an explicit :class:`numpy.random.Generator` so that
+experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent generators from a single seed.
+
+    Used to give every input frame of a batch its own stream so that changing
+    the batch size does not perturb the data of earlier frames.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = make_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

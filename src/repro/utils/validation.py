@@ -1,0 +1,28 @@
+"""Argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> None:
+    """Raise ``ValueError`` unless ``value`` is positive (or non-negative)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def check_shape_match(name: str, array: np.ndarray, expected: Sequence[int]) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` equals ``expected``."""
+    if tuple(array.shape) != tuple(expected):
+        raise ValueError(f"{name} has shape {tuple(array.shape)}, expected {tuple(expected)}")

@@ -1,0 +1,136 @@
+"""Tests for the stream-register model, including an address-generation oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import ClusterParams
+from repro.arch.ssr import (
+    AffineStreamConfig,
+    IndirectStreamConfig,
+    StreamRegister,
+    make_core_stream_registers,
+)
+
+
+class TestAffineStreamConfig:
+    def test_1d_stream(self):
+        config = AffineStreamConfig(base_address=100, bounds=[4], strides=[8])
+        assert config.length == 4
+        assert config.addresses().tolist() == [100, 108, 116, 124]
+
+    def test_2d_stream_inner_dimension_fastest(self):
+        config = AffineStreamConfig(base_address=0, bounds=[2, 3], strides=[8, 100])
+        assert config.addresses().tolist() == [0, 8, 100, 108, 200, 208]
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AffineStreamConfig(base_address=0, bounds=[2, 2], strides=[8])
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ValueError):
+            AffineStreamConfig(base_address=0, bounds=[0], strides=[8])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        base=st.integers(0, 10_000),
+        bounds=st.lists(st.integers(1, 5), min_size=1, max_size=4),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_addresses_match_nested_loop_oracle(self, base, bounds, seed):
+        rng = np.random.default_rng(seed)
+        strides = [int(s) for s in rng.integers(1, 64, size=len(bounds))]
+        config = AffineStreamConfig(base_address=base, bounds=bounds, strides=strides)
+
+        expected = []
+
+        def nest(dim, offset):
+            if dim < 0:
+                expected.append(base + offset)
+                return
+            for i in range(bounds[dim]):
+                nest(dim - 1, offset + i * strides[dim])
+
+        nest(len(bounds) - 1, 0)
+        assert config.addresses().tolist() == expected
+
+
+class TestIndirectStreamConfig:
+    def test_gather_addresses(self):
+        config = IndirectStreamConfig(base_address=1000, indices=[3, 0, 7], element_bytes=8)
+        assert config.addresses().tolist() == [1024, 1000, 1056]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            IndirectStreamConfig(base_address=0, indices=[-1], element_bytes=8)
+
+    def test_index_width_respected(self):
+        with pytest.raises(ValueError):
+            IndirectStreamConfig(base_address=0, indices=[300], element_bytes=8, index_bits=8)
+
+
+class TestStreamRegister:
+    def test_core_has_three_ssrs_two_indirect(self):
+        ssrs = make_core_stream_registers()
+        assert len(ssrs) == 3
+        assert [s.supports_indirect for s in ssrs] == [True, True, False]
+
+    def test_affine_dimension_limit_enforced(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        with pytest.raises(ValueError):
+            ssr.configure(AffineStreamConfig(base_address=0, bounds=[1] * 5, strides=[8] * 5))
+
+    def test_indirect_rejected_on_affine_only_register(self):
+        ssr = StreamRegister(index=2, supports_indirect=False)
+        with pytest.raises(ValueError, match="does not support indirect"):
+            ssr.configure(IndirectStreamConfig(base_address=0, indices=[1], element_bytes=8))
+
+    def test_unsupported_index_width_rejected(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        with pytest.raises(ValueError, match="not supported"):
+            ssr.configure(
+                IndirectStreamConfig(base_address=0, indices=[1], element_bytes=8, index_bits=12)
+            )
+
+    def test_read_all_consumes_stream(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        ssr.configure(IndirectStreamConfig(base_address=0, indices=[1, 2], element_bytes=8))
+        assert ssr.read_all().tolist() == [8, 16]
+        assert not ssr.is_active
+
+    def test_read_next_then_exhaustion(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        ssr.configure(AffineStreamConfig(base_address=0, bounds=[2], strides=[4]))
+        assert ssr.read_next() == 0
+        assert ssr.read_next() == 4
+        with pytest.raises(RuntimeError, match="exhausted"):
+            ssr.read_next()
+
+    def test_shadow_register_promotes_after_drain(self):
+        """Configuring while active lands in the shadow register (Section II-B)."""
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        ssr.configure(AffineStreamConfig(base_address=0, bounds=[2], strides=[8]))
+        ssr.read_next()
+        ssr.configure(AffineStreamConfig(base_address=1000, bounds=[1], strides=[8]))
+        assert ssr.read_next() == 8            # finish the first stream
+        assert ssr.read_next() == 1000         # shadow config becomes active
+        assert ssr.total_streams == 2
+
+    def test_spm_accesses_per_element(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        affine = AffineStreamConfig(base_address=0, bounds=[2], strides=[8])
+        indirect = IndirectStreamConfig(base_address=0, indices=[0, 1], element_bytes=8)
+        assert ssr.spm_accesses_per_element(affine) == 1
+        assert ssr.spm_accesses_per_element(indirect) == 2
+
+    def test_read_without_configuration_raises(self):
+        ssr = StreamRegister(index=0, supports_indirect=True)
+        with pytest.raises(RuntimeError):
+            ssr.read_next()
+
+    def test_custom_cluster_limits(self):
+        params = ClusterParams(max_affine_dims=2)
+        ssr = StreamRegister(index=0, supports_indirect=True, params=params)
+        with pytest.raises(ValueError):
+            ssr.configure(AffineStreamConfig(base_address=0, bounds=[1, 1, 1], strides=[1, 1, 1]))

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.formats.convert import compress_ifmap
+from repro.kernels.conv import ConvLayerSpec
+from repro.kernels.encode import EncodeLayerSpec
+from repro.kernels.fc import FcLayerSpec
+from repro.snn.layers import Flatten, SpikingConv2d, SpikingLinear, SpikingMaxPool2d
+from repro.snn.network import SpikingNetwork
+from repro.snn.neuron import LIFParameters
+from repro.types import TensorShape
+
+
+@pytest.fixture
+def rng():
+    """Deterministic NumPy generator shared by tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_conv_spec():
+    """A small convolutional layer spec (8x8x16 ifmap, 8 filters)."""
+    return ConvLayerSpec(
+        name="test-conv",
+        input_shape=TensorShape(8, 8, 16),
+        in_channels=16,
+        out_channels=8,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def small_fc_spec():
+    """A small fully connected layer spec."""
+    return FcLayerSpec(name="test-fc", in_features=64, out_features=16)
+
+
+@pytest.fixture
+def small_encode_spec():
+    """A small dense spike-encoding layer spec."""
+    return EncodeLayerSpec(
+        name="test-encode",
+        input_shape=TensorShape(8, 8, 3),
+        in_channels=3,
+        out_channels=8,
+        kernel_size=3,
+        stride=1,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def small_compressed_ifmap(rng, small_conv_spec):
+    """Compressed padded ifmap matching ``small_conv_spec``."""
+    padded = small_conv_spec.padded_input_shape
+    dense = rng.random(padded.as_tuple()) < 0.3
+    # The padding ring carries no spikes.
+    dense[0, :, :] = False
+    dense[-1, :, :] = False
+    dense[:, 0, :] = False
+    dense[:, -1, :] = False
+    return compress_ifmap(dense)
+
+
+@pytest.fixture
+def tiny_network(rng):
+    """A tiny spiking CNN: encode conv -> pool -> conv -> flatten -> FC."""
+    lif = LIFParameters(alpha=0.9, v_threshold=0.5)
+    layers = [
+        SpikingConv2d(3, 4, kernel_size=3, padding=1, lif=lif, encodes_input=True, name="conv1"),
+        SpikingMaxPool2d(name="pool1"),
+        SpikingConv2d(4, 6, kernel_size=3, padding=1, lif=lif, name="conv2"),
+        Flatten(name="flatten"),
+        SpikingLinear(6 * 4 * 4, 5, lif=lif, name="fc1", is_output=True),
+    ]
+    network = SpikingNetwork(layers, input_shape=TensorShape(8, 8, 3), name="tiny")
+    network.initialize(rng)
+    return network

@@ -1,0 +1,45 @@
+"""Tests for the end-to-end kernel-vs-golden validator."""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import validate_network_on_kernels
+
+
+class TestValidateNetworkOnKernels:
+    def test_tiny_network_validates_exactly(self, tiny_network, rng):
+        frames = [rng.random((8, 8, 3)) for _ in range(2)]
+        report = validate_network_on_kernels(tiny_network, frames)
+        assert report.all_match
+        assert len(report.entries) == 3 * 2
+        assert report.max_current_error < 1e-9
+        assert report.mismatches() == []
+
+    def test_summary_structure(self, tiny_network, rng):
+        report = validate_network_on_kernels(tiny_network, [rng.random((8, 8, 3))])
+        summary = report.summary()
+        assert summary["layers_checked"] == 3
+        assert summary["all_match"] is True
+        assert summary["mismatches"] == 0
+
+    def test_remains_consistent_after_weight_change(self, tiny_network, rng):
+        """The validator checks kernel/golden self-consistency for whatever weights are loaded."""
+        frame = rng.random((8, 8, 3))
+        assert validate_network_on_kernels(tiny_network, [frame]).all_match
+        original = tiny_network.layers[2].weights.copy()
+        tiny_network.layers[2].weights = original * 5.0 + 0.5
+        # Both the golden model and the kernels see the new weights, so the
+        # report must still be fully consistent.
+        assert validate_network_on_kernels(tiny_network, [frame]).all_match
+        tiny_network.layers[2].weights = original
+
+    def test_empty_frame_list(self, tiny_network):
+        report = validate_network_on_kernels(tiny_network, [])
+        assert report.entries == []
+        assert report.all_match
+        assert report.max_current_error == 0.0
+
+    def test_spike_counts_reported(self, tiny_network, rng):
+        report = validate_network_on_kernels(tiny_network, [rng.random((8, 8, 3))])
+        for entry in report.entries:
+            assert entry.golden_spike_count == entry.kernel_spike_count

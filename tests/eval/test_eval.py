@@ -1,0 +1,145 @@
+"""Tests for the metric helpers, text reporting and experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import geometric_mean, ratio, summarize
+from repro.eval.reporting import format_table, render_experiment
+from repro.eval.experiments import (
+    memory_footprint_experiment,
+    run_svgg11_variants,
+    speedup_experiment,
+    spva_microbenchmark_experiment,
+    utilization_experiment,
+    energy_experiment,
+)
+from repro.eval.sweeps import (
+    core_count_sweep,
+    firing_rate_sweep,
+    precision_sweep,
+    stream_length_sweep,
+)
+
+
+class TestMetrics:
+    def test_ratio(self):
+        assert ratio(10, 2) == 5
+        assert ratio(1, 0) == float("inf")
+        assert ratio(0, 0) == 1.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert summarize([])["mean"] == 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"layer": "conv1", "speedup": 5.1234}, {"layer": "conv2", "speedup": 6.0}]
+        table = format_table(rows)
+        assert "layer" in table and "conv1" in table and "5.123" in table
+        assert table.count("\n") >= 3
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no data)"
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "b" in table and "a" not in table.splitlines()[0]
+
+    def test_render_experiment_includes_title_and_notes(self):
+        text = render_experiment("Fig 3a", [{"x": 1}], notes="shape only")
+        assert text.startswith("== Fig 3a ==")
+        assert "shape only" in text
+
+
+class TestFigureExperiments:
+    @pytest.fixture(scope="class")
+    def variants(self):
+        return run_svgg11_variants(batch_size=2, seed=11)
+
+    def test_memory_footprint_rows_and_reduction(self):
+        result = memory_footprint_experiment(batch_size=4, seed=1)
+        assert len(result.rows) == 8
+        assert {"layer", "aer_bytes_mean", "csr_bytes_mean", "reduction"} <= set(result.rows[0])
+        # Paper: ~2.75x average reduction; anything in the 2-4x band is the right shape.
+        assert 2.0 < result.headline["mean_csr_over_aer_reduction"] < 4.0
+        # Every spiking layer must individually favour the CSR format.
+        for row in result.rows[1:]:
+            assert row["reduction"] > 1.5
+
+    def test_utilization_experiment(self, variants):
+        result = utilization_experiment(variants=variants)
+        assert len(result.rows) == 11
+        for row in result.rows:
+            assert 0.0 <= row["fpu_util_baseline"] <= 1.0
+            assert row["fpu_util_spikestream"] >= row["fpu_util_baseline"]
+        # Paper: 9.28 % -> 52.3 % network-average utilization.
+        assert 0.05 < result.headline["network_fpu_util_baseline"] < 0.15
+        assert 0.35 < result.headline["network_fpu_util_spikestream"] < 0.60
+
+    def test_speedup_experiment(self, variants):
+        result = speedup_experiment(variants=variants)
+        assert len(result.rows) == 11
+        # Paper: network speedup ~5.6x FP16, per-layer peak approaching 7x.
+        assert 4.5 < result.headline["network_speedup_fp16_over_baseline"] < 7.0
+        assert result.headline["peak_layer_speedup_fp16_over_baseline"] < 8.5
+        # FP8 over FP16 must stay below the ideal 2x.
+        assert 1.3 < result.headline["network_speedup_fp8_over_fp16"] <= 2.0
+
+    def test_energy_experiment(self, variants):
+        result = energy_experiment(variants=variants)
+        headline = result.headline
+        # Paper Fig. 4: ~0.13 / 0.23 / 0.22 W for layers 2-8.
+        assert 0.08 < headline["mean_power_baseline_conv2_to_8"] < 0.20
+        assert 0.18 < headline["mean_power_spikestream_fp16_conv2_to_8"] < 0.32
+        assert headline["mean_power_spikestream_fp8_conv2_to_8"] < headline[
+            "mean_power_spikestream_fp16_conv2_to_8"
+        ]
+        # Energy-efficiency gains: 3.25x (FP16) and 5.67x (FP8) in the paper.
+        assert 2.0 < headline["energy_gain_fp16_over_baseline"] < 4.5
+        assert 4.0 < headline["energy_gain_fp8_over_baseline"] < 8.0
+        # SpikeStream consumes more power but less energy than the baseline.
+        for row in result.rows:
+            assert row["power_w_spikestream_fp16"] > row["power_w_baseline"]
+            assert row["energy_mj_spikestream_fp16"] < row["energy_mj_baseline"]
+
+    def test_spva_microbenchmark(self):
+        result = spva_microbenchmark_experiment(stream_lengths=(1, 8, 64))
+        assert [row["stream_length"] for row in result.rows] == [1, 8, 64]
+        speedups = [row["speedup"] for row in result.rows]
+        assert speedups == sorted(speedups)
+        assert 5.0 < result.headline["asymptotic_speedup"] < 9.0
+        assert result.headline["baseline_instructions_per_element"] == pytest.approx(8, abs=0.5)
+
+
+class TestSweeps:
+    def test_firing_rate_sweep_monotone_cycles(self):
+        result = firing_rate_sweep(rates=(0.05, 0.2, 0.4), seed=3)
+        cycles = [row["spikestream_cycles"] for row in result.rows]
+        assert cycles == sorted(cycles)
+
+    def test_core_count_sweep_scales(self):
+        result = core_count_sweep(core_counts=(1, 4, 8))
+        cycles = [row["cycles"] for row in result.rows]
+        assert cycles[0] > cycles[-1]
+        assert 0.5 < result.rows[-1]["parallel_efficiency"] <= 1.05
+
+    def test_precision_sweep(self):
+        result = precision_sweep(batch_size=1, seed=4)
+        runtimes = {row["precision"]: row["runtime_ms"] for row in result.rows}
+        assert runtimes["fp8"] < runtimes["fp16"] < runtimes["fp32"]
+
+    def test_stream_length_sweep(self):
+        result = stream_length_sweep(lengths=(1, 16, 256))
+        speedups = [row["speedup"] for row in result.rows]
+        assert speedups == sorted(speedups)

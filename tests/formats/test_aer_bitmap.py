@@ -1,0 +1,62 @@
+"""Tests for the AER and bitmap spike representations."""
+
+import numpy as np
+import pytest
+
+from repro.formats.aer import AER_FIELDS_PER_EVENT, AEREvent, AERStream
+from repro.formats.bitmap import BitmapIfmap
+from repro.formats.convert import dense_to_aer, dense_to_bitmap
+from repro.types import TensorShape
+
+
+class TestAEREvent:
+    def test_rejects_negative_coordinates(self):
+        with pytest.raises(ValueError):
+            AEREvent(row=-1, col=0, channel=0)
+
+    def test_default_timestep_zero(self):
+        assert AEREvent(1, 2, 3).timestep == 0
+
+
+class TestAERStream:
+    def test_append_validates_bounds(self):
+        stream = AERStream(shape=TensorShape(2, 2, 2))
+        stream.append(AEREvent(1, 1, 1))
+        with pytest.raises(ValueError):
+            stream.append(AEREvent(2, 0, 0))
+        with pytest.raises(ValueError):
+            stream.append(AEREvent(0, 0, 2))
+
+    def test_footprint_counts_coordinate_fields(self, rng):
+        dense = rng.random((4, 4, 8)) < 0.5
+        stream = dense_to_aer(dense)
+        assert stream.footprint_bytes() == stream.nnz * AER_FIELDS_PER_EVENT * 2
+
+    def test_coordinates_array(self):
+        stream = AERStream(shape=TensorShape(3, 3, 3))
+        stream.append(AEREvent(1, 2, 0, timestep=5))
+        coords = stream.coordinates()
+        assert coords.shape == (1, 4)
+        assert coords.tolist() == [[1, 2, 0, 5]]
+
+    def test_empty_stream_has_empty_coordinates(self):
+        stream = AERStream(shape=TensorShape(2, 2, 2))
+        assert stream.coordinates().shape == (0, 4)
+        assert stream.footprint_bytes() == 0
+
+
+class TestBitmap:
+    def test_footprint_is_one_bit_per_neuron(self, rng):
+        dense = rng.random((4, 4, 16)) < 0.5
+        bitmap = dense_to_bitmap(dense)
+        assert bitmap.footprint_bytes() == (4 * 4 * 16 + 7) // 8
+
+    def test_nnz_matches_dense(self, rng):
+        dense = rng.random((3, 5, 7)) < 0.3
+        bitmap = dense_to_bitmap(dense)
+        assert bitmap.nnz == int(np.count_nonzero(dense))
+        assert bitmap.firing_rate == pytest.approx(np.count_nonzero(dense) / dense.size)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitmapIfmap(shape=TensorShape(2, 2, 2), bits=np.zeros((2, 2, 3), dtype=bool))

@@ -1,0 +1,195 @@
+"""Tests for the micro-executor and the two SpVA listings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import DEFAULT_COSTS
+from repro.isa.executor import Executor, ExecutorParams
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+from repro.isa.spva_listings import (
+    build_baseline_spva_program,
+    build_streaming_spva_program,
+    make_spva_setup,
+    run_baseline_spva,
+    run_streaming_spva,
+)
+
+
+class TestExecutorSemantics:
+    def test_integer_alu(self):
+        program = Program()
+        program.emit("li", "t0", 5).emit("addi", "t0", "t0", 3).emit("slli", "t1", "t0", 2)
+        program.emit("sub", "t2", "t1", "t0")
+        executor = Executor()
+        result = executor.run(program)
+        assert result.int_registers["t0"] == 8
+        assert result.int_registers["t1"] == 32
+        assert result.int_registers["t2"] == 24
+        assert result.fp_instructions == 0
+
+    def test_loads_and_stores(self):
+        memory = Memory(256)
+        program = Program()
+        program.emit("li", "a0", 16)
+        program.emit("li", "t0", 1234)
+        program.emit("sw", "t0", 0, "a0")
+        program.emit("lw", "t1", 0, "a0")
+        result = Executor(memory=memory).run(program)
+        assert result.int_registers["t1"] == 1234
+        assert result.loads == 1
+        assert result.stores == 1
+
+    def test_branch_loop_counts_iterations(self):
+        program = Program()
+        program.emit("li", "t0", 0).emit("li", "t1", 5)
+        program.label("loop").emit("addi", "t0", "t0", 1).emit("bne", "t0", "t1", "loop")
+        result = Executor().run(program)
+        assert result.int_registers["t0"] == 5
+
+    def test_fp_arithmetic(self):
+        program = Program()
+        program.emit("fadd.d", "fa0", "fa1", "fa2")
+        program.emit("fmadd.d", "fa3", "fa0", "fa1", "fa2")
+        executor = Executor()
+        executor.set_fp("fa1", 2.0)
+        executor.set_fp("fa2", 3.0)
+        result = executor.run(program)
+        assert result.fp_registers["fa0"] == 5.0
+        assert result.fp_registers["fa3"] == 13.0
+        assert result.fpu_busy_cycles == 2
+
+    def test_load_use_stall_accounted(self):
+        dependent = Program()
+        dependent.emit("li", "a0", 0).emit("lw", "t0", 0, "a0").emit("addi", "t1", "t0", 1)
+        independent = Program()
+        independent.emit("li", "a0", 0).emit("lw", "t0", 0, "a0").emit("addi", "t1", "t2", 1)
+        assert Executor().run(dependent).cycles > Executor().run(independent).cycles
+
+    def test_taken_branch_penalty(self):
+        taken = Program()
+        taken.emit("li", "t0", 0).emit("li", "t1", 1)
+        taken.emit("beq", "t0", "t0", "end").emit("nop").label("end").emit("nop")
+        not_taken = Program()
+        not_taken.emit("li", "t0", 0).emit("li", "t1", 1)
+        not_taken.emit("beq", "t0", "t1", "end").emit("nop").label("end").emit("nop")
+        assert Executor().run(taken).cycles > Executor().run(not_taken).cycles - 1
+
+    def test_runaway_program_aborts(self):
+        program = Program()
+        program.label("loop").emit("beq", "zero", "zero", "loop")
+        executor = Executor(params=ExecutorParams(max_steps=100))
+        with pytest.raises(RuntimeError, match="exceeded"):
+            executor.run(program)
+
+    def test_frep_requires_fp_body(self):
+        program = Program()
+        program.emit("li", "t0", 2)
+        program.emit("frep", "t0", 1)
+        program.emit("addi", "t1", "t1", 1)
+        with pytest.raises(RuntimeError, match="FP arithmetic"):
+            Executor().run(program)
+
+    def test_stream_read_requires_configuration(self):
+        program = Program()
+        program.emit("ssr.enable")
+        program.emit("fadd.d", "fa0", "ft1", "fa0")
+        with pytest.raises(RuntimeError, match="unconfigured"):
+            Executor().run(program)
+
+
+class TestSpvaListings:
+    def test_baseline_program_has_eight_instructions(self):
+        assert len(build_baseline_spva_program()) == 8
+
+    def test_streaming_program_configures_ssr_and_frep(self):
+        ops = [instr.op for instr in build_streaming_spva_program()]
+        assert "ssr.cfg.indirect" in ops
+        assert "frep" in ops
+        assert ops.count("fadd.d") == 1
+
+    def test_functional_equivalence_on_example(self, rng):
+        weights = rng.normal(size=32)
+        c_idcs = np.array([1, 5, 9, 30], dtype=np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        base_value, _ = run_baseline_spva(setup)
+        stream_value, _ = run_streaming_spva(setup)
+        assert base_value == pytest.approx(setup.expected_sum)
+        assert stream_value == pytest.approx(setup.expected_sum)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        length=st.integers(1, 64),
+        pool=st.integers(64, 256),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_functional_equivalence_property(self, length, pool, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.normal(size=pool)
+        c_idcs = rng.choice(pool, size=min(length, pool), replace=False).astype(np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        base_value, base_stats = run_baseline_spva(setup)
+        stream_value, stream_stats = run_streaming_spva(setup)
+        assert base_value == pytest.approx(setup.expected_sum, rel=1e-9)
+        assert stream_value == pytest.approx(setup.expected_sum, rel=1e-9)
+        assert stream_stats.cycles <= base_stats.cycles
+
+    def test_zero_length_stream_skipped(self):
+        setup = make_spva_setup(np.array([], dtype=np.uint16), np.ones(4))
+        value, stats = run_baseline_spva(setup)
+        assert value == 0.0
+        assert stats.cycles == 0.0
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            make_spva_setup(np.array([10], dtype=np.uint16), np.ones(4))
+
+    def test_baseline_cycles_match_cost_model(self):
+        """The instruction-level trace validates the analytic per-element cost."""
+        length = 64
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=length * 2)
+        c_idcs = rng.choice(length * 2, size=length, replace=False).astype(np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        _, stats = run_baseline_spva(setup)
+        per_element = stats.cycles / length
+        assert per_element == pytest.approx(DEFAULT_COSTS.baseline_cycles_per_element, abs=1.0)
+
+    def test_streaming_cycles_match_cost_model(self):
+        length = 64
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=length * 2)
+        c_idcs = rng.choice(length * 2, size=length, replace=False).astype(np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        _, stats = run_streaming_spva(setup)
+        modeled = (
+            length * DEFAULT_COSTS.streaming_cycles_per_element
+            + DEFAULT_COSTS.stream_startup_cycles
+            + DEFAULT_COSTS.stream_setup_int_instrs
+        )
+        assert stats.cycles == pytest.approx(modeled, rel=0.15)
+
+    def test_speedup_grows_with_stream_length_and_approaches_ideal(self):
+        rng = np.random.default_rng(1)
+        speedups = []
+        for length in (2, 8, 32, 128):
+            weights = rng.normal(size=256)
+            c_idcs = rng.choice(256, size=length, replace=False).astype(np.uint16)
+            setup = make_spva_setup(c_idcs, weights)
+            _, base = run_baseline_spva(setup)
+            _, stream = run_streaming_spva(setup)
+            speedups.append(base.cycles / stream.cycles)
+        assert speedups == sorted(speedups)
+        assert 5.0 < speedups[-1] < 9.0
+
+    def test_streaming_utilization_approaches_cost_model_plateau(self):
+        rng = np.random.default_rng(2)
+        weights = rng.normal(size=512)
+        c_idcs = rng.choice(512, size=256, replace=False).astype(np.uint16)
+        setup = make_spva_setup(c_idcs, weights)
+        _, stats = run_streaming_spva(setup)
+        assert stats.fpu_utilization == pytest.approx(
+            1.0 / DEFAULT_COSTS.streaming_cycles_per_element, abs=0.08
+        )

@@ -1,0 +1,135 @@
+"""Tests for the SpVA cost primitives and the fused activation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import DEFAULT_COSTS
+from repro.kernels.activation import activation_cost_per_group, fused_lif_activation
+from repro.kernels.spva import baseline_spva_cost, spva_gather_accumulate, streaming_spva_cost
+from repro.snn.neuron import LIFParameters, LIFState, lif_step
+from repro.types import Precision
+
+
+class TestSpvaGather:
+    def test_matches_dense_sum(self, rng):
+        weights = rng.normal(size=(32, 16))
+        idcs = np.array([3, 7, 20])
+        expected = weights[3] + weights[7] + weights[20]
+        assert np.allclose(spva_gather_accumulate(weights, idcs), expected)
+
+    def test_empty_indices_give_zero(self, rng):
+        weights = rng.normal(size=(8, 4))
+        assert np.array_equal(spva_gather_accumulate(weights, np.array([])), np.zeros(4))
+
+    def test_out_of_range_rejected(self, rng):
+        with pytest.raises(ValueError):
+            spva_gather_accumulate(rng.normal(size=(4, 2)), np.array([4]))
+
+    def test_requires_2d_weights(self, rng):
+        with pytest.raises(ValueError):
+            spva_gather_accumulate(rng.normal(size=8), np.array([0]))
+
+
+class TestSpvaCosts:
+    def test_baseline_cycles_linear_in_length(self):
+        cost = baseline_spva_cost(np.array([0.0, 10.0, 20.0]))
+        deltas = np.diff(cost.cycles)
+        assert deltas[0] == pytest.approx(deltas[1])
+        assert deltas[0] == pytest.approx(10 * DEFAULT_COSTS.baseline_cycles_per_element)
+
+    def test_baseline_fp_fraction_matches_listing(self):
+        cost = baseline_spva_cost(100.0)
+        assert float(cost.fp_instructions) == pytest.approx(100.0)
+        assert float(cost.int_instructions) > 100.0 * 6
+
+    def test_streaming_hides_setup_under_long_streams(self):
+        short = streaming_spva_cost(1.0)
+        long = streaming_spva_cost(100.0)
+        # For short streams the integer setup dominates; for long streams the
+        # per-element streaming time dominates.
+        assert float(short.cycles) > 1.0 * DEFAULT_COSTS.streaming_cycles_per_element
+        expected_long = (
+            100.0 * DEFAULT_COSTS.streaming_cycles_per_element + DEFAULT_COSTS.stream_startup_cycles
+        )
+        assert float(long.cycles) == pytest.approx(expected_long)
+
+    def test_zero_length_stream_skips_fp_entirely(self):
+        cost = streaming_spva_cost(0.0)
+        assert float(cost.fp_instructions) == 0.0
+        assert float(cost.ssr_spm_accesses) == 0.0
+        assert float(cost.cycles) < DEFAULT_COSTS.spva_address_calc_int_instrs + 2
+
+    def test_conflict_factor_scales_streaming_time(self):
+        clean = streaming_spva_cost(50.0, conflict_factor=1.0)
+        congested = streaming_spva_cost(50.0, conflict_factor=1.2)
+        assert float(congested.cycles) > float(clean.cycles)
+
+    def test_conflict_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            streaming_spva_cost(np.array([1.0]), conflict_factor=0.9)
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            baseline_spva_cost(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            streaming_spva_cost(np.array([-1.0]))
+
+    def test_total_sums_elementwise_costs(self):
+        lengths = np.array([1.0, 5.0, 9.0])
+        cost = baseline_spva_cost(lengths)
+        total = cost.total()
+        assert float(total.cycles) == pytest.approx(float(np.sum(cost.cycles)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(length=st.integers(1, 4096))
+    def test_streaming_always_faster_than_baseline(self, length):
+        base = baseline_spva_cost(float(length))
+        stream = streaming_spva_cost(float(length))
+        assert float(stream.cycles) < float(base.cycles)
+
+    @settings(max_examples=50, deadline=None)
+    @given(short=st.integers(0, 500), longer=st.integers(0, 500))
+    def test_speedup_monotone_in_stream_length(self, short, longer):
+        """The streaming advantage never shrinks as streams get longer."""
+        if short > longer:
+            short, longer = longer, short
+        if short == longer:
+            return
+        def speedup(n):
+            if n == 0:
+                return 1.0
+            return float(baseline_spva_cost(float(n)).cycles) / float(
+                streaming_spva_cost(float(n)).cycles
+            )
+        assert speedup(longer) >= speedup(short) - 1e-9
+
+
+class TestFusedActivation:
+    def test_matches_lif_step_at_full_precision(self, rng):
+        lif = LIFParameters(alpha=0.85, v_threshold=0.7)
+        membrane = rng.normal(size=(4, 4, 8))
+        currents = rng.normal(size=(4, 4, 8))
+        new_membrane, spikes = fused_lif_activation(membrane, currents, lif, Precision.FP64)
+        ref_state, ref_spikes = lif_step(LIFState(membrane=membrane.copy()), currents, lif)
+        assert np.array_equal(spikes, ref_spikes)
+        assert np.allclose(new_membrane, ref_state.membrane)
+
+    def test_quantization_changes_results_only_slightly(self, rng):
+        lif = LIFParameters()
+        membrane = rng.normal(size=100)
+        currents = rng.normal(size=100)
+        full, _ = fused_lif_activation(membrane, currents, lif, Precision.FP64)
+        half, _ = fused_lif_activation(membrane, currents, lif, Precision.FP16)
+        assert np.allclose(full, half, atol=0.05)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fused_lif_activation(np.zeros(3), np.zeros(4), LIFParameters())
+
+    def test_fp8_activation_costs_more_integer_work(self):
+        fp16_int, fp16_fp = activation_cost_per_group(Precision.FP16)
+        fp8_int, fp8_fp = activation_cost_per_group(Precision.FP8)
+        assert fp8_int > fp16_int
+        assert fp8_fp == fp16_fp

@@ -1,0 +1,142 @@
+"""Tests for spike encoders, synthetic datasets and activity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.snn.datasets import (
+    SyntheticCIFAR10,
+    synthetic_compressed_ifmap,
+    synthetic_layer_activity,
+)
+from repro.snn.encoding import DirectEncoder, PoissonEncoder, RateEncoder
+from repro.snn.stats import collect_activity_stats, summarize_records
+from repro.snn.svgg11 import SVGG11_LAYER_FIRING_RATES
+from repro.types import TensorShape
+
+
+class TestEncoders:
+    def test_direct_encoder_repeats_frame(self, rng):
+        image = rng.random((4, 4, 3))
+        encoded = DirectEncoder(scale=2.0).encode(image, timesteps=3)
+        assert encoded.shape == (3, 4, 4, 3)
+        assert np.allclose(encoded[0], image * 2.0)
+        assert np.allclose(encoded[1], encoded[2])
+
+    def test_poisson_encoder_rate_tracks_intensity(self):
+        image = np.full((10, 10, 1), 0.3)
+        spikes = PoissonEncoder(seed=0).encode(image, timesteps=200)
+        assert spikes.dtype == bool
+        assert spikes.mean() == pytest.approx(0.3, abs=0.05)
+
+    def test_poisson_encoder_zero_and_one_extremes(self):
+        image = np.zeros((4, 4, 1))
+        image[0, 0, 0] = 1.0
+        spikes = PoissonEncoder(seed=1).encode(image, timesteps=50)
+        assert spikes[:, 0, 0, 0].all()
+        assert not spikes[:, 1:, :, :].any()
+
+    def test_rate_encoder_spike_count_matches_intensity(self):
+        image = np.array([[[0.5, 1.0, 0.0]]])
+        spikes = RateEncoder().encode(image, timesteps=10)
+        counts = spikes.sum(axis=0)[0, 0]
+        assert counts.tolist() == [5, 10, 0]
+
+    def test_rate_encoder_spreads_spikes(self):
+        image = np.array([[[0.5]]])
+        spikes = RateEncoder().encode(image, timesteps=4)[:, 0, 0, 0]
+        # Two spikes in four steps, never adjacent saturation of the window.
+        assert spikes.sum() == 2
+
+    def test_invalid_timesteps(self):
+        with pytest.raises(ValueError):
+            DirectEncoder().encode(np.zeros((2, 2, 1)), timesteps=0)
+
+    def test_invalid_max_rate(self):
+        with pytest.raises(ValueError):
+            PoissonEncoder(max_rate=0.0)
+
+
+class TestSyntheticCIFAR10:
+    def test_sample_shapes_and_range(self):
+        images, labels = SyntheticCIFAR10(seed=1).sample(3)
+        assert images.shape == (3, 32, 32, 3)
+        assert labels.shape == (3,)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+        assert np.all((labels >= 0) & (labels < 10))
+
+    def test_deterministic_for_fixed_seed(self):
+        a, _ = SyntheticCIFAR10(seed=5).sample(2)
+        b, _ = SyntheticCIFAR10(seed=5).sample(2)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a, _ = SyntheticCIFAR10(seed=5).sample(1)
+        b, _ = SyntheticCIFAR10(seed=6).sample(1)
+        assert not np.allclose(a, b)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            SyntheticCIFAR10().sample(0)
+
+
+class TestSyntheticActivity:
+    def test_compressed_ifmap_matches_requested_rate(self, rng):
+        shape = TensorShape(16, 16, 64)
+        compressed = synthetic_compressed_ifmap(shape, 0.3, rng)
+        assert compressed.shape == shape
+        assert compressed.firing_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_rate_bounds_checked(self, rng):
+        with pytest.raises(ValueError):
+            synthetic_compressed_ifmap(TensorShape(4, 4, 4), 1.5, rng)
+
+    def test_layer_activity_structure(self):
+        batch = synthetic_layer_activity(batch_size=2, layers=["conv2", "fc1"], seed=3)
+        assert len(batch) == 2
+        names = [sample.name for sample in batch[0]]
+        assert names == ["conv2", "fc1"]
+        conv_sample = batch[0][0]
+        assert conv_sample.compressed_input is not None
+        assert conv_sample.compressed_input.shape == conv_sample.padded_input_shape
+        fc_sample = batch[0][1]
+        assert fc_sample.compressed_vector is not None
+        assert fc_sample.compressed_vector.length == fc_sample.input_shape.numel
+
+    def test_layer_activity_padding_ring_is_empty(self):
+        batch = synthetic_layer_activity(batch_size=1, layers=["conv5"], seed=0)
+        compressed = batch[0][0].compressed_input
+        counts = compressed.spike_counts()
+        assert counts[0, :].sum() == 0
+        assert counts[-1, :].sum() == 0
+        assert counts[:, 0].sum() == 0
+        assert counts[:, -1].sum() == 0
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError, match="unknown layer"):
+            synthetic_layer_activity(batch_size=1, layers=["conv99"])
+
+    def test_rates_follow_profile(self):
+        batch = synthetic_layer_activity(batch_size=1, layers=["conv3"], seed=1)
+        sample = batch[0][0]
+        assert sample.firing_rate == SVGG11_LAYER_FIRING_RATES["conv3"]
+
+
+class TestStats:
+    def test_collect_activity_stats(self, tiny_network, rng):
+        activities = [tiny_network.forward(rng.random((8, 8, 3))) for _ in range(3)]
+        stats = collect_activity_stats(activities)
+        names = {s.layer_name for s in stats}
+        assert names == {"conv1", "conv2", "fc1"}
+        for entry in stats:
+            assert entry.samples == 3
+            assert 0.0 <= entry.mean_firing_rate <= 1.0
+            assert entry.std_firing_rate >= 0.0
+
+    def test_summarize_records(self, tiny_network, rng):
+        activity = tiny_network.forward(rng.random((8, 8, 3)))
+        summary = summarize_records(activity.records)
+        assert summary["records"] == 3
+        assert 0.0 <= summary["mean_output_rate"] <= 1.0
+
+    def test_summarize_empty(self):
+        assert summarize_records([])["records"] == 0

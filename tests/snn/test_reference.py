@@ -1,0 +1,104 @@
+"""Tests for the NumPy golden-reference layer arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.snn.reference import (
+    avgpool2d_hwc,
+    conv2d_hwc,
+    conv_output_size,
+    im2row,
+    linear,
+    maxpool2d_hwc,
+    pad_hwc,
+)
+
+
+class TestGeometry:
+    def test_conv_output_size_same_padding(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+
+    def test_conv_output_size_stride(self):
+        assert conv_output_size(8, 2, 2, 0) == 4
+
+    def test_conv_output_size_rejects_empty_output(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+    def test_pad_hwc(self):
+        x = np.ones((2, 2, 3))
+        padded = pad_hwc(x, 1)
+        assert padded.shape == (4, 4, 3)
+        assert padded[0].sum() == 0
+        assert padded[1:3, 1:3].sum() == 12
+
+
+class TestIm2Row:
+    def test_shape(self, rng):
+        x = rng.random((6, 6, 4))
+        rows = im2row(x, (3, 3), stride=1, padding=1)
+        assert rows.shape == (36, 3 * 3 * 4)
+
+    def test_row_content_matches_patch(self, rng):
+        x = rng.random((5, 5, 2))
+        rows = im2row(x, (3, 3), stride=1, padding=0)
+        # Output position (1, 1) corresponds to the central 3x3 patch.
+        expected = x[1:4, 1:4, :].reshape(-1)
+        assert np.allclose(rows[1 * 3 + 1], expected)
+
+
+class TestConv2d:
+    def test_identity_kernel(self, rng):
+        x = rng.random((5, 5, 1))
+        weights = np.zeros((3, 3, 1, 1))
+        weights[1, 1, 0, 0] = 1.0
+        out = conv2d_hwc(x, weights, stride=1, padding=1)
+        assert np.allclose(out[..., 0], x[..., 0])
+
+    def test_matches_explicit_sum(self, rng):
+        x = rng.random((4, 4, 3))
+        weights = rng.random((3, 3, 3, 2))
+        out = conv2d_hwc(x, weights, stride=1, padding=1)
+        padded = pad_hwc(x, 1)
+        oy, ox, oc = 2, 1, 1
+        expected = np.sum(padded[oy : oy + 3, ox : ox + 3, :] * weights[:, :, :, oc])
+        assert out[oy, ox, oc] == pytest.approx(expected)
+
+    def test_boolean_spikes_accepted(self, rng):
+        spikes = rng.random((4, 4, 3)) < 0.5
+        weights = rng.random((3, 3, 3, 2))
+        out = conv2d_hwc(spikes, weights, padding=1)
+        assert out.shape == (4, 4, 2)
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            conv2d_hwc(rng.random((4, 4, 3)), rng.random((3, 3, 2, 2)))
+
+
+class TestLinearAndPooling:
+    def test_linear_matches_matmul(self, rng):
+        x = rng.random(12)
+        weights = rng.random((12, 5))
+        assert np.allclose(linear(x, weights), x @ weights)
+
+    def test_linear_flattens_hwc_input(self, rng):
+        x = rng.random((2, 2, 3))
+        weights = rng.random((12, 4))
+        assert np.allclose(linear(x, weights), x.reshape(-1) @ weights)
+
+    def test_linear_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            linear(rng.random(5), rng.random((4, 2)))
+
+    def test_maxpool_on_spikes_is_logical_or(self):
+        spikes = np.zeros((4, 4, 1), dtype=bool)
+        spikes[0, 1, 0] = True
+        pooled = maxpool2d_hwc(spikes, 2, 2)
+        assert pooled.shape == (2, 2, 1)
+        assert pooled[0, 0, 0]
+        assert not pooled[1, 1, 0]
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(4, 4, 1)
+        pooled = avgpool2d_hwc(x, 2, 2)
+        assert pooled[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)

@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_run_command(self, capsys):
+        assert main(["run", "--batch", "1", "--precision", "fp16"]) == 0
+        output = capsys.readouterr().out
+        assert "S-VGG11" in output
+        assert "conv6" in output
+        assert "total_runtime_ms" in output
+
+    def test_run_baseline_flag(self, capsys):
+        assert main(["run", "--batch", "1", "--baseline"]) == 0
+        assert "baseline" in capsys.readouterr().out
+
+    def test_figures_fig3a(self, capsys):
+        assert main(["figures", "--figure", "fig3a", "--batch", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "csr_bytes_mean" in output
+        assert "headline" in output
+
+    def test_figures_fig3c(self, capsys):
+        assert main(["figures", "--figure", "fig3c", "--batch", "1"]) == 0
+        assert "speedup_fp16_over_baseline" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--batch", "1", "--timesteps", "10"]) == 0
+        output = capsys.readouterr().out
+        assert "LSMCore" in output and "Loihi" in output
+
+    def test_spva_command(self, capsys):
+        assert main(["spva", "--lengths", "1", "8"]) == 0
+        assert "stream_length" in capsys.readouterr().out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--figure", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

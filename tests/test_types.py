@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.types`."""
+
+import pytest
+
+from repro.types import OptimizationFlag, Precision, TensorShape
+
+
+class TestPrecision:
+    def test_bits_and_bytes(self):
+        assert Precision.FP64.bits == 64
+        assert Precision.FP32.bits == 32
+        assert Precision.FP16.bits == 16
+        assert Precision.FP8.bits == 8
+        assert Precision.FP16.bytes == 2
+        assert Precision.FP8.bytes == 1
+
+    def test_simd_width_matches_64bit_datapath(self):
+        assert Precision.FP64.simd_width == 1
+        assert Precision.FP32.simd_width == 2
+        assert Precision.FP16.simd_width == 4
+        assert Precision.FP8.simd_width == 8
+
+    def test_energy_scale_decreases_with_precision(self):
+        scales = [
+            Precision.FP64.fpu_energy_scale,
+            Precision.FP32.fpu_energy_scale,
+            Precision.FP16.fpu_energy_scale,
+            Precision.FP8.fpu_energy_scale,
+        ]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_from_name_parses_case_insensitively(self):
+        assert Precision.from_name("fp16") is Precision.FP16
+        assert Precision.from_name("FP8") is Precision.FP8
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            Precision.from_name("int8")
+
+
+class TestOptimizationFlag:
+    def test_baseline_excludes_streaming(self):
+        flags = OptimizationFlag.baseline()
+        assert not flags & OptimizationFlag.STREAMING_ACCELERATION
+        assert flags & OptimizationFlag.TENSOR_COMPRESSION
+        assert flags & OptimizationFlag.DOUBLE_BUFFERING
+
+    def test_spikestream_is_baseline_plus_streaming(self):
+        assert (
+            OptimizationFlag.spikestream()
+            == OptimizationFlag.baseline() | OptimizationFlag.STREAMING_ACCELERATION
+        )
+
+
+class TestTensorShape:
+    def test_properties(self):
+        shape = TensorShape(4, 5, 6)
+        assert shape.spatial_size == 20
+        assert shape.numel == 120
+        assert shape.as_tuple() == (4, 5, 6)
+        assert str(shape) == "4x5x6"
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_non_positive_dimensions(self, bad):
+        with pytest.raises(ValueError):
+            TensorShape(*bad)
+
+    def test_is_hashable_and_comparable(self):
+        assert TensorShape(2, 2, 2) == TensorShape(2, 2, 2)
+        assert len({TensorShape(2, 2, 2), TensorShape(2, 2, 2)}) == 1
