@@ -1,0 +1,87 @@
+"""Vectorized batch engine vs the per-frame reference loop.
+
+Times a batch-128 S-VGG11 statistical run through both execution paths of
+:class:`~repro.core.pipeline.SpikeStreamInference`:
+
+* ``run_statistical`` — the vectorized batch engine (one pass per layer over
+  the whole batch), and
+* ``run_statistical_reference`` — the historical frame-by-frame loop,
+
+asserts that their :class:`~repro.core.results.InferenceResult` objects are
+**bit-for-bit identical**, and reports the wall-clock speedup (>= 3x at
+batch 128 is the acceptance bar; ~4x is typical).
+
+Runs standalone (``python benchmarks/bench_batch_engine.py``) or under the
+pytest-benchmark harness (``pytest benchmarks/bench_batch_engine.py``).
+"""
+
+import sys
+import time
+
+from repro.config import spikestream_config
+from repro.core.pipeline import SpikeStreamInference
+
+#: The paper's batch size: both engines are timed on the full 128 frames.
+FULL_BATCH = 128
+SEED = 2025
+
+
+def compare_engines(batch_size: int = FULL_BATCH, seed: int = SEED, repeats: int = 3):
+    """Time both paths and verify equivalence; returns a result dictionary."""
+    engine = SpikeStreamInference(spikestream_config(batch_size=batch_size, seed=seed))
+    engine.run_statistical(batch_size=min(8, batch_size), seed=1)  # warm-up
+
+    vectorized_s = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        vectorized = engine.run_statistical(batch_size=batch_size, seed=seed)
+        vectorized_s.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    reference = engine.run_statistical_reference(batch_size=batch_size, seed=seed)
+    looped_s = time.perf_counter() - start
+
+    best = min(vectorized_s)
+    return {
+        "batch_size": batch_size,
+        "vectorized_s": best,
+        "looped_s": looped_s,
+        "speedup": looped_s / best if best > 0 else float("inf"),
+        "identical": vectorized.identical_to(reference),
+    }
+
+
+def test_batch_engine_equivalent_and_faster(benchmark):
+    """Vectorized engine: bit-for-bit equal to the loop and >= 3x faster."""
+    engine = SpikeStreamInference(spikestream_config(batch_size=FULL_BATCH, seed=SEED))
+    vectorized = benchmark(engine.run_statistical, batch_size=FULL_BATCH, seed=SEED)
+    reference = engine.run_statistical_reference(batch_size=FULL_BATCH, seed=SEED)
+    assert vectorized.identical_to(reference)
+
+    result = compare_engines(repeats=2)
+    assert result["identical"]
+    assert result["speedup"] >= 3.0, (
+        f"vectorized engine only {result['speedup']:.2f}x faster "
+        f"({result['vectorized_s']:.3f}s vs {result['looped_s']:.3f}s)"
+    )
+
+
+def main() -> int:
+    result = compare_engines()
+    print(
+        f"S-VGG11 statistical run, batch {result['batch_size']}:\n"
+        f"  per-frame loop : {result['looped_s']:.3f} s\n"
+        f"  batch engine   : {result['vectorized_s']:.3f} s (best of 3)\n"
+        f"  speedup        : {result['speedup']:.2f}x\n"
+        f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
+    )
+    if not result["identical"]:
+        return 1
+    if result["speedup"] < 3.0:
+        print("FAIL: speedup below the 3x acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,17 @@
 """Command-line interface for the SpikeStream reproduction.
 
-Four subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
     python -m repro.cli run        --precision fp16 --batch 8        # S-VGG11 inference
     python -m repro.cli figures    --figure fig3c --batch 8          # regenerate one figure
     python -m repro.cli compare    --timesteps 500                   # Figure-5 comparison
     python -m repro.cli spva       --lengths 1 8 64                  # Listing-1 micro-benchmark
+    python -m repro.cli sweep      --sweep firing_rate --jobs 4      # parallel parameter sweep
 
 Every command prints an aligned text table (the same rows the corresponding
-paper figure reports).
+paper figure reports); ``sweep`` can also emit machine-readable JSON or CSV
+(``--format json|csv``), fan its points out over a worker pool (``--jobs``),
+and memoize point results in a JSON cache file (``--cache``).
 """
 
 from __future__ import annotations
@@ -28,10 +31,23 @@ from .eval.experiments import (
     spva_microbenchmark_experiment,
     utilization_experiment,
 )
-from .eval.reporting import format_table, render_experiment
+from .eval.reporting import (
+    experiment_to_json,
+    format_table,
+    render_experiment,
+    rows_to_csv,
+)
+from .eval.runner import ResultsCache, available_sweeps, run_sweep
 from .types import Precision
 
 _FIGURES = ("fig3a", "fig3b", "fig3c", "fig4", "fig5", "listing1")
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,22 +57,41 @@ def _build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run S-VGG11 inference on the cluster model")
     run.add_argument("--precision", default="fp16", choices=[p.value for p in Precision])
     run.add_argument("--baseline", action="store_true", help="disable streaming acceleration")
-    run.add_argument("--batch", type=int, default=8, help="number of synthetic frames")
-    run.add_argument("--timesteps", type=int, default=1)
+    run.add_argument("--batch", type=_positive_int, default=8, help="number of synthetic frames")
+    run.add_argument("--timesteps", type=_positive_int, default=1)
     run.add_argument("--seed", type=int, default=2025)
 
     figures = subparsers.add_parser("figures", help="regenerate one of the paper's figures")
     figures.add_argument("--figure", required=True, choices=_FIGURES)
-    figures.add_argument("--batch", type=int, default=8)
+    figures.add_argument("--batch", type=_positive_int, default=None,
+                         help="frames per run (default: 8; 16 for fig3a)")
     figures.add_argument("--seed", type=int, default=2025)
 
     compare = subparsers.add_parser("compare", help="Figure-5 accelerator comparison")
-    compare.add_argument("--timesteps", type=int, default=500)
-    compare.add_argument("--batch", type=int, default=4)
+    compare.add_argument("--timesteps", type=_positive_int, default=500)
+    compare.add_argument("--batch", type=_positive_int, default=4)
     compare.add_argument("--seed", type=int, default=2025)
 
     spva = subparsers.add_parser("spva", help="Listing-1 SpVA micro-benchmark")
     spva.add_argument("--lengths", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64, 128])
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter sweep, optionally over a worker pool"
+    )
+    sweep.add_argument("--sweep", required=True, choices=available_sweeps())
+    sweep.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker count (1 = serial)")
+    sweep.add_argument("--backend", choices=("process", "thread", "serial"),
+                       default="process", help="worker-pool kind used when --jobs > 1")
+    sweep.add_argument("--format", choices=("table", "json", "csv"), default="table",
+                       dest="output_format")
+    sweep.add_argument("--batch", type=_positive_int, default=4,
+                       help="batch size of full-network sweep points")
+    sweep.add_argument("--seed", type=int, default=2025)
+    sweep.add_argument("--cache", default=None, metavar="PATH",
+                       help="JSON file memoizing per-point results across invocations")
+    sweep.add_argument("--output", default=None, metavar="PATH",
+                       help="write the rendered output to a file instead of stdout")
     return parser
 
 
@@ -80,15 +115,30 @@ def _command_run(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+#: Figure 3a reports mean/std footprints over the batch; below this batch
+#: size the statistics are noisy, but the user's request is still honored.
+_FIG3A_RECOMMENDED_BATCH = 16
+
+
 def _command_figures(args: argparse.Namespace) -> str:
+    # Each figure has its own default batch; an *explicitly requested* batch
+    # is always honored, with a warning when fig3a's statistics get noisy.
+    default_batch = _FIG3A_RECOMMENDED_BATCH if args.figure == "fig3a" else 8
+    batch = args.batch if args.batch is not None else default_batch
     if args.figure == "fig3a":
-        result = memory_footprint_experiment(batch_size=max(args.batch, 16), seed=args.seed)
+        if batch < _FIG3A_RECOMMENDED_BATCH:
+            print(
+                f"warning: fig3a statistics are noisy below batch "
+                f"{_FIG3A_RECOMMENDED_BATCH}; running with requested batch {batch}",
+                file=sys.stderr,
+            )
+        result = memory_footprint_experiment(batch_size=batch, seed=args.seed)
     elif args.figure == "fig5":
-        result = accelerator_comparison_experiment(batch_size=args.batch, seed=args.seed)
+        result = accelerator_comparison_experiment(batch_size=batch, seed=args.seed)
     elif args.figure == "listing1":
         result = spva_microbenchmark_experiment(seed=args.seed)
     else:
-        variants = run_svgg11_variants(batch_size=args.batch, seed=args.seed)
+        variants = run_svgg11_variants(batch_size=batch, seed=args.seed)
         driver = {
             "fig3b": utilization_experiment,
             "fig3c": speedup_experiment,
@@ -107,6 +157,33 @@ def _command_compare(args: argparse.Namespace) -> str:
     return render_experiment("Figure 5: accelerator comparison", result.rows, notes=notes)
 
 
+def _command_sweep(args: argparse.Namespace) -> str:
+    cache = ResultsCache(args.cache) if args.cache else None
+    result = run_sweep(
+        args.sweep,
+        jobs=args.jobs,
+        backend=args.backend,
+        seed=args.seed,
+        batch_size=args.batch,
+        cache=cache,
+    )
+    if args.output_format == "json":
+        rendered = experiment_to_json(result)
+    elif args.output_format == "csv":
+        rendered = rows_to_csv(result.rows)
+    else:
+        notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
+        rendered = render_experiment(f"sweep: {result.name}", result.rows, notes=notes)
+    if args.output:
+        try:
+            with open(args.output, "w") as handle:
+                handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write --output file: {error}")
+        return f"wrote {args.output_format} output to {args.output}"
+    return rendered
+
+
 def _command_spva(args: argparse.Namespace) -> str:
     result = spva_microbenchmark_experiment(stream_lengths=tuple(args.lengths))
     notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
@@ -122,6 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _command_figures,
         "compare": _command_compare,
         "spva": _command_spva,
+        "sweep": _command_sweep,
     }
     output = handlers[args.command](args)
     print(output)

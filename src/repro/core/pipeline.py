@@ -16,6 +16,17 @@ Two execution modes are provided:
 * **functional** (:meth:`SpikeStreamInference.run_functional`): an actual
   :class:`~repro.snn.network.SpikingNetwork` forward pass supplies the real
   per-layer spike maps, and the same performance model is evaluated on them.
+
+Statistical mode is implemented by a **vectorized batch engine**: instead of
+walking the batch frame-by-frame and re-entering every kernel per frame, the
+engine iterates layer-major, stacks every frame's spike counts for the layer
+into one array with a leading batch axis, and costs the whole batch through
+the kernels' ``*_perf_batch`` entry points (vectorized SpVA costs, batched
+window aggregation, and a batch-parallel workload-stealing simulation).  Each
+frame still draws from its own spawned RNG stream, so the result is
+bit-for-bit identical to the historical per-frame loop — which is preserved
+as :meth:`SpikeStreamInference.run_statistical_reference` and exercised by
+the equivalence tests and ``benchmarks/bench_batch_engine.py``.
 """
 
 from __future__ import annotations
@@ -31,9 +42,9 @@ from ..config import RunConfig
 from ..energy.model import EnergyModel
 from ..energy.params import DEFAULT_ENERGY, EnergyParams
 from ..formats.convert import compress_ifmap, compress_vector
-from ..kernels.conv import conv_layer_perf
-from ..kernels.encode import encode_layer_perf
-from ..kernels.fc import fc_layer_perf
+from ..kernels.conv import conv_layer_perf, conv_layer_perf_batch
+from ..kernels.encode import encode_layer_perf, encode_layer_perf_batch
+from ..kernels.fc import fc_layer_perf, fc_layer_perf_batch
 from ..snn.network import NetworkActivity, SpikingNetwork
 from ..types import LayerKind
 from ..utils.rng import SeedLike, make_rng, spawn_rngs
@@ -165,6 +176,33 @@ class SpikeStreamInference:
             counts = np.pad(counts, spec.padding)
         return counts
 
+    def _synthetic_counts_batch(
+        self, plan: LayerPlan, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Stack every frame's padded spike-count map into a ``(B, Hp, Wp)`` array.
+
+        Each frame draws from its own generator (in frame order), so the
+        per-frame streams are identical to the per-frame reference loop; the
+        zero padding is applied to the whole stack in one call (bit-for-bit
+        the same as padding each map individually).
+        """
+        spec = plan.spec
+        unpadded = spec.input_shape
+        counts = np.stack(
+            [
+                rng.binomial(
+                    unpadded.channels,
+                    plan.firing_rate,
+                    size=(unpadded.height, unpadded.width),
+                )
+                for rng in rngs
+            ]
+        ).astype(np.float64)
+        if spec.padding:
+            counts = np.pad(counts, ((0, 0), (spec.padding, spec.padding),
+                                     (spec.padding, spec.padding)))
+        return counts
+
     def run_statistical(
         self,
         plans: Optional[Sequence[LayerPlan]] = None,
@@ -178,6 +216,86 @@ class SpikeStreamInference:
         Per-frame spike counts are drawn from a binomial distribution with
         each layer's firing rate, reproducing the dynamic-sparsity variation
         the paper captures with its batch of 128 CIFAR-10 frames.
+
+        This is the vectorized batch engine: it iterates layer-major, draws
+        all per-frame spike counts of a layer at once (stacked behind a
+        leading batch axis, one spawned RNG stream per frame) and costs the
+        whole batch through the kernels' ``*_perf_batch`` entry points.  For
+        a fixed seed the result is bit-for-bit identical to the per-frame
+        loop kept in :meth:`run_statistical_reference`, at a fraction of the
+        wall-clock cost (``benchmarks/bench_batch_engine.py`` quantifies the
+        speedup at batch 128).
+        """
+        plans = list(plans) if plans is not None else self.optimizer.plan_svgg11(firing_rates)
+        batch_size = batch_size or self.config.batch_size
+        timesteps = timesteps or self.config.timesteps
+        seed = seed if seed is not None else self.config.seed
+        frame_rngs = spawn_rngs(seed, batch_size)
+
+        accumulators = [_LayerAccumulator(plan) for plan in plans]
+        for accumulator in accumulators:
+            plan = accumulator.plan
+            if plan.kernel is KernelKind.CONV:
+                counts = self._synthetic_counts_batch(plan, frame_rngs)
+                stats_batch = conv_layer_perf_batch(
+                    plan.spec,
+                    counts,
+                    precision=plan.precision,
+                    streaming=plan.streaming,
+                    params=self.cluster,
+                    costs=self.costs,
+                    index_bytes=self.config.index_bytes,
+                )
+            elif plan.kernel is KernelKind.FC:
+                nnz = [
+                    int(rng.binomial(plan.spec.in_features, plan.firing_rate))
+                    for rng in frame_rngs
+                ]
+                stats_batch = fc_layer_perf_batch(
+                    plan.spec,
+                    nnz,
+                    precision=plan.precision,
+                    streaming=plan.streaming,
+                    params=self.cluster,
+                    costs=self.costs,
+                    index_bytes=self.config.index_bytes,
+                )
+            else:
+                stats_batch = encode_layer_perf_batch(
+                    plan.spec,
+                    batch_size,
+                    precision=plan.precision,
+                    streaming=plan.streaming,
+                    params=self.cluster,
+                    costs=self.costs,
+                    index_bytes=self.config.index_bytes,
+                )
+            for stats in stats_batch:
+                if timesteps > 1:
+                    stats = _scale_stats(stats, timesteps)
+                energy = self.layer_energy(plan, stats)
+                accumulator.add(stats, energy, self.cluster.clock_hz)
+        return InferenceResult(
+            config=self.config,
+            layers=[a.result(self.cluster.clock_hz) for a in accumulators],
+            clock_hz=self.cluster.clock_hz,
+        )
+
+    def run_statistical_reference(
+        self,
+        plans: Optional[Sequence[LayerPlan]] = None,
+        batch_size: Optional[int] = None,
+        firing_rates: Optional[Dict[str, float]] = None,
+        seed: SeedLike = None,
+        timesteps: Optional[int] = None,
+    ) -> InferenceResult:
+        """Per-frame reference implementation of :meth:`run_statistical`.
+
+        Walks the batch frame-by-frame and layer-by-layer, re-entering every
+        kernel once per frame.  Kept as the golden reference for the batch
+        engine's equivalence tests and as the baseline timed by
+        ``benchmarks/bench_batch_engine.py``; produces bit-for-bit the same
+        :class:`~repro.core.results.InferenceResult` as the vectorized path.
         """
         plans = list(plans) if plans is not None else self.optimizer.plan_svgg11(firing_rates)
         batch_size = batch_size or self.config.batch_size

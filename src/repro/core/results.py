@@ -10,6 +10,9 @@ import numpy as np
 from ..config import RunConfig
 from ..types import Precision
 
+#: Per-frame metric arrays carried by every :class:`LayerResult`.
+PER_FRAME_METRICS = ("cycles", "fpu_utilization", "ipc", "energy_j", "power_w", "dma_bytes")
+
 
 @dataclass
 class LayerResult:
@@ -34,12 +37,11 @@ class LayerResult:
 
     def __post_init__(self) -> None:
         lengths = {
-            len(np.atleast_1d(getattr(self, name)))
-            for name in ("cycles", "fpu_utilization", "ipc", "energy_j", "power_w", "dma_bytes")
+            len(np.atleast_1d(getattr(self, name))) for name in PER_FRAME_METRICS
         }
         if len(lengths) != 1:
             raise ValueError(f"per-frame arrays of layer {self.name!r} have inconsistent lengths")
-        for name in ("cycles", "fpu_utilization", "ipc", "energy_j", "power_w", "dma_bytes"):
+        for name in PER_FRAME_METRICS:
             setattr(self, name, np.atleast_1d(np.asarray(getattr(self, name), dtype=np.float64)))
 
     @property
@@ -93,6 +95,19 @@ class LayerResult:
     def std_energy_j(self) -> float:
         """Standard deviation of energy over the batch."""
         return float(np.std(self.energy_j))
+
+    def identical_to(self, other: "LayerResult") -> bool:
+        """Bit-for-bit equality of every per-frame metric array.
+
+        Used by the batch-engine equivalence tests and benchmark: no
+        tolerances are applied, every float must match exactly.
+        """
+        if self.name != other.name or self.kernel != other.kernel:
+            return False
+        return all(
+            np.array_equal(getattr(self, metric), getattr(other, metric))
+            for metric in PER_FRAME_METRICS
+        )
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary of the aggregated metrics."""
@@ -184,6 +199,12 @@ class InferenceResult:
         if runtime <= 0:
             return 0.0
         return self.total_energy_j / runtime
+
+    def identical_to(self, other: "InferenceResult") -> bool:
+        """Bit-for-bit equality with another result (same layers, same arrays)."""
+        if self.layer_names != other.layer_names:
+            return False
+        return all(a.identical_to(b) for a, b in zip(self.layers, other.layers))
 
     def summary(self) -> Dict[str, float]:
         """Headline metrics of the run."""

@@ -1,7 +1,13 @@
-"""Experiment drivers regenerating every figure of the paper's evaluation."""
+"""Experiment drivers regenerating every figure of the paper's evaluation.
+
+Besides the per-figure drivers and sequential sweeps, the package exposes the
+parallel sweep runner (:func:`run_sweep` / :class:`ResultsCache` in
+:mod:`repro.eval.runner`) and machine-readable exports
+(:func:`experiment_to_json`, :func:`rows_to_csv`).
+"""
 
 from .metrics import geometric_mean, ratio, summarize
-from .reporting import format_table, render_experiment
+from .reporting import experiment_to_json, format_table, render_experiment, rows_to_csv
 from .experiments import (
     ExperimentResult,
     accelerator_comparison_experiment,
@@ -12,6 +18,7 @@ from .experiments import (
     spva_microbenchmark_experiment,
     utilization_experiment,
 )
+from .runner import ResultsCache, available_sweeps, point_seed, run_sweep
 from .sweeps import (
     core_count_sweep,
     firing_rate_sweep,
@@ -25,8 +32,10 @@ __all__ = [
     "geometric_mean",
     "ratio",
     "summarize",
+    "experiment_to_json",
     "format_table",
     "render_experiment",
+    "rows_to_csv",
     "ExperimentResult",
     "accelerator_comparison_experiment",
     "energy_experiment",
@@ -35,6 +44,10 @@ __all__ = [
     "speedup_experiment",
     "spva_microbenchmark_experiment",
     "utilization_experiment",
+    "ResultsCache",
+    "available_sweeps",
+    "point_seed",
+    "run_sweep",
     "core_count_sweep",
     "firing_rate_sweep",
     "optimization_ablation",

@@ -114,7 +114,9 @@ def run_svgg11_variants(
     """Run the three evaluated variants over the same synthetic batch.
 
     Returns a dictionary with keys ``baseline_fp16``, ``spikestream_fp16``
-    and ``spikestream_fp8``.
+    and ``spikestream_fp8``.  Each variant runs through the vectorized batch
+    engine (:meth:`~repro.core.pipeline.SpikeStreamInference.run_statistical`),
+    so regenerating every figure at the paper's batch size of 128 is cheap.
     """
     configurations = {
         "baseline_fp16": baseline_config(Precision.FP16, batch_size=batch_size, seed=seed,

@@ -1,13 +1,18 @@
-"""Plain-text rendering of experiment tables.
+"""Rendering and export of experiment tables.
 
 The experiments return lists of row dictionaries; :func:`format_table`
 renders them as aligned ASCII tables so that the benchmark harness can print
-the same rows/series the paper's figures report.
+the same rows/series the paper's figures report.  :func:`experiment_to_json`
+and :func:`rows_to_csv` provide machine-readable exports used by the
+``repro.cli sweep`` subcommand.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
 
 
 def _format_value(value) -> str:
@@ -48,3 +53,43 @@ def render_experiment(title: str, rows: Sequence[Dict[str, object]],
     if notes:
         parts.append(notes)
     return "\n".join(parts) + "\n"
+
+
+def _json_default(value):
+    """Coerce numpy scalars (and other oddballs) into plain JSON types."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def experiment_to_json(result, indent: int = 2) -> str:
+    """Serialize an :class:`~repro.eval.experiments.ExperimentResult` to JSON.
+
+    The payload carries the experiment ``name``, ``figure`` tag, the full
+    ``rows`` list and the ``headline`` aggregates — everything a downstream
+    plotting or regression-tracking tool needs.
+    """
+    payload = {
+        "name": result.name,
+        "figure": result.figure,
+        "rows": list(result.rows),
+        "headline": dict(result.headline),
+    }
+    return json.dumps(payload, indent=indent, default=_json_default)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]],
+                columns: Optional[Sequence[str]] = None) -> str:
+    """Serialize experiment rows to CSV (header + one line per row)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col, "") for col in columns})
+    return buffer.getvalue()

@@ -1,0 +1,475 @@
+"""Parallel sweep runner.
+
+The sweeps in :mod:`repro.eval.sweeps` evaluate their points one after the
+other.  This module fans the points of a sweep out over a
+:mod:`concurrent.futures` worker pool instead:
+
+* **per-point seeding** — every point derives its own seed from the base
+  seed, the sweep name and the point's parameters (see :func:`point_seed`),
+  so results are independent of evaluation order, of which subset of points
+  is requested, and of how many workers execute them;
+* **results cache** — rows are memoized under a key built from the sweep
+  name, the point parameters, the seed, the batch size and any extra
+  configuration (:class:`ResultsCache`), optionally persisted to a JSON
+  file, so repeated invocations (e.g. when refining a figure) skip points
+  that were already evaluated;
+* **pluggable backend** — points run in a process pool (true parallelism),
+  a thread pool, or serially; pool-infrastructure failures fall back to the
+  serial path so a sweep always completes, while errors raised by a point
+  itself propagate to the caller.
+
+The ``repro.cli sweep`` subcommand is a thin wrapper around
+:func:`run_sweep`, with JSON/CSV export through
+:mod:`repro.eval.reporting`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import sys
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..types import Precision
+from .experiments import ExperimentResult
+from .metrics import ratio
+from .sweeps import (
+    DEFAULT_CORE_COUNTS,
+    DEFAULT_FIRING_RATES,
+    DEFAULT_PRECISIONS,
+    DEFAULT_STREAM_LENGTHS,
+    DEFAULT_STRIDED_INDIRECT_RATES,
+    _conv6_spec,
+    _counts_for_rate,
+    core_count_point,
+    firing_rate_point,
+    fp8_over_fp16_headline,
+    precision_point,
+    stream_length_point,
+    strided_indirect_point,
+)
+
+_SEED_SPACE = 2**63 - 1
+
+
+def point_seed(base_seed: int, sweep: str, params: Mapping[str, object]) -> int:
+    """Deterministic per-point seed derived from the base seed and the point.
+
+    The derivation hashes the sweep name and the *sorted* parameter items,
+    so the seed of a point never depends on where it appears in the sweep or
+    on which other points run alongside it.
+    """
+    payload = json.dumps([sweep, sorted(params.items())], sort_keys=True, default=str)
+    digest = hashlib.sha256(f"{base_seed}:{payload}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % _SEED_SPACE
+
+
+class ResultsCache:
+    """Memoized sweep-point rows keyed on (config, seed, batch, sweep point).
+
+    The cache is an in-memory dictionary, optionally backed by a JSON file:
+    pass ``path`` to load previously persisted rows on construction and call
+    :meth:`save` (the runner does) to persist new ones.
+    """
+
+    def __init__(self, path: Optional[Path] = None):
+        self.path = Path(path) if path is not None else None
+        self._rows: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            try:
+                rows = json.loads(self.path.read_text())
+                if not isinstance(rows, dict):
+                    raise ValueError("cache root must be a JSON object")
+                kept = {k: v for k, v in rows.items() if isinstance(v, dict)}
+                if len(kept) != len(rows):
+                    print(
+                        f"warning: dropped {len(rows) - len(kept)} malformed "
+                        f"entr(y/ies) from results cache {self.path}",
+                        file=sys.stderr,
+                    )
+                self._rows = kept
+            except (ValueError, OSError) as error:
+                # A cache is disposable: a corrupt/unreadable file means the
+                # points re-run, it must never crash the sweep.
+                print(
+                    f"warning: ignoring unreadable results cache {self.path}: {error}",
+                    file=sys.stderr,
+                )
+                self._rows = {}
+
+    @staticmethod
+    def key(
+        sweep: str,
+        params: Mapping[str, object],
+        seed: int,
+        batch_size: int,
+        config: Optional[Mapping[str, object]] = None,
+    ) -> str:
+        """Stable string key of one sweep point under one configuration."""
+        payload = {
+            "sweep": sweep,
+            "params": sorted(params.items()),
+            "seed": seed,
+            "batch": batch_size,
+            "config": sorted((config or {}).items()),
+        }
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Cached row for ``key``, or None (updates hit/miss counters)."""
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return dict(row)
+
+    def put(self, key: str, row: Mapping[str, object]) -> None:
+        """Store one row under ``key``."""
+        self._rows[key] = dict(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def save(self) -> None:
+        """Persist the cache to its JSON file (no-op for in-memory caches).
+
+        Like the load path, a failure to persist is reported but never
+        raised: the sweep's results have already been computed and must
+        still reach the caller.
+        """
+        if self.path is None:
+            return
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(self._rows, sort_keys=True, default=float))
+        except OSError as error:
+            print(
+                f"warning: could not persist results cache {self.path}: {error}",
+                file=sys.stderr,
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Point tasks (top-level functions so process pools can pickle them)
+# --------------------------------------------------------------------------- #
+def _run_firing_rate_point(task: Dict[str, object]) -> Dict[str, object]:
+    return firing_rate_point(
+        task["rate"], Precision.from_name(task["precision"]), seed=task["seed"]
+    )
+
+
+def _run_core_count_point(task: Dict[str, object]) -> Dict[str, object]:
+    # Every core count must cost the *same* spike-count map for the sweep to
+    # be a strong-scaling study, so the map is drawn from a seed that does
+    # not include the core count (see _task_seed).
+    spec = _conv6_spec()
+    rng = np.random.default_rng(task["seed"])
+    counts = _counts_for_rate(spec, task["rate"], rng)
+    return core_count_point(task["cores"], counts, Precision.from_name(task["precision"]))
+
+
+def _run_precision_point(task: Dict[str, object]) -> Dict[str, object]:
+    return precision_point(
+        Precision.from_name(task["precision"]), batch_size=task["batch"], seed=task["seed"]
+    )
+
+
+def _run_stream_length_point(task: Dict[str, object]) -> Dict[str, object]:
+    return stream_length_point(task["length"])
+
+
+def _run_strided_indirect_point(task: Dict[str, object]) -> Dict[str, object]:
+    return strided_indirect_point(
+        task["rate"], Precision.from_name(task["precision"]), seed=task["seed"]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Sweep definitions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepDefinition:
+    """One parallelizable sweep: its points, point runner and finalizer.
+
+    ``finalize`` receives the collected rows, the executed task dicts (which
+    carry each point's derived seed and configuration) and a ``run_cached``
+    callable that evaluates one extra point through the results cache; it
+    returns the headline and may also add derived columns to the rows.
+    """
+
+    name: str
+    points: Callable[..., List[Dict[str, object]]]
+    run_point: Callable[[Dict[str, object]], Dict[str, object]]
+    finalize: Callable[
+        [
+            List[Dict[str, object]],
+            List[Dict[str, object]],
+            Callable[[Dict[str, object]], Dict[str, object]],
+        ],
+        Dict[str, float],
+    ]
+    #: whether points consume randomness (False keeps the seed out of the
+    #: cache key and skips per-point seed derivation)
+    seeded: bool = True
+    #: whether points consume the batch size (False keeps it out of the key)
+    uses_batch: bool = False
+
+
+def _firing_rate_points(rates: Sequence[float] = DEFAULT_FIRING_RATES,
+                        precision: str = "fp16") -> List[Dict[str, object]]:
+    return [{"rate": float(r), "precision": precision} for r in rates]
+
+
+def _core_count_points(core_counts: Sequence[int] = DEFAULT_CORE_COUNTS, precision: str = "fp16",
+                       firing_rate: Optional[float] = None) -> List[Dict[str, object]]:
+    from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES
+
+    rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES["conv6"]
+    return [{"cores": int(c), "rate": float(rate), "precision": precision} for c in core_counts]
+
+
+def _precision_points(precisions: Sequence[str] = tuple(p.value for p in DEFAULT_PRECISIONS),
+                      ) -> List[Dict[str, object]]:
+    return [{"precision": p} for p in precisions]
+
+
+def _stream_length_points(lengths: Sequence[int] = DEFAULT_STREAM_LENGTHS,
+                          ) -> List[Dict[str, object]]:
+    return [{"length": int(n)} for n in lengths]
+
+
+def _strided_indirect_points(rates: Sequence[float] = DEFAULT_STRIDED_INDIRECT_RATES,
+                             precision: str = "fp16") -> List[Dict[str, object]]:
+    return [{"rate": float(r), "precision": precision} for r in rates]
+
+
+def _core_count_finalize(
+    rows: List[Dict[str, object]],
+    tasks: List[Dict[str, object]],
+    run_cached: Callable[[Dict[str, object]], Dict[str, object]],
+) -> Dict[str, float]:
+    """Anchor strong-scaling efficiency to an explicit 1-core reference.
+
+    Mirrors the fix in :func:`repro.eval.sweeps.core_count_sweep`: when the
+    requested points do not include 1 core, the reference is evaluated
+    separately on the same spike-count map (same data seed) instead of being
+    extrapolated or omitted.  The anchor goes through ``run_cached`` so a
+    repeat invocation of a fully cached sweep does not recompute it.
+    """
+    reference = None
+    for row in rows:
+        if row["cores"] == 1:
+            reference = row["cycles"]
+    if reference is None:
+        anchor_params = {
+            key: value for key, value in tasks[0].items() if key not in ("seed", "batch")
+        }
+        anchor_params["cores"] = 1
+        reference = run_cached(anchor_params)["cycles"]
+    for row in rows:
+        row["parallel_efficiency"] = ratio(reference, row["cycles"] * row["cores"])
+    last = rows[-1]
+    return {f"efficiency_at_{last['cores']}_cores": last["parallel_efficiency"]}
+
+
+SWEEPS: Dict[str, SweepDefinition] = {
+    "firing_rate": SweepDefinition(
+        name="firing_rate",
+        points=_firing_rate_points,
+        run_point=_run_firing_rate_point,
+        finalize=lambda rows, tasks, run_cached: {"max_speedup": max(r["speedup"] for r in rows)},
+    ),
+    "core_count": SweepDefinition(
+        name="core_count",
+        points=_core_count_points,
+        run_point=_run_core_count_point,
+        finalize=_core_count_finalize,
+    ),
+    "precision": SweepDefinition(
+        name="precision",
+        points=_precision_points,
+        run_point=_run_precision_point,
+        finalize=lambda rows, tasks, run_cached: fp8_over_fp16_headline(rows),
+        uses_batch=True,
+    ),
+    "stream_length": SweepDefinition(
+        name="stream_length",
+        points=_stream_length_points,
+        run_point=_run_stream_length_point,
+        finalize=lambda rows, tasks, run_cached: {"asymptotic_speedup": rows[-1]["speedup"]},
+        seeded=False,
+    ),
+    "strided_indirect": SweepDefinition(
+        name="strided_indirect",
+        points=_strided_indirect_points,
+        run_point=_run_strided_indirect_point,
+        finalize=lambda rows, tasks, run_cached: {
+            "max_additional_speedup": max(r["additional_speedup"] for r in rows)
+        },
+    ),
+}
+
+
+def available_sweeps() -> List[str]:
+    """Names accepted by :func:`run_sweep` and ``repro.cli sweep``."""
+    return sorted(SWEEPS)
+
+
+#: Point parameters that configure the *computation*, not the random input
+#: data.  They are excluded from the per-point seed derivation so that e.g.
+#: every core count costs the same spike-count map (strong scaling) and
+#: every precision runs the same random batch (matched-data speedups).
+_COMPUTE_PARAMS = ("cores", "precision")
+
+
+def _task_seed(definition: SweepDefinition, base_seed: int,
+               params: Mapping[str, object]) -> int:
+    if not definition.seeded:
+        return base_seed
+    seed_params = dict(params)
+    for key in _COMPUTE_PARAMS:
+        seed_params.pop(key, None)
+    return point_seed(base_seed, definition.name, seed_params)
+
+
+def _serial_fallback(run_point, tasks, backend, error):
+    print(
+        f"warning: {backend} pool failed ({error!r}); running sweep serially",
+        file=sys.stderr,
+    )
+    return [run_point(task) for task in tasks]
+
+
+def _execute(
+    run_point: Callable[[Dict[str, object]], Dict[str, object]],
+    tasks: List[Dict[str, object]],
+    jobs: int,
+    backend: str,
+) -> List[Dict[str, object]]:
+    """Run the point tasks, falling back to the serial path on pool failures.
+
+    Only pool-*infrastructure* failures trigger the fallback: OSError while
+    constructing the pool (e.g. fork refused), and pickling/broken-executor
+    errors while dispatching.  An exception raised by a point function (bad
+    parameters, model errors) propagates to the caller unchanged — it would
+    fail serially too, so re-running everything would only double the work.
+    """
+    if jobs <= 1 or backend == "serial" or len(tasks) <= 1:
+        return [run_point(task) for task in tasks]
+    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
+    try:
+        pool = pool_cls(max_workers=min(jobs, len(tasks)))
+    except (OSError, BrokenExecutor) as error:
+        return _serial_fallback(run_point, tasks, backend, error)
+    with pool:
+        try:
+            return list(pool.map(run_point, tasks))
+        except (BrokenExecutor, pickle.PicklingError) as error:
+            return _serial_fallback(run_point, tasks, backend, error)
+
+
+def run_sweep(
+    name: str,
+    jobs: int = 1,
+    backend: str = "process",
+    seed: int = 2025,
+    batch_size: int = 4,
+    cache: Optional[ResultsCache] = None,
+    **point_kwargs,
+) -> ExperimentResult:
+    """Run one registered sweep, fanning its points over a worker pool.
+
+    Parameters
+    ----------
+    name:
+        A sweep from :func:`available_sweeps`.
+    jobs:
+        Worker count; ``1`` runs serially.
+    backend:
+        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+    seed:
+        Base seed; every point derives its own seed via :func:`point_seed`.
+    batch_size:
+        Batch size of points that run full-network inference (``precision``).
+    cache:
+        Optional :class:`ResultsCache`; hits skip the point entirely and the
+        cache is saved after the run when file-backed.
+    point_kwargs:
+        Forwarded to the sweep's point generator (e.g. ``rates=...``,
+        ``core_counts=...``, ``precisions=...``, ``lengths=...``).
+    """
+    if name not in SWEEPS:
+        raise KeyError(f"unknown sweep {name!r}; available: {', '.join(available_sweeps())}")
+    definition = SWEEPS[name]
+    points = definition.points(**point_kwargs)
+    tasks = []
+    for params in points:
+        task = dict(params)
+        task["seed"] = _task_seed(definition, seed, params)
+        task["batch"] = batch_size
+        tasks.append(task)
+
+    rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    # Only the knobs a sweep actually consumes enter its cache key, so e.g.
+    # deterministic sweeps hit the cache regardless of --seed and sweeps
+    # that never run full-network inference hit regardless of --batch.
+    key_seed = seed if definition.seeded else 0
+    key_batch = batch_size if definition.uses_batch else 0
+    keys = [
+        ResultsCache.key(definition.name, params, key_seed, key_batch)
+        for params in points
+    ]
+    pending = list(range(len(tasks)))
+    if cache is not None:
+        pending = []
+        for index, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is not None:
+                rows[index] = hit
+            else:
+                pending.append(index)
+
+    if pending:
+        fresh = _execute(definition.run_point, [tasks[i] for i in pending], jobs, backend)
+        for index, row in zip(pending, fresh):
+            rows[index] = row
+            if cache is not None:
+                cache.put(keys[index], row)
+        if cache is not None:
+            cache.save()
+
+    def run_cached(params: Dict[str, object]) -> Dict[str, object]:
+        """Evaluate one extra point through the same cache as the sweep points."""
+        key = ResultsCache.key(definition.name, params, key_seed, key_batch)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        task = dict(params)
+        task["seed"] = _task_seed(definition, seed, params)
+        task["batch"] = batch_size
+        row = definition.run_point(task)
+        if cache is not None:
+            cache.put(key, row)
+            cache.save()
+        return row
+
+    final_rows: List[Dict[str, object]] = [dict(row) for row in rows]
+    # Named distinctly from the sequential sweeps: the per-point seeding
+    # produces different (order-independent) draws than the shared-RNG
+    # sequential functions, so results keyed by name must never mix.
+    return ExperimentResult(
+        name=f"parallel_{definition.name}_sweep",
+        figure="sweep",
+        rows=final_rows,
+        headline=definition.finalize(final_rows, tasks, run_cached),
+    )

@@ -24,8 +24,17 @@ from .experiments import ExperimentResult
 from .metrics import ratio
 
 
+# Default point lists, shared by the sequential sweeps below and the
+# parallel runner (repro.eval.runner) so the two entry points cannot drift.
+DEFAULT_FIRING_RATES = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5)
+DEFAULT_CORE_COUNTS = (1, 2, 4, 8)
+DEFAULT_PRECISIONS = (Precision.FP32, Precision.FP16, Precision.FP8)
+DEFAULT_STREAM_LENGTHS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+DEFAULT_STRIDED_INDIRECT_RATES = (0.05, 0.1, 0.2, 0.4)
+
+
 def _conv6_spec() -> ConvLayerSpec:
-    """The layer used by most sweeps (S-VGG11 conv6: 10x10x512 ifmap, 512 filters)."""
+    """The layer used by most sweeps (S-VGG11 conv6: 8x8x512 ifmap, 512 filters)."""
     return ConvLayerSpec(
         name="conv6",
         input_shape=TensorShape(8, 8, 512),
@@ -43,28 +52,41 @@ def _counts_for_rate(spec: ConvLayerSpec, rate: float, rng: np.random.Generator)
     return np.pad(counts.astype(np.float64), spec.padding)
 
 
+def firing_rate_point(
+    rate: float,
+    precision: Precision = Precision.FP16,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 2025,
+) -> Dict[str, object]:
+    """One firing-rate sweep point (baseline vs SpikeStream on conv6).
+
+    Standalone entry point shared by :func:`firing_rate_sweep` (which passes
+    its sequentially-advanced ``rng``) and the parallel runner in
+    :mod:`repro.eval.runner` (which derives an independent ``seed`` per
+    point so results do not depend on evaluation order).
+    """
+    spec = _conv6_spec()
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    counts = _counts_for_rate(spec, rate, rng)
+    base = conv_layer_perf(spec, counts, precision, streaming=False)
+    stream = conv_layer_perf(spec, counts, precision, streaming=True)
+    return {
+        "firing_rate": rate,
+        "baseline_cycles": base.total_cycles,
+        "spikestream_cycles": stream.total_cycles,
+        "speedup": ratio(base.total_cycles, stream.total_cycles),
+        "spikestream_fpu_util": stream.fpu_utilization,
+    }
+
+
 def firing_rate_sweep(
-    rates: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    rates: Sequence[float] = DEFAULT_FIRING_RATES,
     precision: Precision = Precision.FP16,
     seed: int = 2025,
 ) -> ExperimentResult:
     """Speedup and utilization of conv6 as a function of the ifmap firing rate."""
-    spec = _conv6_spec()
     rng = np.random.default_rng(seed)
-    rows: List[Dict[str, object]] = []
-    for rate in rates:
-        counts = _counts_for_rate(spec, rate, rng)
-        base = conv_layer_perf(spec, counts, precision, streaming=False)
-        stream = conv_layer_perf(spec, counts, precision, streaming=True)
-        rows.append(
-            {
-                "firing_rate": rate,
-                "baseline_cycles": base.total_cycles,
-                "spikestream_cycles": stream.total_cycles,
-                "speedup": ratio(base.total_cycles, stream.total_cycles),
-                "spikestream_fpu_util": stream.fpu_utilization,
-            }
-        )
+    rows = [firing_rate_point(rate, precision, rng=rng) for rate in rates]
     return ExperimentResult(
         name="firing_rate_sweep",
         figure="ablation",
@@ -73,87 +95,116 @@ def firing_rate_sweep(
     )
 
 
+def core_count_point(
+    cores: int,
+    counts: np.ndarray,
+    precision: Precision = Precision.FP16,
+) -> Dict[str, object]:
+    """One strong-scaling point: SpikeStream conv6 on ``cores`` worker cores."""
+    spec = _conv6_spec()
+    params = ClusterParams(num_worker_cores=cores)
+    stats = conv_layer_perf(spec, counts, precision, streaming=True, params=params,
+                            num_active_cores=cores)
+    return {
+        "cores": cores,
+        "cycles": stats.total_cycles,
+        "fpu_util": stats.fpu_utilization,
+    }
+
+
 def core_count_sweep(
-    core_counts: Sequence[int] = (1, 2, 4, 8),
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
     precision: Precision = Precision.FP16,
     firing_rate: Optional[float] = None,
     seed: int = 2025,
 ) -> ExperimentResult:
-    """Strong scaling of the SpikeStream conv kernel with the number of cores."""
+    """Strong scaling of the SpikeStream conv kernel with the number of cores.
+
+    Parallel efficiency is measured against an *explicit* single-core run of
+    the same spike-count map: if ``core_counts`` does not include 1, the
+    1-core reference is evaluated separately rather than extrapolated, so the
+    efficiency column is meaningful for any core-count subset.
+    """
     spec = _conv6_spec()
     rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES["conv6"]
     rng = np.random.default_rng(seed)
     counts = _counts_for_rate(spec, rate, rng)
-    rows: List[Dict[str, object]] = []
-    single_core_cycles = None
-    for cores in core_counts:
-        params = ClusterParams(num_worker_cores=cores)
-        stats = conv_layer_perf(spec, counts, precision, streaming=True, params=params,
-                                num_active_cores=cores)
-        if single_core_cycles is None:
-            single_core_cycles = stats.total_cycles * cores / core_counts[0] if cores != 1 else stats.total_cycles
-        rows.append(
-            {
-                "cores": cores,
-                "cycles": stats.total_cycles,
-                "fpu_util": stats.fpu_utilization,
-            }
-        )
-    reference = rows[0]["cycles"] * core_counts[0]
+    rows = [core_count_point(cores, counts, precision) for cores in core_counts]
+    by_cores = {row["cores"]: row for row in rows}
+    if 1 in by_cores:
+        reference = by_cores[1]["cycles"]
+    else:
+        reference = core_count_point(1, counts, precision)["cycles"]
     for row in rows:
         row["parallel_efficiency"] = ratio(reference, row["cycles"] * row["cores"])
     return ExperimentResult(
         name="core_count_sweep",
         figure="ablation",
         rows=rows,
-        headline={"efficiency_at_8_cores": rows[-1]["parallel_efficiency"]},
+        headline={f"efficiency_at_{core_counts[-1]}_cores": rows[-1]["parallel_efficiency"]},
     )
 
 
+def precision_point(
+    precision: Precision, batch_size: int = 4, seed: int = 2025
+) -> Dict[str, object]:
+    """One precision sweep point: a full S-VGG11 statistical run."""
+    config = spikestream_config(precision, batch_size=batch_size, seed=seed)
+    result = SpikeStreamInference(config).run_statistical(batch_size=batch_size, seed=seed)
+    return {
+        "precision": precision.value,
+        "simd_width": precision.simd_width,
+        "runtime_ms": result.total_runtime_s * 1e3,
+        "energy_mj": result.total_energy_j * 1e3,
+        "fpu_util": result.network_fpu_utilization,
+    }
+
+
+def fp8_over_fp16_headline(rows: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """FP8-over-FP16 speedup looked up by precision value.
+
+    Returns an empty headline when either precision is absent instead of
+    silently reporting the ratio of whatever happens to occupy the last two
+    rows (callers may pass a custom precision order or subset).
+    """
+    runtimes = {row["precision"]: row["runtime_ms"] for row in rows}
+    if "fp16" not in runtimes or "fp8" not in runtimes:
+        return {}
+    return {"fp8_over_fp16_speedup": ratio(runtimes["fp16"], runtimes["fp8"])}
+
+
 def precision_sweep(
-    precisions: Sequence[Precision] = (Precision.FP32, Precision.FP16, Precision.FP8),
+    precisions: Sequence[Precision] = DEFAULT_PRECISIONS,
     batch_size: int = 4,
     seed: int = 2025,
 ) -> ExperimentResult:
     """End-to-end S-VGG11 runtime and energy across numeric precisions."""
-    rows: List[Dict[str, object]] = []
-    for precision in precisions:
-        config = spikestream_config(precision, batch_size=batch_size, seed=seed)
-        result = SpikeStreamInference(config).run_statistical(batch_size=batch_size, seed=seed)
-        rows.append(
-            {
-                "precision": precision.value,
-                "simd_width": precision.simd_width,
-                "runtime_ms": result.total_runtime_s * 1e3,
-                "energy_mj": result.total_energy_j * 1e3,
-                "fpu_util": result.network_fpu_utilization,
-            }
-        )
+    rows = [precision_point(precision, batch_size, seed) for precision in precisions]
     return ExperimentResult(
         name="precision_sweep",
         figure="ablation",
         rows=rows,
-        headline={"fp8_over_fp16_speedup": ratio(rows[-2]["runtime_ms"], rows[-1]["runtime_ms"])
-                  if len(rows) >= 2 else 1.0},
+        headline=fp8_over_fp16_headline(rows),
     )
 
 
+def stream_length_point(length: int) -> Dict[str, object]:
+    """One per-SpVA stream-length point (deterministic; no randomness)."""
+    base = baseline_spva_cost(float(length))
+    stream = streaming_spva_cost(float(length))
+    return {
+        "stream_length": int(length),
+        "baseline_cycles": float(base.cycles),
+        "streaming_cycles": float(stream.cycles),
+        "speedup": ratio(float(base.cycles), float(stream.cycles)),
+    }
+
+
 def stream_length_sweep(
-    lengths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    lengths: Sequence[int] = DEFAULT_STREAM_LENGTHS,
 ) -> ExperimentResult:
     """Per-SpVA speedup of streaming over the baseline as a function of stream length."""
-    rows: List[Dict[str, object]] = []
-    for length in lengths:
-        base = baseline_spva_cost(float(length))
-        stream = streaming_spva_cost(float(length))
-        rows.append(
-            {
-                "stream_length": int(length),
-                "baseline_cycles": float(base.cycles),
-                "streaming_cycles": float(stream.cycles),
-                "speedup": ratio(float(base.cycles), float(stream.cycles)),
-            }
-        )
+    rows = [stream_length_point(length) for length in lengths]
     return ExperimentResult(
         name="stream_length_sweep",
         figure="ablation",
@@ -162,8 +213,30 @@ def stream_length_sweep(
     )
 
 
+def strided_indirect_point(
+    rate: float,
+    precision: Precision = Precision.FP16,
+    rng: Optional[np.random.Generator] = None,
+    seed: int = 2025,
+) -> Dict[str, object]:
+    """One strided-indirect sweep point (standard vs strided-indirect conv6)."""
+    spec = _conv6_spec()
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    counts = _counts_for_rate(spec, rate, rng)
+    standard = conv_layer_perf(spec, counts, precision, streaming=True)
+    strided = conv_layer_perf(spec, counts, precision, streaming=True, strided_indirect=True)
+    return {
+        "firing_rate": rate,
+        "spikestream_cycles": standard.total_cycles,
+        "strided_indirect_cycles": strided.total_cycles,
+        "additional_speedup": ratio(standard.total_cycles, strided.total_cycles),
+        "spikestream_fpu_util": standard.fpu_utilization,
+        "strided_indirect_fpu_util": strided.fpu_utilization,
+    }
+
+
 def strided_indirect_sweep(
-    rates: Sequence[float] = (0.05, 0.1, 0.2, 0.4),
+    rates: Sequence[float] = DEFAULT_STRIDED_INDIRECT_RATES,
     precision: Precision = Precision.FP16,
     seed: int = 2025,
 ) -> ExperimentResult:
@@ -173,23 +246,8 @@ def strided_indirect_sweep(
     gather index array is replayed across SIMD channel groups, on conv6 over
     a range of firing rates.
     """
-    spec = _conv6_spec()
     rng = np.random.default_rng(seed)
-    rows: List[Dict[str, object]] = []
-    for rate in rates:
-        counts = _counts_for_rate(spec, rate, rng)
-        standard = conv_layer_perf(spec, counts, precision, streaming=True)
-        strided = conv_layer_perf(spec, counts, precision, streaming=True, strided_indirect=True)
-        rows.append(
-            {
-                "firing_rate": rate,
-                "spikestream_cycles": standard.total_cycles,
-                "strided_indirect_cycles": strided.total_cycles,
-                "additional_speedup": ratio(standard.total_cycles, strided.total_cycles),
-                "spikestream_fpu_util": standard.fpu_utilization,
-                "strided_indirect_fpu_util": strided.fpu_utilization,
-            }
-        )
+    rows = [strided_indirect_point(rate, precision, rng=rng) for rate in rates]
     return ExperimentResult(
         name="strided_indirect_sweep",
         figure="ablation",

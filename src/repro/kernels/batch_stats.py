@@ -1,0 +1,97 @@
+"""Shared per-frame reduction of batched kernel schedules into ClusterStats.
+
+The conv and FC batch entry points produce the same intermediate shape — a
+``(5, batch, items)`` stack of per-item metrics plus a
+:class:`~repro.kernels.scheduler.BatchStealingSchedule` — and reduce it to
+one :class:`~repro.arch.trace.ClusterStats` per frame in exactly the same
+way.  This module holds that reduction so a fix to the accounting applies to
+every batched kernel at once.
+
+Bit-for-bit equivalence with the scalar kernels: a *stable* argsort of each
+frame's item->core assignment groups every core's items into one contiguous
+segment while preserving ascending item order within the core — the same
+index lists the scalar paths build — and summing each contiguous segment
+with :meth:`numpy.ndarray.sum` along the unit-stride axis applies the same
+pairwise reduction to the same operand sequence as the scalar
+``np.sum(metric[indices])``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..arch.icache import InstructionCache
+from ..arch.params import CostModelParams
+from ..arch.trace import ClusterStats, CoreStats
+from .scheduler import BatchStealingSchedule
+from .tiling import TilePlan
+
+#: Row order of the metric stack consumed by :func:`cluster_stats_from_batch`.
+METRIC_ROWS = ("int_instructions", "fp_instructions", "fp_busy", "spm", "ssr")
+
+
+def cluster_stats_from_batch(
+    metric_stack: np.ndarray,
+    schedule: BatchStealingSchedule,
+    num_cores: int,
+    costs: CostModelParams,
+    icache: InstructionCache,
+    plans: Sequence[TilePlan],
+    label: str,
+) -> List[ClusterStats]:
+    """Reduce a batched schedule plus per-item metrics to per-frame stats.
+
+    Parameters
+    ----------
+    metric_stack:
+        Shape ``(5, batch, items)`` in :data:`METRIC_ROWS` order.
+    plans:
+        One :class:`TilePlan` per frame (drives DMA cycles and the icache's
+        cold-miss tile count).
+    """
+    order = np.argsort(schedule.core_of_item, axis=1, kind="stable")
+    segment_lengths = schedule.atomic_operations_per_core.astype(np.int64)
+    results: List[ClusterStats] = []
+    for frame, plan in enumerate(plans):
+        dma_cycles = plan.dma_cycles(costs)
+        ordered = metric_stack[:, frame, order[frame]]
+        core_stats = []
+        start = 0
+        for core_id in range(num_cores):
+            end = start + int(segment_lengths[frame, core_id])
+            sums = ordered[:, start:end].sum(axis=1)
+            start = end
+            busy = float(schedule.core_busy_cycles[frame, core_id])
+            atomics = float(schedule.atomic_operations_per_core[frame, core_id])
+            int_instrs = float(sums[0]) + atomics
+            fp_instrs = float(sums[1])
+            icache_stall = icache.miss_cycles(int_instrs + fp_instrs, tiles=plan.num_tiles)
+            total = busy + atomics * costs.atomic_operation_cycles + icache_stall
+            core_stats.append(
+                CoreStats(
+                    core_id=core_id,
+                    int_instructions=int_instrs,
+                    fp_instructions=fp_instrs,
+                    total_cycles=total,
+                    fpu_busy_cycles=float(sums[2]),
+                    stall_cycles=max(0.0, total - int_instrs - fp_instrs),
+                    spm_accesses=float(sums[3]),
+                    ssr_spm_accesses=float(sums[4]),
+                    atomic_operations=atomics,
+                )
+            )
+        compute_cycles = max(s.total_cycles for s in core_stats)
+        dma_exposed = max(0.0, dma_cycles - compute_cycles)
+        results.append(
+            ClusterStats(
+                core_stats=core_stats,
+                dma_cycles=dma_cycles,
+                dma_bytes=float(plan.total_dma_bytes),
+                dma_exposed_cycles=dma_exposed,
+                total_cycles=compute_cycles + dma_exposed,
+                label=label,
+            )
+        )
+    return results

@@ -19,7 +19,7 @@ Two entry points are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +31,8 @@ from ..formats.csr_fiber import CompressedIfmap, CompressedIfmapBuilder
 from ..snn.neuron import LIFParameters
 from ..types import Precision, TensorShape
 from .activation import activation_cost_per_group, fused_lif_activation
-from .scheduler import workload_stealing_schedule
+from .batch_stats import cluster_stats_from_batch
+from .scheduler import workload_stealing_schedule, workload_stealing_schedule_batch
 from .spva import baseline_spva_cost, spva_gather_accumulate, streaming_spva_cost
 from .tiling import TilePlan, plan_conv_tiles
 
@@ -110,6 +111,34 @@ def window_sum(values: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     y0, x0 = np.meshgrid(ys, xs, indexing="ij")
     y1, x1 = y0 + kernel, x0 + kernel
     return integral[y1, x1] - integral[y0, x1] - integral[y1, x0] + integral[y0, x0]
+
+
+def window_sum_batch(values: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Sliding-window sum of a batch of 2-D maps, shape ``(B, H, W)``.
+
+    Batched counterpart of :func:`window_sum`; each ``values[b]`` produces the
+    exact same (bit-for-bit) window sums as ``window_sum(values[b], ...)``
+    because :func:`numpy.cumsum` accumulates strictly sequentially along the
+    requested axis and the corner gathers/subtractions are element-wise in
+    the same operand order.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 3:
+        raise ValueError(f"values must be 3-D (batch, H, W), got shape {values.shape}")
+    batch, height, width = values.shape
+    if kernel > height or kernel > width:
+        raise ValueError("kernel larger than the map")
+    integral = np.zeros((batch, height + 1, width + 1), dtype=np.float64)
+    integral[:, 1:, 1:] = np.cumsum(np.cumsum(values, axis=1), axis=2)
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    ys = np.arange(out_h) * stride
+    xs = np.arange(out_w) * stride
+    y0, x0 = np.meshgrid(ys, xs, indexing="ij")
+    y1, x1 = y0 + kernel, x0 + kernel
+    return (
+        integral[:, y1, x1] - integral[:, y0, x1] - integral[:, y1, x0] + integral[:, y0, x0]
+    )
 
 
 def conv_layer_perf(
@@ -252,6 +281,119 @@ def conv_layer_perf(
         dma_exposed_cycles=dma_exposed,
         total_cycles=compute_cycles + dma_exposed,
         label=label,
+    )
+
+
+def conv_layer_perf_batch(
+    spec: ConvLayerSpec,
+    spike_counts: np.ndarray,
+    precision: Precision,
+    streaming: bool,
+    params: ClusterParams = DEFAULT_CLUSTER,
+    costs: CostModelParams = DEFAULT_COSTS,
+    index_bytes: int = 2,
+    num_active_cores: Optional[int] = None,
+    strided_indirect: bool = False,
+) -> List[ClusterStats]:
+    """Batch-axis entry point of :func:`conv_layer_perf`.
+
+    ``spike_counts`` has shape ``(B, Hp, Wp)``: one padded per-position
+    spike-count map per frame.  All per-position SpVA costs, the per-RF
+    window aggregation and the workload-stealing schedule are computed for
+    the whole batch in one vectorized pass; only the cheap per-frame
+    reductions (per-core sums, tiling plan, icache model) remain in Python.
+    The returned list holds one :class:`ClusterStats` per frame that is
+    bit-for-bit identical to calling :func:`conv_layer_perf` on that frame's
+    map alone.
+    """
+    if strided_indirect and not streaming:
+        raise ValueError("strided_indirect requires streaming=True")
+    spike_counts = np.asarray(spike_counts, dtype=np.float64)
+    padded = spec.padded_input_shape
+    if spike_counts.ndim != 3 or spike_counts.shape[1:] != (padded.height, padded.width):
+        raise ValueError(
+            f"spike_counts has shape {spike_counts.shape}, expected "
+            f"(batch, {padded.height}, {padded.width})"
+        )
+    batch = spike_counts.shape[0]
+    num_cores = num_active_cores or params.num_worker_cores
+    output_shape = spec.output_shape
+    simd = precision.simd_width
+    groups = (spec.out_channels + simd - 1) // simd
+
+    tcdm = Tcdm(params)
+    conflict_factor = tcdm.conflict_stall_factor(num_cores)
+
+    # ---- per-position SpVA costs for the whole batch ----------------------
+    flat_counts = spike_counts.reshape(batch, -1)
+    if streaming:
+        per_element = (
+            costs.strided_indirect_cycles_per_element if strided_indirect else None
+        )
+        position_cost = streaming_spva_cost(
+            flat_counts, costs, conflict_factor=conflict_factor, cycles_per_element=per_element
+        )
+    else:
+        position_cost = baseline_spva_cost(flat_counts, costs)
+
+    def per_rf(values: np.ndarray) -> np.ndarray:
+        return window_sum_batch(
+            values.reshape(batch, padded.height, padded.width), spec.kernel_size, spec.stride
+        ).reshape(batch, -1)
+
+    rf_spva_cycles = per_rf(position_cost.cycles)
+    rf_spva_int = per_rf(position_cost.int_instructions)
+    rf_spva_fp = per_rf(position_cost.fp_instructions)
+    rf_spva_fp_busy = per_rf(position_cost.fp_busy_cycles)
+    rf_spva_spm = per_rf(position_cost.spm_accesses)
+    rf_spva_ssr = per_rf(position_cost.ssr_spm_accesses)
+
+    act_int, act_fp = activation_cost_per_group(precision, costs)
+    group_fixed_cycles = costs.group_overhead_int_instrs + act_int + act_fp
+    group_fixed_int = costs.group_overhead_int_instrs + act_int
+    group_fixed_fp = act_fp
+
+    rf_cycles = (
+        costs.rf_overhead_int_instrs
+        + groups * (rf_spva_cycles + group_fixed_cycles)
+    )
+    rf_int = costs.rf_overhead_int_instrs + groups * (rf_spva_int + group_fixed_int)
+    rf_fp = groups * (rf_spva_fp + group_fixed_fp)
+    rf_fp_busy = groups * (rf_spva_fp_busy + group_fixed_fp)
+    rf_spm = groups * (rf_spva_spm + 4.0)  # membrane load/store + ofmap append
+    rf_ssr = groups * rf_spva_ssr
+
+    # ---- workload stealing, all frames simultaneously ---------------------
+    schedule = workload_stealing_schedule_batch(
+        rf_cycles, num_cores, atomic_cost_cycles=costs.atomic_operation_cycles
+    )
+
+    # ---- per-frame tiling/DMA plans and core reductions -------------------
+    plans = []
+    for frame in range(batch):
+        nnz = float(spike_counts[frame].sum())
+        compressed_bytes = int(nnz * index_bytes + (padded.spatial_size + 1) * index_bytes)
+        plans.append(
+            plan_conv_tiles(
+                input_shape=padded,
+                output_shape=output_shape,
+                kernel_size=spec.kernel_size,
+                compressed_ifmap_bytes=compressed_bytes,
+                precision=precision,
+                index_bytes=index_bytes,
+                params=params,
+                costs=costs,
+            )
+        )
+    label = f"{spec.name}-{'spikestream' if streaming else 'baseline'}-{precision.value}"
+    return cluster_stats_from_batch(
+        np.stack([rf_int, rf_fp, rf_fp_busy, rf_spm, rf_ssr]),
+        schedule,
+        num_cores,
+        costs,
+        InstructionCache(params, costs),
+        plans,
+        label,
     )
 
 

@@ -12,7 +12,7 @@ currents, one for the weights).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -156,6 +156,52 @@ def encode_layer_perf(
         total_cycles=compute_cycles + dma_exposed,
         label=label,
     )
+
+
+def encode_layer_perf_batch(
+    spec: EncodeLayerSpec,
+    batch_size: int,
+    precision: Precision,
+    streaming: bool,
+    params: ClusterParams = DEFAULT_CLUSTER,
+    costs: CostModelParams = DEFAULT_COSTS,
+    index_bytes: int = 2,
+    num_active_cores: Optional[int] = None,
+    input_precision: Precision = Precision.FP16,
+) -> List[ClusterStats]:
+    """Batch-axis entry point of :func:`encode_layer_perf`.
+
+    The dense encoding layer's cost model does not depend on the frame
+    content, so the model is evaluated once and replicated ``batch_size``
+    times (as independent copies, so downstream scaling cannot alias).  Each
+    returned :class:`ClusterStats` is bit-for-bit identical to a per-frame
+    :func:`encode_layer_perf` call.
+    """
+    if batch_size < 0:
+        raise ValueError(f"batch_size must be non-negative, got {batch_size}")
+    reference = encode_layer_perf(
+        spec,
+        precision=precision,
+        streaming=streaming,
+        params=params,
+        costs=costs,
+        index_bytes=index_bytes,
+        num_active_cores=num_active_cores,
+        input_precision=input_precision,
+    )
+    results: List[ClusterStats] = [reference]
+    for _ in range(batch_size - 1):
+        results.append(
+            ClusterStats(
+                core_stats=[CoreStats(**vars(core)) for core in reference.core_stats],
+                dma_cycles=reference.dma_cycles,
+                dma_bytes=reference.dma_bytes,
+                dma_exposed_cycles=reference.dma_exposed_cycles,
+                total_cycles=reference.total_cycles,
+                label=reference.label,
+            )
+        )
+    return results[:batch_size]
 
 
 def encode_layer_functional(

@@ -9,7 +9,7 @@ workload-stealing scheduler used for receptive fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,7 +22,8 @@ from ..formats.csr_fiber import CompressedVector
 from ..snn.neuron import LIFParameters
 from ..types import Precision
 from .activation import activation_cost_per_group, fused_lif_activation
-from .scheduler import workload_stealing_schedule
+from .batch_stats import cluster_stats_from_batch
+from .scheduler import workload_stealing_schedule, workload_stealing_schedule_batch
 from .spva import baseline_spva_cost, streaming_spva_cost
 from .tiling import plan_fc_tiles
 
@@ -134,6 +135,81 @@ def fc_layer_perf(
         dma_exposed_cycles=dma_exposed,
         total_cycles=compute_cycles + dma_exposed,
         label=label,
+    )
+
+
+def fc_layer_perf_batch(
+    spec: FcLayerSpec,
+    nnz: Sequence[int],
+    precision: Precision,
+    streaming: bool,
+    params: ClusterParams = DEFAULT_CLUSTER,
+    costs: CostModelParams = DEFAULT_COSTS,
+    index_bytes: int = 2,
+    num_active_cores: Optional[int] = None,
+) -> List[ClusterStats]:
+    """Batch-axis entry point of :func:`fc_layer_perf`.
+
+    ``nnz`` holds the spiking input count of every frame in the batch.  The
+    SpVA costs of all ``batch x groups`` output-channel groups and the
+    workload-stealing schedules are computed in one vectorized pass; the
+    returned per-frame :class:`ClusterStats` are bit-for-bit identical to
+    per-frame :func:`fc_layer_perf` calls.
+    """
+    nnz_array = np.asarray(nnz, dtype=np.int64)
+    if nnz_array.ndim != 1:
+        raise ValueError(f"nnz must be 1-D (batch,), got shape {nnz_array.shape}")
+    if np.any(nnz_array < 0) or np.any(nnz_array > spec.in_features):
+        raise ValueError(f"every nnz must be in [0, {spec.in_features}]")
+    batch = int(nnz_array.shape[0])
+    num_cores = num_active_cores or params.num_worker_cores
+    simd = precision.simd_width
+    groups = (spec.out_features + simd - 1) // simd
+
+    tcdm = Tcdm(params)
+    conflict_factor = tcdm.conflict_stall_factor(num_cores)
+
+    lengths = np.repeat(nnz_array.astype(np.float64)[:, None], groups, axis=1)
+    if streaming:
+        spva = streaming_spva_cost(lengths, costs, conflict_factor=conflict_factor)
+    else:
+        spva = baseline_spva_cost(lengths, costs)
+
+    act_int, act_fp = activation_cost_per_group(precision, costs)
+    group_cycles = spva.cycles + costs.fc_setup_int_instrs + act_int + act_fp
+    group_int = spva.int_instructions + costs.fc_setup_int_instrs + act_int
+    group_fp = spva.fp_instructions + act_fp
+    group_fp_busy = spva.fp_busy_cycles + act_fp
+    group_spm = spva.spm_accesses + 4.0
+    group_ssr = spva.ssr_spm_accesses
+
+    schedule = workload_stealing_schedule_batch(
+        group_cycles, num_cores, atomic_cost_cycles=costs.atomic_operation_cycles
+    )
+
+    plans = []
+    for frame in range(batch):
+        compressed_bytes = int(nnz_array[frame]) * index_bytes + index_bytes
+        plans.append(
+            plan_fc_tiles(
+                in_features=spec.in_features,
+                out_features=spec.out_features,
+                compressed_input_bytes=compressed_bytes,
+                precision=precision,
+                index_bytes=index_bytes,
+                params=params,
+                costs=costs,
+            )
+        )
+    label = f"{spec.name}-{'spikestream' if streaming else 'baseline'}-{precision.value}"
+    return cluster_stats_from_batch(
+        np.stack([group_int, group_fp, group_fp_busy, group_spm, group_ssr]),
+        schedule,
+        num_cores,
+        costs,
+        InstructionCache(params, costs),
+        plans,
+        label,
     )
 
 

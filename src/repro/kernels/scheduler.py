@@ -49,6 +49,94 @@ class StealingSchedule:
         return sum(len(a) for a in self.assignments)
 
 
+@dataclass
+class BatchStealingSchedule:
+    """Workload-stealing schedules of a whole batch of frames at once.
+
+    All arrays carry a leading batch axis: ``core_of_item[b, i]`` is the core
+    that claims item ``i`` of frame ``b``, and the per-core aggregates have
+    shape ``(batch, num_cores)``.  For every frame the schedule is identical
+    (bit-for-bit) to running :func:`workload_stealing_schedule` on that
+    frame's cost vector alone.
+    """
+
+    num_cores: int
+    core_of_item: np.ndarray
+    core_busy_cycles: np.ndarray
+    core_finish_cycles: np.ndarray
+    atomic_operations_per_core: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of frames scheduled."""
+        return int(self.core_of_item.shape[0])
+
+    @property
+    def makespans(self) -> np.ndarray:
+        """Per-frame cycles until the last core finishes, shape ``(batch,)``."""
+        if self.core_finish_cycles.size == 0:
+            return np.zeros(self.batch_size, dtype=np.float64)
+        return np.max(self.core_finish_cycles, axis=1)
+
+    def frame_assignments(self, frame: int) -> List[List[int]]:
+        """Per-core item index lists of one frame (ascending, like the scalar API)."""
+        return [
+            [int(i) for i in np.flatnonzero(self.core_of_item[frame] == core)]
+            for core in range(self.num_cores)
+        ]
+
+
+def workload_stealing_schedule_batch(
+    item_costs: np.ndarray,
+    num_cores: int,
+    atomic_cost_cycles: float = 0.0,
+) -> BatchStealingSchedule:
+    """Simulate dynamic workload stealing for a batch of frames at once.
+
+    ``item_costs`` has shape ``(batch, num_items)``: one cost vector per
+    frame.  The sequential dependency of the stealing policy runs over the
+    items, so the simulation loops over the (shared) item axis and resolves
+    all frames simultaneously with vectorized argmin/updates.  The per-frame
+    outcome is bit-for-bit identical to :func:`workload_stealing_schedule`:
+    the scalar version keeps exactly one heap entry per core, so popping the
+    smallest ``(available_at, core)`` tuple is an argmin over the per-core
+    availability times with ties broken by the lowest core id — precisely
+    what :func:`numpy.argmin` returns — and the busy/atomic accumulations
+    happen in the same item order with the same float operand order.
+    """
+    if num_cores <= 0:
+        raise ValueError(f"num_cores must be positive, got {num_cores}")
+    costs = np.asarray(item_costs, dtype=np.float64)
+    if costs.ndim != 2:
+        raise ValueError(f"item_costs must be 2-D (batch, items), got shape {costs.shape}")
+    if np.any(costs < 0):
+        raise ValueError("item_costs must be non-negative")
+    batch, num_items = costs.shape
+    available = np.zeros((batch, num_cores), dtype=np.float64)
+    busy = np.zeros((batch, num_cores), dtype=np.float64)
+    atomics = np.zeros((batch, num_cores), dtype=np.float64)
+    finish = np.zeros((batch, num_cores), dtype=np.float64)
+    core_of_item = np.zeros((batch, num_items), dtype=np.int64)
+    frames = np.arange(batch)
+    costs_by_item = np.ascontiguousarray(costs.T)  # contiguous per-item rows
+    for item in range(num_items):
+        chosen = available.argmin(axis=1)
+        cost = costs_by_item[item]
+        end = available[frames, chosen] + atomic_cost_cycles + cost
+        available[frames, chosen] = end
+        busy[frames, chosen] += cost
+        atomics[frames, chosen] += 1.0
+        finish[frames, chosen] = end
+        core_of_item[:, item] = chosen
+    return BatchStealingSchedule(
+        num_cores=num_cores,
+        core_of_item=core_of_item,
+        core_busy_cycles=busy,
+        core_finish_cycles=finish,
+        atomic_operations_per_core=atomics,
+    )
+
+
 def workload_stealing_schedule(
     rf_costs: Sequence[float],
     num_cores: int,

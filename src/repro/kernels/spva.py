@@ -17,7 +17,7 @@ whole layer's SpVAs can be costed in a single call.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -103,7 +103,7 @@ def streaming_spva_cost(
     stream_lengths: ArrayLike,
     costs: CostModelParams = DEFAULT_COSTS,
     conflict_factor: float = 1.0,
-    cycles_per_element: float = None,
+    cycles_per_element: Optional[float] = None,
 ) -> SpvaCost:
     """Cost of SpikeStream SpVAs (Listing 1c) for the given stream lengths.
 

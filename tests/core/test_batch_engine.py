@@ -1,0 +1,207 @@
+"""Equivalence tests for the vectorized batch execution engine.
+
+The batch engine (`run_statistical` and the kernels' ``*_perf_batch`` entry
+points) must reproduce the per-frame reference loop **bit-for-bit** for the
+same seed: every per-frame metric array of the resulting
+:class:`~repro.core.results.InferenceResult`, at every layer, compared with
+exact equality (no tolerances).
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import ClusterParams
+from repro.config import baseline_config, spikestream_config
+from repro.core.layer_mapping import KernelKind
+from repro.core.pipeline import SpikeStreamInference
+from repro.kernels.conv import (
+    ConvLayerSpec,
+    conv_layer_perf,
+    conv_layer_perf_batch,
+    window_sum,
+    window_sum_batch,
+)
+from repro.kernels.encode import encode_layer_perf, encode_layer_perf_batch
+from repro.kernels.fc import FcLayerSpec, fc_layer_perf, fc_layer_perf_batch
+from repro.kernels.scheduler import (
+    workload_stealing_schedule,
+    workload_stealing_schedule_batch,
+)
+from repro.types import Precision, TensorShape
+
+_METRICS = ("cycles", "fpu_utilization", "ipc", "energy_j", "power_w", "dma_bytes")
+
+
+def assert_results_identical(a, b):
+    """Exact (bit-for-bit) equality of two InferenceResults."""
+    assert a.layer_names == b.layer_names
+    for layer_a, layer_b in zip(a.layers, b.layers):
+        for metric in _METRICS:
+            va, vb = getattr(layer_a, metric), getattr(layer_b, metric)
+            assert np.array_equal(va, vb), (
+                f"layer {layer_a.name!r} metric {metric!r} differs"
+            )
+    assert a.identical_to(b)  # the public equality helper agrees
+
+
+def assert_stats_identical(a, b):
+    """Exact equality of two ClusterStats (all core counters and aggregates)."""
+    assert a.label == b.label
+    assert a.total_cycles == b.total_cycles
+    assert a.dma_cycles == b.dma_cycles
+    assert a.dma_bytes == b.dma_bytes
+    assert a.dma_exposed_cycles == b.dma_exposed_cycles
+    assert len(a.core_stats) == len(b.core_stats)
+    for core_a, core_b in zip(a.core_stats, b.core_stats):
+        assert vars(core_a) == vars(core_b)
+
+
+class TestBatchScheduler:
+    def test_matches_per_frame_schedules(self):
+        rng = np.random.default_rng(3)
+        costs = rng.integers(1, 50, size=(5, 37)).astype(np.float64)
+        batched = workload_stealing_schedule_batch(costs, num_cores=4, atomic_cost_cycles=3.0)
+        for frame in range(costs.shape[0]):
+            scalar = workload_stealing_schedule(costs[frame], 4, atomic_cost_cycles=3.0)
+            assert batched.frame_assignments(frame) == scalar.assignments
+            assert np.array_equal(batched.core_busy_cycles[frame], scalar.core_busy_cycles)
+            assert np.array_equal(batched.core_finish_cycles[frame], scalar.core_finish_cycles)
+            assert np.array_equal(
+                batched.atomic_operations_per_core[frame], scalar.atomic_operations_per_core
+            )
+            assert batched.makespans[frame] == scalar.makespan
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            workload_stealing_schedule_batch(np.ones((2, 3)), num_cores=0)
+        with pytest.raises(ValueError):
+            workload_stealing_schedule_batch(np.ones(3), num_cores=2)
+        with pytest.raises(ValueError):
+            workload_stealing_schedule_batch(-np.ones((2, 3)), num_cores=2)
+
+
+class TestBatchWindowSum:
+    def test_matches_per_frame_window_sum(self):
+        rng = np.random.default_rng(7)
+        values = rng.random((4, 10, 12))
+        for kernel, stride in ((3, 1), (2, 2)):
+            batched = window_sum_batch(values, kernel, stride)
+            for frame in range(values.shape[0]):
+                assert np.array_equal(batched[frame], window_sum(values[frame], kernel, stride))
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            window_sum_batch(np.ones((4, 4)), 2, 1)
+
+
+class TestBatchKernels:
+    def _conv_spec(self):
+        return ConvLayerSpec(
+            name="conv", input_shape=TensorShape(8, 8, 64), in_channels=64,
+            out_channels=128, kernel_size=3, stride=1, padding=1,
+        )
+
+    @pytest.mark.parametrize("streaming", [False, True])
+    def test_conv_batch_matches_scalar(self, streaming):
+        spec = self._conv_spec()
+        rng = np.random.default_rng(5)
+        counts = rng.binomial(64, 0.2, size=(3, 10, 10)).astype(np.float64)
+        batched = conv_layer_perf_batch(spec, counts, Precision.FP16, streaming=streaming)
+        assert len(batched) == 3
+        for frame in range(3):
+            scalar = conv_layer_perf(spec, counts[frame], Precision.FP16, streaming=streaming)
+            assert_stats_identical(batched[frame], scalar)
+
+    def test_conv_batch_respects_core_count(self):
+        spec = self._conv_spec()
+        counts = np.full((2, 10, 10), 8.0)
+        params = ClusterParams(num_worker_cores=2)
+        batched = conv_layer_perf_batch(
+            spec, counts, Precision.FP16, streaming=True, params=params, num_active_cores=2
+        )
+        scalar = conv_layer_perf(
+            spec, counts[0], Precision.FP16, streaming=True, params=params, num_active_cores=2
+        )
+        assert_stats_identical(batched[0], scalar)
+
+    def test_conv_batch_shape_validation(self):
+        spec = self._conv_spec()
+        with pytest.raises(ValueError, match="spike_counts"):
+            conv_layer_perf_batch(spec, np.ones((3, 9, 9)), Precision.FP16, streaming=True)
+
+    def test_fc_batch_matches_scalar(self):
+        spec = FcLayerSpec(name="fc", in_features=512, out_features=256)
+        nnz = [0, 17, 512]
+        batched = fc_layer_perf_batch(spec, nnz, Precision.FP16, streaming=True)
+        for frame, count in enumerate(nnz):
+            scalar = fc_layer_perf(spec, count, Precision.FP16, streaming=True)
+            assert_stats_identical(batched[frame], scalar)
+
+    def test_fc_batch_validates_nnz(self):
+        spec = FcLayerSpec(name="fc", in_features=16, out_features=8)
+        with pytest.raises(ValueError):
+            fc_layer_perf_batch(spec, [4, 17], Precision.FP16, streaming=True)
+        with pytest.raises(ValueError):
+            fc_layer_perf_batch(spec, [[1, 2]], Precision.FP16, streaming=True)
+
+    def test_encode_batch_replicates_independent_copies(self):
+        from repro.kernels.encode import EncodeLayerSpec
+
+        spec = EncodeLayerSpec(
+            name="conv1", input_shape=TensorShape(8, 8, 3), in_channels=3, out_channels=16
+        )
+        batched = encode_layer_perf_batch(spec, 3, Precision.FP16, streaming=True)
+        scalar = encode_layer_perf(spec, Precision.FP16, streaming=True)
+        assert len(batched) == 3
+        for stats in batched:
+            assert_stats_identical(stats, scalar)
+        # Independent copies: mutating one frame's counters must not leak.
+        batched[1].core_stats[0].total_cycles += 1.0
+        assert batched[0].core_stats[0].total_cycles == scalar.core_stats[0].total_cycles
+
+
+class TestEngineEquivalence:
+    """The vectorized engine reproduces the per-frame loop bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            spikestream_config(Precision.FP16, batch_size=5, seed=11),
+            spikestream_config(Precision.FP8, batch_size=4, seed=11),
+            baseline_config(Precision.FP16, batch_size=4, seed=11),
+        ],
+        ids=["spikestream-fp16", "spikestream-fp8", "baseline-fp16"],
+    )
+    def test_full_svgg11_identical(self, config):
+        engine = SpikeStreamInference(config)
+        vectorized = engine.run_statistical(batch_size=config.batch_size, seed=config.seed)
+        reference = engine.run_statistical_reference(
+            batch_size=config.batch_size, seed=config.seed
+        )
+        assert_results_identical(vectorized, reference)
+
+    def test_multi_timestep_identical(self):
+        engine = SpikeStreamInference(spikestream_config(batch_size=3, seed=2))
+        vectorized = engine.run_statistical(batch_size=3, seed=2, timesteps=4)
+        reference = engine.run_statistical_reference(batch_size=3, seed=2, timesteps=4)
+        assert_results_identical(vectorized, reference)
+
+    def test_layer_subset_identical(self):
+        engine = SpikeStreamInference(spikestream_config(batch_size=4, seed=8))
+        plans = [
+            p for p in engine.optimizer.plan_svgg11()
+            if p.kernel in (KernelKind.CONV, KernelKind.FC)
+        ][:3]
+        vectorized = engine.run_statistical(plans=plans, batch_size=4, seed=8)
+        reference = engine.run_statistical_reference(plans=plans, batch_size=4, seed=8)
+        assert_results_identical(vectorized, reference)
+
+    def test_firing_rate_override_identical(self):
+        engine = SpikeStreamInference(spikestream_config(batch_size=3, seed=6))
+        vectorized = engine.run_statistical(
+            batch_size=3, seed=6, firing_rates={"conv6": 0.35}
+        )
+        reference = engine.run_statistical_reference(
+            batch_size=3, seed=6, firing_rates={"conv6": 0.35}
+        )
+        assert_results_identical(vectorized, reference)

@@ -19,6 +19,7 @@ from repro.eval.sweeps import (
     precision_sweep,
     stream_length_sweep,
 )
+from repro.types import Precision
 
 
 class TestMetrics:
@@ -134,10 +135,47 @@ class TestSweeps:
         assert cycles[0] > cycles[-1]
         assert 0.5 < result.rows[-1]["parallel_efficiency"] <= 1.05
 
+    def test_core_count_sweep_efficiency_exact_at_one_core(self):
+        result = core_count_sweep(core_counts=(1, 2))
+        assert result.rows[0]["parallel_efficiency"] == 1.0
+
+    def test_core_count_sweep_without_one_core_uses_explicit_reference(self):
+        # Regression: the old code anchored efficiency to the *first* entry
+        # (scaled by its own core count), so a (2, 4, 8) sweep reported the
+        # 2-core point as perfectly efficient.  The reference must be an
+        # explicit 1-core run of the same spike-count map.
+        subset = core_count_sweep(core_counts=(2, 4, 8), seed=3)
+        full = core_count_sweep(core_counts=(1, 2, 4, 8), seed=3)
+        for row_subset, row_full in zip(subset.rows, full.rows[1:]):
+            assert row_subset["parallel_efficiency"] == pytest.approx(
+                row_full["parallel_efficiency"]
+            )
+        # Real stealing overhead: no multi-core point is perfectly efficient.
+        assert all(row["parallel_efficiency"] < 1.0 for row in subset.rows)
+        assert "efficiency_at_8_cores" in subset.headline
+
     def test_precision_sweep(self):
         result = precision_sweep(batch_size=1, seed=4)
         runtimes = {row["precision"]: row["runtime_ms"] for row in result.rows}
         assert runtimes["fp8"] < runtimes["fp16"] < runtimes["fp32"]
+
+    def test_precision_sweep_headline_order_independent(self):
+        # Regression: the headline indexed rows[-2]/rows[-1], reporting a
+        # wrong ratio whenever the caller reordered or subset the precisions.
+        default = precision_sweep(batch_size=1, seed=4)
+        reordered = precision_sweep(
+            precisions=(Precision.FP8, Precision.FP32, Precision.FP16),
+            batch_size=1, seed=4,
+        )
+        assert reordered.headline["fp8_over_fp16_speedup"] == pytest.approx(
+            default.headline["fp8_over_fp16_speedup"]
+        )
+        assert default.headline["fp8_over_fp16_speedup"] > 1.0
+
+    def test_precision_sweep_headline_omitted_when_precision_absent(self):
+        result = precision_sweep(precisions=(Precision.FP32, Precision.FP16),
+                                 batch_size=1, seed=4)
+        assert "fp8_over_fp16_speedup" not in result.headline
 
     def test_stream_length_sweep(self):
         result = stream_length_sweep(lengths=(1, 16, 256))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -23,6 +25,27 @@ class TestCli:
         assert "csr_bytes_mean" in output
         assert "headline" in output
 
+    def test_figures_fig3a_honors_small_batch_with_warning(self, capsys):
+        # Regression: --batch used to be silently clamped to >= 16.
+        assert main(["figures", "--figure", "fig3a", "--batch", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err and "batch 3" in captured.err
+        small = captured.out
+        assert main(["figures", "--figure", "fig3a", "--batch", "16"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        # Different batch sizes must produce different statistics.
+        assert small != captured.out
+
+    def test_figures_fig3a_default_batch_is_warning_free(self, capsys):
+        # Without --batch, fig3a keeps its recommended batch of 16: same
+        # output as an explicit 16, and no stderr warning.
+        assert main(["figures", "--figure", "fig3a"]) == 0
+        default = capsys.readouterr()
+        assert default.err == ""
+        assert main(["figures", "--figure", "fig3a", "--batch", "16"]) == 0
+        assert capsys.readouterr().out == default.out
+
     def test_figures_fig3c(self, capsys):
         assert main(["figures", "--figure", "fig3c", "--batch", "1"]) == 0
         assert "speedup_fp16_over_baseline" in capsys.readouterr().out
@@ -35,6 +58,58 @@ class TestCli:
     def test_spva_command(self, capsys):
         assert main(["spva", "--lengths", "1", "8"]) == 0
         assert "stream_length" in capsys.readouterr().out
+
+    def test_sweep_json_output(self, capsys):
+        assert main(["sweep", "--sweep", "stream_length", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "parallel_stream_length_sweep"
+        assert payload["rows"] and "speedup" in payload["rows"][0]
+        assert "asymptotic_speedup" in payload["headline"]
+
+    def test_sweep_csv_output(self, capsys):
+        assert main(["sweep", "--sweep", "firing_rate", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("firing_rate,")
+        assert len(lines) >= 2
+
+    def test_sweep_table_output_parallel(self, capsys):
+        assert main(["sweep", "--sweep", "firing_rate", "--jobs", "2",
+                     "--backend", "thread"]) == 0
+        output = capsys.readouterr().out
+        assert "firing_rate" in output and "headline" in output
+
+    def test_sweep_output_file_and_cache(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        cache = tmp_path / "cache.json"
+        argv = ["sweep", "--sweep", "stream_length", "--format", "json",
+                "--output", str(out), "--cache", str(cache)]
+        assert main(argv) == 0
+        assert "wrote" in capsys.readouterr().out
+        first = json.loads(out.read_text())
+        assert cache.exists()
+        assert main(argv) == 0  # second run served from the cache
+        capsys.readouterr()
+        assert json.loads(out.read_text()) == first
+
+    @pytest.mark.parametrize("argv", [
+        ["figures", "--figure", "fig3a", "--batch", "0"],
+        ["run", "--batch", "-3"],
+        ["sweep", "--sweep", "precision", "--batch", "0"],
+        ["compare", "--timesteps", "0"],
+    ])
+    def test_non_positive_batch_rejected_at_parse_time(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_sweep_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sweep", "bogus"])
+
+    def test_sweep_unwritable_output_is_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["sweep", "--sweep", "stream_length",
+                  "--output", "/nonexistent-dir/out.json"])
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,81 @@
+"""CI smoke check: tier-1 tests plus one fast parallel sweep.
+
+Runs the repository's tier-1 pytest suite and then exercises the
+``repro.cli sweep`` path end-to-end (stream-length sweep, two workers,
+JSON output), validating that the emitted payload is machine-readable.
+Exits non-zero on the first failure, so it can gate CI directly::
+
+    python tools/smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _env_with_src() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def run_tier1_tests() -> int:
+    """The repository's tier-1 verify command."""
+    print("== tier-1 tests ==", flush=True)
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q"],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+    )
+    return proc.returncode
+
+
+def run_fast_sweep() -> int:
+    """One fast sweep through the parallel runner, validated as JSON."""
+    print("== fast sweep (repro.cli sweep) ==", flush=True)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "sweep",
+            "--sweep", "stream_length", "--jobs", "2", "--backend", "thread",
+            "--format", "json",
+        ],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError as error:
+        print(f"sweep output is not valid JSON: {error}", file=sys.stderr)
+        return 1
+    if not payload.get("rows") or "asymptotic_speedup" not in payload.get("headline", {}):
+        print("sweep output is missing rows or headline", file=sys.stderr)
+        return 1
+    print(f"sweep ok: {len(payload['rows'])} rows, "
+          f"asymptotic_speedup={payload['headline']['asymptotic_speedup']:.3g}")
+    return 0
+
+
+def main() -> int:
+    for step in (run_tier1_tests, run_fast_sweep):
+        code = step()
+        if code != 0:
+            return code
+    print("smoke check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
