@@ -3,34 +3,40 @@
 
 Reproduces the paper's Section IV-C study: the sixth convolutional layer of
 S-VGG11 executed for 500 timesteps on Loihi, ODIN, LSMCore, NeuroRVcore and
-the three Snitch-cluster variants (baseline FP16, SpikeStream FP16/FP8).
+the three Snitch-cluster variants (baseline FP16, SpikeStream FP16/FP8),
+run through the unified Session API's ``accelerator_comparison`` scenario.
 
 Run with::
 
     python examples/accelerator_comparison.py
 """
 
-from repro.accelerators import compare_accelerators
+from repro import Session
 from repro.eval.reporting import format_table
 
 
 def main():
-    entries = compare_accelerators(timesteps=500, batch_size=4, seed=2025)
-    rows = sorted((entry.as_dict() for entry in entries), key=lambda row: row["latency_ms"])
+    with Session() as session:
+        result = session.run("accelerator_comparison", timesteps=500, batch_size=4, seed=2025)
+
+    rows = sorted(result.rows, key=lambda row: row["latency_ms"])
     print("=== S-VGG11 layer 6, 500 timesteps ===")
     print(format_table(rows, columns=[
         "system", "latency_ms", "energy_mj", "peak_gsop", "technology_nm", "precision_bits",
     ]))
 
-    by_name = {entry.name: entry for entry in entries}
-    lsmcore, loihi = by_name["LSMCore"], by_name["Loihi"]
-    fp16, fp8 = by_name["SpikeStream FP16"], by_name["SpikeStream FP8"]
+    headline = result.headline
     print("\nHeadline ratios (paper values in parentheses):")
-    print(f"  SpikeStream FP8 vs LSMCore latency : {fp8.latency_ms / lsmcore.latency_ms:.2f}x slower (4.71x)")
-    print(f"  SpikeStream FP8 vs Loihi latency   : {loihi.latency_ms / fp8.latency_ms:.2f}x faster (2.38x)")
-    print(f"  SpikeStream FP16 vs Loihi latency  : {loihi.latency_ms / fp16.latency_ms:.2f}x faster (1.31x)")
-    print(f"  LSMCore / SpikeStream FP16 energy  : {lsmcore.energy_mj / fp16.energy_mj:.2f}x (2.37x)")
-    print(f"  LSMCore / SpikeStream FP8 energy   : {lsmcore.energy_mj / fp8.energy_mj:.2f}x (3.46x)")
+    print(f"  SpikeStream FP8 vs LSMCore latency : "
+          f"{headline['fp8_slowdown_vs_lsmcore']:.2f}x slower (4.71x)")
+    print(f"  SpikeStream FP8 vs Loihi latency   : "
+          f"{headline['fp8_speedup_vs_loihi']:.2f}x faster (2.38x)")
+    print(f"  SpikeStream FP16 vs Loihi latency  : "
+          f"{headline['fp16_speedup_vs_loihi']:.2f}x faster (1.31x)")
+    print(f"  LSMCore / SpikeStream FP16 energy  : "
+          f"{headline['fp16_energy_gain_vs_lsmcore']:.2f}x (2.37x)")
+    print(f"  LSMCore / SpikeStream FP8 energy   : "
+          f"{headline['fp8_energy_gain_vs_lsmcore']:.2f}x (3.46x)")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ Run with::
 
 import numpy as np
 
-from repro import SpikeStreamInference, baseline_config, spikestream_config
+from repro import Session, baseline_config, spikestream_config
 from repro.core.codegen import spva_pseudocode
 from repro.eval.reporting import format_table
 from repro.snn import (
@@ -61,16 +61,18 @@ def main():
     # Expected input firing rates per layer (event data is very sparse).
     firing_rates = {"conv1": 0.08, "conv2": 0.30, "conv3": 0.20, "fc1": 0.10, "fc2": 0.05}
 
+    # One Session provides every engine; all variants share its hardware models.
+    session = Session()
     results = {}
     for label, config in (
         ("baseline FP16", baseline_config(batch_size=len(frames))),
         ("SpikeStream FP16", spikestream_config(batch_size=len(frames))),
     ):
-        engine = SpikeStreamInference(config)
+        engine = session.engine(config)
         results[label] = engine.run_functional(network, frames, firing_rates=firing_rates)
 
     print("=== Optimizer layer plans (SpikeStream FP16) ===")
-    engine = SpikeStreamInference(spikestream_config())
+    engine = session.engine(spikestream_config())
     plans = engine.optimizer.plan_network(network, firing_rates)
     print(format_table(
         [

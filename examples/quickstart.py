@@ -1,59 +1,65 @@
 #!/usr/bin/env python3
-"""Quickstart: run S-VGG11 inference on the Snitch cluster model.
+"""Quickstart: run S-VGG11 inference through the unified Session API.
 
 This example runs the paper's three evaluated configurations (parallel SIMD
 baseline in FP16, SpikeStream in FP16 and FP8) over a small batch of
 synthetic frames in statistical mode and prints the per-layer and network
 metrics: runtime, FPU utilization, IPC, energy and power.
 
+The runs go through a :class:`repro.Session`, which memoizes every whole
+inference result in its result store: ask for the same configuration twice
+(or pass ``cache_dir=...`` and re-run the script) and the simulation is
+skipped entirely.
+
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import SpikeStreamInference, baseline_config, spikestream_config
+from repro import Session
 from repro.eval.reporting import format_table
-from repro.types import Precision
 
 BATCH_SIZE = 4
 SEED = 2025
 
-
-def run_variant(label, config):
-    """Run one configuration and return (label, InferenceResult)."""
-    engine = SpikeStreamInference(config)
-    result = engine.run_statistical(batch_size=BATCH_SIZE, seed=SEED)
-    return label, result
+LABELS = {
+    "baseline_fp16": "baseline FP16",
+    "spikestream_fp16": "SpikeStream FP16",
+    "spikestream_fp8": "SpikeStream FP8",
+}
 
 
 def main():
-    variants = [
-        run_variant("baseline FP16", baseline_config(Precision.FP16, batch_size=BATCH_SIZE)),
-        run_variant("SpikeStream FP16", spikestream_config(Precision.FP16, batch_size=BATCH_SIZE)),
-        run_variant("SpikeStream FP8", spikestream_config(Precision.FP8, batch_size=BATCH_SIZE)),
-    ]
+    with Session(seed=SEED) as session:
+        variants = session.run_variants(batch_size=BATCH_SIZE, seed=SEED)
 
-    print("=== Network-level summary (S-VGG11, single timestep) ===")
-    summary_rows = []
-    for label, result in variants:
-        row = {"variant": label}
-        row.update(result.summary())
-        summary_rows.append(row)
-    print(format_table(summary_rows, columns=[
-        "variant", "total_runtime_ms", "total_energy_mj", "network_fpu_utilization",
-        "network_ipc", "average_power_w",
-    ]))
+        print("=== Network-level summary (S-VGG11, single timestep) ===")
+        summary_rows = []
+        for key, result in variants.items():
+            row = {"variant": LABELS[key]}
+            row.update(result.summary())
+            summary_rows.append(row)
+        print(format_table(summary_rows, columns=[
+            "variant", "total_runtime_ms", "total_energy_mj", "network_fpu_utilization",
+            "network_ipc", "average_power_w",
+        ]))
 
-    baseline_result = variants[0][1]
-    spikestream_result = variants[1][1]
-    speedup = baseline_result.total_cycles / spikestream_result.total_cycles
-    print(f"\nSpikeStream FP16 end-to-end speedup over the baseline: {speedup:.2f}x")
+        baseline_result = variants["baseline_fp16"]
+        spikestream_result = variants["spikestream_fp16"]
+        speedup = baseline_result.total_cycles / spikestream_result.total_cycles
+        print(f"\nSpikeStream FP16 end-to-end speedup over the baseline: {speedup:.2f}x")
 
-    print("\n=== Per-layer metrics (SpikeStream FP16) ===")
-    print(format_table(spikestream_result.per_layer_table(), columns=[
-        "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
-        "mean_energy_mj", "mean_power_w",
-    ]))
+        print("\n=== Per-layer metrics (SpikeStream FP16) ===")
+        print(format_table(spikestream_result.per_layer_table(), columns=[
+            "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
+            "mean_energy_mj", "mean_power_w",
+        ]))
+
+        # The same request again is served from the session's result store —
+        # no simulation happens the second time.
+        session.run_variants(batch_size=BATCH_SIZE, seed=SEED)
+        print(f"\nResult store: {session.store.hits} hit(s), "
+              f"{session.store.misses} miss(es) this session")
 
 
 if __name__ == "__main__":

@@ -2,26 +2,19 @@
 """Explore the SpVA inner loop at the instruction level (Listing 1).
 
 Builds the baseline (Listing 1b) and streaming (Listing 1c) SpVA micro-
-programs, prints their assembly listings, runs both on the instruction-level
-executor for a range of stream lengths and reports cycles, instruction counts
-and FPU utilization — the per-element view of where SpikeStream's speedup
-comes from.
+programs, prints their assembly listings, then runs the Session API's
+``spva_microbenchmark`` scenario over a range of stream lengths and reports
+cycles, instruction counts and FPU utilization — the per-element view of
+where SpikeStream's speedup comes from.
 
 Run with::
 
     python examples/spva_microkernel.py
 """
 
-import numpy as np
-
+from repro import Session
 from repro.eval.reporting import format_table
-from repro.isa import (
-    build_baseline_spva_program,
-    build_streaming_spva_program,
-    make_spva_setup,
-    run_baseline_spva,
-    run_streaming_spva,
-)
+from repro.isa import build_baseline_spva_program, build_streaming_spva_program
 
 
 def main():
@@ -30,28 +23,20 @@ def main():
     print("\n=== Listing 1c: SpikeStream SpVA (indirect SSR + frep) ===")
     print(build_streaming_spva_program().listing())
 
-    rng = np.random.default_rng(0)
-    rows = []
-    for length in (1, 2, 4, 8, 16, 32, 64, 128, 256):
-        weights = rng.normal(size=max(2 * length, 8))
-        c_idcs = rng.choice(len(weights), size=length, replace=False).astype(np.uint16)
-        setup = make_spva_setup(c_idcs, weights)
-        base_value, base = run_baseline_spva(setup)
-        stream_value, stream = run_streaming_spva(setup)
-        assert np.isclose(base_value, stream_value), "listings disagree functionally"
-        rows.append({
-            "stream_length": length,
-            "baseline_cycles": base.cycles,
-            "baseline_instrs": base.instructions,
-            "streaming_cycles": stream.cycles,
-            "streaming_instrs": stream.instructions,
-            "speedup": base.cycles / stream.cycles,
-            "baseline_fpu_util": base.fpu_utilization,
-            "streaming_fpu_util": stream.fpu_utilization,
-        })
+    with Session() as session:
+        result = session.run(
+            "spva_microbenchmark",
+            stream_lengths=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
 
     print("\n=== Cycle-level comparison across stream lengths ===")
-    print(format_table(rows))
+    print(format_table(result.rows, columns=[
+        "stream_length", "baseline_cycles", "baseline_instructions", "streaming_cycles",
+        "streaming_instructions", "speedup", "baseline_fpu_util", "streaming_fpu_util",
+    ]))
+    print(f"\nAsymptotic speedup: {result.headline['asymptotic_speedup']:.2f}x at "
+          f"{result.headline['baseline_instructions_per_element']:.1f} baseline "
+          "instructions per gathered weight.")
     print(
         "\nThe baseline spends 8 instructions (and ~12 cycles) per gathered weight;"
         "\nwith the indirect stream register and the frep hardware loop the same"

@@ -16,7 +16,7 @@ Run with::
 import sys
 import time
 
-from repro import SpikeStreamInference, spikestream_config
+from repro import Session, spikestream_config
 from repro.eval.reporting import format_table
 from repro.snn import SyntheticCIFAR10, build_svgg11, collect_activity_stats
 
@@ -50,7 +50,7 @@ def main(num_frames: int = 1):
 
     # Drive the cluster performance model with the recorded activity.
     config = spikestream_config(batch_size=num_frames)
-    engine = SpikeStreamInference(config)
+    engine = Session(config=config).engine()
     result = engine.run_functional(network, images)
     print("\n=== Cluster performance model on the recorded activity (SpikeStream FP16) ===")
     print(format_table(result.per_layer_table(), columns=[

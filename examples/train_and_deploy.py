@@ -17,7 +17,7 @@ Run with::
 
 import numpy as np
 
-from repro import SpikeStreamInference, baseline_config, spikestream_config
+from repro import Session, baseline_config, spikestream_config
 from repro.core.validation import validate_network_on_kernels
 from repro.eval.reporting import format_table
 from repro.snn import (
@@ -60,12 +60,13 @@ def main():
     print(f"Kernel-vs-golden validation: {report.summary()}")
 
     # 5. Runtime and energy of the deployed classifier ----------------------
+    session = Session()
     rows = []
     for label, config in (
         ("baseline FP16", baseline_config(batch_size=len(spike_frames))),
         ("SpikeStream FP16", spikestream_config(batch_size=len(spike_frames))),
     ):
-        engine = SpikeStreamInference(config)
+        engine = session.engine(config)
         result = engine.run_functional(network, spike_frames, firing_rates={"fc1": 0.5, "fc2": 0.3})
         rows.append({
             "variant": label,

@@ -8,7 +8,15 @@ SpikeStream inference kernels, an activity-based energy model, analytical
 models of the compared neuromorphic accelerators and experiment drivers that
 regenerate every figure of the paper's evaluation.
 
-Quick start::
+Quick start — the unified Session API::
+
+    from repro import Session
+
+    with Session(jobs=4, cache_dir="results") as session:
+        print(session.scenarios())             # every experiment and sweep
+        result = session.run("speedup")        # Figure 3c, store-backed
+
+or the lower-level engine directly::
 
     from repro import spikestream_config, SpikeStreamInference
 
@@ -27,6 +35,7 @@ from .core import (
     SpikeStreamInference,
     SpikeStreamOptimizer,
 )
+from .session import ResultStore, Scenario, Session, default_session
 
 __version__ = "1.0.0"
 
@@ -34,6 +43,10 @@ __all__ = [
     "RunConfig",
     "baseline_config",
     "spikestream_config",
+    "ResultStore",
+    "Scenario",
+    "Session",
+    "default_session",
     "OptimizationFlag",
     "Precision",
     "TensorShape",

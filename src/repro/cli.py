@@ -1,8 +1,11 @@
 """Command-line interface for the SpikeStream reproduction.
 
-Five subcommands cover the common workflows::
+Five subcommands cover the common workflows, all built on the unified
+:class:`repro.session.Session` API::
 
     python -m repro.cli run        --precision fp16 --batch 8        # S-VGG11 inference
+    python -m repro.cli run        --scenario speedup --jobs 4       # any registered scenario
+    python -m repro.cli run        --list-scenarios                  # what can I run?
     python -m repro.cli figures    --figure fig3c --batch 8          # regenerate one figure
     python -m repro.cli compare    --timesteps 500                   # Figure-5 comparison
     python -m repro.cli spva       --lengths 1 8 64                  # Listing-1 micro-benchmark
@@ -10,8 +13,11 @@ Five subcommands cover the common workflows::
 
 Every command prints an aligned text table (the same rows the corresponding
 paper figure reports); ``sweep`` can also emit machine-readable JSON or CSV
-(``--format json|csv``), fan its points out over a worker pool (``--jobs``),
-and memoize point results in a JSON cache file (``--cache``).
+(``--format json|csv``).  ``--jobs``/``--backend`` size the session's shared
+worker pool, and ``--cache-dir`` points the session's persistent result
+store (whole inference runs) and sweep row cache at a directory, so repeated
+invocations — e.g. regenerating several figures that share the same S-VGG11
+variant runs — skip work already done.
 """
 
 from __future__ import annotations
@@ -21,26 +27,27 @@ import sys
 from typing import List, Optional
 
 from .config import baseline_config, spikestream_config
-from .core.pipeline import SpikeStreamInference
-from .eval.experiments import (
-    accelerator_comparison_experiment,
-    energy_experiment,
-    memory_footprint_experiment,
-    run_svgg11_variants,
-    speedup_experiment,
-    spva_microbenchmark_experiment,
-    utilization_experiment,
-)
 from .eval.reporting import (
     experiment_to_json,
     format_table,
     render_experiment,
     rows_to_csv,
 )
-from .eval.runner import ResultsCache, available_sweeps, run_sweep
+from .eval.runner import ResultsCache, available_sweeps
+from .session import Session
 from .types import Precision
 
 _FIGURES = ("fig3a", "fig3b", "fig3c", "fig4", "fig5", "listing1")
+
+#: figure name -> scenario name in the session registry
+_FIGURE_SCENARIOS = {
+    "fig3a": "memory_footprint",
+    "fig3b": "utilization",
+    "fig3c": "speedup",
+    "fig4": "energy",
+    "fig5": "accelerator_comparison",
+    "listing1": "spva_microbenchmark",
+}
 
 
 def _positive_int(value: str) -> int:
@@ -50,22 +57,46 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _add_session_arguments(parser: argparse.ArgumentParser, jobs_default: int = 1) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=jobs_default,
+                        help="worker count of the session's shared pool (1 = serial)")
+    parser.add_argument("--backend", choices=("process", "thread", "serial"),
+                        default="process", help="worker-pool kind used when --jobs > 1")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory persisting the session's result store and "
+                             "sweep row cache across invocations")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run = subparsers.add_parser("run", help="run S-VGG11 inference on the cluster model")
+    run = subparsers.add_parser("run", help="run S-VGG11 inference or a registered scenario")
     run.add_argument("--precision", default="fp16", choices=[p.value for p in Precision])
     run.add_argument("--baseline", action="store_true", help="disable streaming acceleration")
-    run.add_argument("--batch", type=_positive_int, default=8, help="number of synthetic frames")
-    run.add_argument("--timesteps", type=_positive_int, default=1)
+    # None sentinels: plain inference resolves them to 8 frames / 1 timestep,
+    # while --scenario keeps each scenario's own defaults unless the user
+    # explicitly overrides them.
+    run.add_argument("--batch", type=_positive_int, default=None,
+                     help="number of synthetic frames (default: 8; scenarios "
+                          "keep their own default unless set)")
+    run.add_argument("--timesteps", type=_positive_int, default=None,
+                     help="SNN timesteps (default: 1; scenarios keep their own "
+                          "default unless set)")
     run.add_argument("--seed", type=int, default=2025)
+    run.add_argument("--scenario", default=None, metavar="NAME",
+                     help="run a registered Session scenario (see --list-scenarios) "
+                          "instead of plain inference")
+    run.add_argument("--list-scenarios", action="store_true",
+                     help="list every registered scenario and exit")
+    _add_session_arguments(run)
 
     figures = subparsers.add_parser("figures", help="regenerate one of the paper's figures")
     figures.add_argument("--figure", required=True, choices=_FIGURES)
     figures.add_argument("--batch", type=_positive_int, default=None,
                          help="frames per run (default: 8; 16 for fig3a)")
     figures.add_argument("--seed", type=int, default=2025)
+    _add_session_arguments(figures)
 
     compare = subparsers.add_parser("compare", help="Figure-5 accelerator comparison")
     compare.add_argument("--timesteps", type=_positive_int, default=500)
@@ -79,10 +110,6 @@ def _build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a parameter sweep, optionally over a worker pool"
     )
     sweep.add_argument("--sweep", required=True, choices=available_sweeps())
-    sweep.add_argument("--jobs", type=_positive_int, default=1,
-                       help="worker count (1 = serial)")
-    sweep.add_argument("--backend", choices=("process", "thread", "serial"),
-                       default="process", help="worker-pool kind used when --jobs > 1")
     sweep.add_argument("--format", choices=("table", "json", "csv"), default="table",
                        dest="output_format")
     sweep.add_argument("--batch", type=_positive_int, default=4,
@@ -92,27 +119,97 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="JSON file memoizing per-point results across invocations")
     sweep.add_argument("--output", default=None, metavar="PATH",
                        help="write the rendered output to a file instead of stdout")
+    _add_session_arguments(sweep)
     return parser
 
 
+def _session_from_args(args: argparse.Namespace, **kwargs) -> Session:
+    return Session(
+        jobs=getattr(args, "jobs", 1),
+        backend=getattr(args, "backend", "process"),
+        cache_dir=getattr(args, "cache_dir", None),
+        seed=getattr(args, "seed", 2025),
+        **kwargs,
+    )
+
+
+def _render_result(title: str, result) -> str:
+    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
+    return render_experiment(title, result.rows, notes=notes)
+
+
+def _list_scenarios(session: Session) -> str:
+    rows = []
+    for name in session.scenarios():
+        info = session.describe(name)
+        rows.append(
+            {
+                "scenario": name,
+                "kind": info["kind"],
+                "figure": info["figure"],
+                "parameters": ", ".join(info["params"]),
+                "description": info["description"],
+            }
+        )
+    return format_table(rows, columns=["scenario", "kind", "figure", "parameters",
+                                       "description"])
+
+
 def _command_run(args: argparse.Namespace) -> str:
-    precision = Precision.from_name(args.precision)
-    factory = baseline_config if args.baseline else spikestream_config
-    config = factory(precision, batch_size=args.batch, timesteps=args.timesteps, seed=args.seed)
-    engine = SpikeStreamInference(config)
-    result = engine.run_statistical(batch_size=args.batch, seed=args.seed)
-    variant = "baseline" if args.baseline else "SpikeStream"
-    lines = [
-        f"== S-VGG11 on the Snitch cluster model ({variant}, {precision.value}, "
-        f"batch {args.batch}, {args.timesteps} timestep(s)) ==",
-        format_table(result.per_layer_table(), columns=[
-            "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
-            "mean_energy_mj", "mean_power_w",
-        ]),
-        "",
-        format_table([result.summary()]),
-    ]
-    return "\n".join(lines)
+    with _session_from_args(args) as session:
+        if args.list_scenarios:
+            return _list_scenarios(session)
+        if args.scenario is not None:
+            try:
+                info = session.describe(args.scenario)
+            except KeyError as error:
+                raise SystemExit(f"error: {error.args[0]}")
+            # Forward only flags the user explicitly set, so every scenario
+            # keeps its own defaults (e.g. accelerator_comparison's 500
+            # timesteps, memory_footprint's batch of 128).
+            params = {"seed": args.seed}
+            if args.batch is not None and "batch_size" in info["params"]:
+                params["batch_size"] = args.batch
+            if args.timesteps is not None and "timesteps" in info["params"]:
+                params["timesteps"] = args.timesteps
+            # Plain-inference flags a scenario cannot consume are called out
+            # instead of silently ignored.
+            ignored = []
+            if args.baseline:
+                ignored.append("--baseline")
+            if args.precision != "fp16":
+                ignored.append("--precision")
+            if args.timesteps is not None and "timesteps" not in info["params"]:
+                ignored.append("--timesteps")
+            if args.batch is not None and "batch_size" not in info["params"]:
+                ignored.append("--batch")
+            if ignored:
+                print(
+                    f"warning: {', '.join(ignored)} not supported by scenario "
+                    f"{args.scenario!r}; ignored",
+                    file=sys.stderr,
+                )
+            result = session.run(args.scenario, **params)
+            return _render_result(f"scenario {args.scenario} ({info['figure']})", result)
+
+        batch = args.batch if args.batch is not None else 8
+        timesteps = args.timesteps if args.timesteps is not None else 1
+        precision = Precision.from_name(args.precision)
+        factory = baseline_config if args.baseline else spikestream_config
+        config = factory(precision, batch_size=batch, timesteps=timesteps, seed=args.seed)
+        result = session.run_inference(config, batch_size=batch, seed=args.seed)
+        variant = "baseline" if args.baseline else "SpikeStream"
+        lines = [
+            f"== S-VGG11 on the Snitch cluster model ({variant}, {precision.value}, "
+            f"batch {batch}, {timesteps} timestep(s)) ==",
+            format_table(result.per_layer_table(), columns=[
+                "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
+                "mean_energy_mj", "mean_power_w",
+            ]),
+            "",
+            format_table([result.summary()]),
+        ]
+        return "\n".join(lines)
 
 
 #: Figure 3a reports mean/std footprints over the batch; below this batch
@@ -125,55 +222,40 @@ def _command_figures(args: argparse.Namespace) -> str:
     # is always honored, with a warning when fig3a's statistics get noisy.
     default_batch = _FIG3A_RECOMMENDED_BATCH if args.figure == "fig3a" else 8
     batch = args.batch if args.batch is not None else default_batch
-    if args.figure == "fig3a":
-        if batch < _FIG3A_RECOMMENDED_BATCH:
-            print(
-                f"warning: fig3a statistics are noisy below batch "
-                f"{_FIG3A_RECOMMENDED_BATCH}; running with requested batch {batch}",
-                file=sys.stderr,
-            )
-        result = memory_footprint_experiment(batch_size=batch, seed=args.seed)
-    elif args.figure == "fig5":
-        result = accelerator_comparison_experiment(batch_size=batch, seed=args.seed)
-    elif args.figure == "listing1":
-        result = spva_microbenchmark_experiment(seed=args.seed)
-    else:
-        variants = run_svgg11_variants(batch_size=batch, seed=args.seed)
-        driver = {
-            "fig3b": utilization_experiment,
-            "fig3c": speedup_experiment,
-            "fig4": energy_experiment,
-        }[args.figure]
-        result = driver(variants=variants)
-    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
-    return render_experiment(f"{result.figure}: {result.name}", result.rows, notes=notes)
+    if args.figure == "fig3a" and batch < _FIG3A_RECOMMENDED_BATCH:
+        print(
+            f"warning: fig3a statistics are noisy below batch "
+            f"{_FIG3A_RECOMMENDED_BATCH}; running with requested batch {batch}",
+            file=sys.stderr,
+        )
+    scenario = _FIGURE_SCENARIOS[args.figure]
+    with _session_from_args(args) as session:
+        params = {"seed": args.seed}
+        if "batch_size" in session.describe(scenario)["params"]:
+            params["batch_size"] = batch
+        result = session.run(scenario, **params)
+    return _render_result(f"{result.figure}: {result.name}", result)
 
 
 def _command_compare(args: argparse.Namespace) -> str:
-    result = accelerator_comparison_experiment(
-        timesteps=args.timesteps, batch_size=args.batch, seed=args.seed
-    )
-    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
-    return render_experiment("Figure 5: accelerator comparison", result.rows, notes=notes)
+    with Session(seed=args.seed) as session:
+        result = session.run(
+            "accelerator_comparison",
+            timesteps=args.timesteps, batch_size=args.batch, seed=args.seed,
+        )
+    return _render_result("Figure 5: accelerator comparison", result)
 
 
 def _command_sweep(args: argparse.Namespace) -> str:
-    cache = ResultsCache(args.cache) if args.cache else None
-    result = run_sweep(
-        args.sweep,
-        jobs=args.jobs,
-        backend=args.backend,
-        seed=args.seed,
-        batch_size=args.batch,
-        cache=cache,
-    )
+    sweep_cache = ResultsCache(args.cache) if args.cache else None
+    with _session_from_args(args, sweep_cache=sweep_cache) as session:
+        result = session.run(args.sweep, seed=args.seed, batch_size=args.batch)
     if args.output_format == "json":
         rendered = experiment_to_json(result)
     elif args.output_format == "csv":
         rendered = rows_to_csv(result.rows)
     else:
-        notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
-        rendered = render_experiment(f"sweep: {result.name}", result.rows, notes=notes)
+        rendered = _render_result(f"sweep: {result.name}", result)
     if args.output:
         try:
             with open(args.output, "w") as handle:
@@ -185,9 +267,9 @@ def _command_sweep(args: argparse.Namespace) -> str:
 
 
 def _command_spva(args: argparse.Namespace) -> str:
-    result = spva_microbenchmark_experiment(stream_lengths=tuple(args.lengths))
-    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
-    return render_experiment("Listing 1: SpVA micro-benchmark", result.rows, notes=notes)
+    with Session() as session:
+        result = session.run("spva_microbenchmark", stream_lengths=tuple(args.lengths))
+    return _render_result("Listing 1: SpVA micro-benchmark", result)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

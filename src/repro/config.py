@@ -7,9 +7,12 @@ input frames, and the random seed used to generate synthetic data.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
 
 from .types import OptimizationFlag, Precision
+from .utils.serialization import canonical_json
 
 
 @dataclass(frozen=True)
@@ -76,6 +79,54 @@ class RunConfig:
     def as_spikestream(self) -> "RunConfig":
         """Return the full SpikeStream variant of this configuration."""
         return self.with_optimizations(OptimizationFlag.spikestream())
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dictionary round-tripping through :meth:`from_dict`.
+
+        Optimization flags are stored as a sorted list of member names, so
+        the encoding is stable across Python versions and readable in cache
+        files on disk.
+        """
+        members = [flag for flag in OptimizationFlag if flag is not OptimizationFlag.NONE]
+        return {
+            "precision": self.precision.value,
+            "optimizations": sorted(f.name for f in members if f in self.optimizations),
+            "batch_size": self.batch_size,
+            "timesteps": self.timesteps,
+            "seed": self.seed,
+            "index_bytes": self.index_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output."""
+        optimizations = OptimizationFlag.NONE
+        for name in data.get("optimizations", ()):
+            try:
+                optimizations |= OptimizationFlag[str(name)]
+            except KeyError as exc:
+                raise ValueError(f"unknown optimization flag {name!r}") from exc
+        return cls(
+            precision=Precision.from_name(str(data["precision"])),
+            optimizations=optimizations,
+            batch_size=int(data["batch_size"]),
+            timesteps=int(data["timesteps"]),
+            seed=int(data["seed"]),
+            index_bytes=int(data["index_bytes"]),
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical hex digest of this configuration alone.
+
+        Two configurations have the same fingerprint exactly when every
+        field (precision, optimization set, batch size, timesteps, seed,
+        index width) matches.  Note that :class:`repro.session.ResultStore`
+        entries are keyed on :meth:`repro.session.Session.fingerprint`,
+        which hashes this configuration *plus* the effective run parameters
+        and the session's hardware models.
+        """
+        return hashlib.sha256(canonical_json(self.to_dict()).encode()).hexdigest()
 
 
 def baseline_config(precision: Precision = Precision.FP16, **kwargs) -> RunConfig:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -107,6 +107,42 @@ class LayerResult:
         return all(
             np.array_equal(getattr(self, metric), getattr(other, metric))
             for metric in PER_FRAME_METRICS
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dictionary round-tripping through :meth:`from_dict`.
+
+        Unlike :meth:`as_dict` (an aggregated summary), this carries the full
+        per-frame metric arrays recorded from the cluster's
+        :class:`~repro.arch.trace.ClusterStats` (cycles, FPU utilization,
+        IPC, energy, power, DMA bytes), so a reloaded result is bit-for-bit
+        :meth:`identical_to` the original.
+        """
+        data: Dict[str, object] = {
+            "name": self.name,
+            "kernel": self.kernel,
+            "precision": self.precision.value,
+            "streaming": bool(self.streaming),
+            "clock_hz": float(self.clock_hz),
+        }
+        for metric in PER_FRAME_METRICS:
+            data[metric] = np.asarray(getattr(self, metric)).tolist()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "LayerResult":
+        """Reconstruct a layer result from :meth:`to_dict` output."""
+        metrics = {
+            metric: np.asarray(data[metric], dtype=np.float64)
+            for metric in PER_FRAME_METRICS
+        }
+        return cls(
+            name=str(data["name"]),
+            kernel=str(data["kernel"]),
+            precision=Precision.from_name(str(data["precision"])),
+            streaming=bool(data["streaming"]),
+            clock_hz=float(data.get("clock_hz", 1.0e9)),
+            **metrics,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -218,6 +254,28 @@ class InferenceResult:
             "network_ipc": self.network_ipc,
             "average_power_w": self.average_power_w,
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dictionary round-tripping through :meth:`from_dict`.
+
+        Carries the full configuration and every layer's per-frame arrays,
+        so :class:`repro.session.ResultStore` can persist whole results and
+        serve them back bit-for-bit equal to a cold run.
+        """
+        return {
+            "config": self.config.to_dict(),
+            "clock_hz": float(self.clock_hz),
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "InferenceResult":
+        """Reconstruct an inference result from :meth:`to_dict` output."""
+        return cls(
+            config=RunConfig.from_dict(data["config"]),
+            layers=[LayerResult.from_dict(layer) for layer in data["layers"]],
+            clock_hz=float(data.get("clock_hz", 1.0e9)),
+        )
 
     def per_layer_table(self) -> List[Dict[str, float]]:
         """Per-layer metric dictionaries in execution order."""

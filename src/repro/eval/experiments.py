@@ -13,6 +13,14 @@ The drivers return an :class:`ExperimentResult` whose ``rows`` can be printed
 with :func:`repro.eval.reporting.format_table` and whose ``headline`` summary
 carries the aggregate numbers quoted in the paper's text (average speedups,
 utilization, energy-efficiency gains, ...).
+
+The module-level functions are thin wrappers over the unified
+:class:`repro.session.Session` API: each delegates to the default session's
+scenario of the same name, so repeated calls share one
+:class:`~repro.session.ResultStore` (figure drivers that need the same
+S-VGG11 variant runs reuse them instead of re-simulating).  The underlying
+``_*_impl`` functions hold the actual driver logic and are what the
+session's scenario registry dispatches to.
 """
 
 from __future__ import annotations
@@ -24,11 +32,10 @@ import numpy as np
 
 from ..accelerators.comparison import compare_accelerators
 from ..config import RunConfig, baseline_config, spikestream_config
-from ..core.pipeline import SpikeStreamInference
 from ..core.results import InferenceResult
 from ..formats.footprint import aer_footprint_bytes, csr_footprint_bytes
 from ..isa.spva_listings import make_spva_setup, run_baseline_spva, run_streaming_spva
-from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES, svgg11_layer_shapes
+from ..snn.svgg11 import svgg11_layer_shapes
 from ..types import Precision
 from ..utils.rng import spawn_rngs
 from .metrics import ratio
@@ -58,6 +65,16 @@ def memory_footprint_experiment(
     batch_size: int = 128, seed: int = 2025, index_bytes: int = 2
 ) -> ExperimentResult:
     """Average ifmap footprint per conv layer under AER and the CSR format."""
+    from ..session import default_session
+
+    return default_session().run(
+        "memory_footprint", batch_size=batch_size, seed=seed, index_bytes=index_bytes
+    )
+
+
+def _memory_footprint_impl(
+    batch_size: int = 128, seed: int = 2025, index_bytes: int = 2
+) -> ExperimentResult:
     descriptions = [d for d in svgg11_layer_shapes() if d["kind"] == "conv"]
     rows: List[Dict[str, object]] = []
     reductions: List[float] = []
@@ -105,6 +122,20 @@ def memory_footprint_experiment(
 # --------------------------------------------------------------------------- #
 # Shared S-VGG11 runs
 # --------------------------------------------------------------------------- #
+def svgg11_variant_configs(
+    batch_size: int = 16, seed: int = 2025, timesteps: int = 1
+) -> Dict[str, RunConfig]:
+    """Configurations of the three evaluated variants, keyed by variant name."""
+    return {
+        "baseline_fp16": baseline_config(Precision.FP16, batch_size=batch_size, seed=seed,
+                                         timesteps=timesteps),
+        "spikestream_fp16": spikestream_config(Precision.FP16, batch_size=batch_size, seed=seed,
+                                               timesteps=timesteps),
+        "spikestream_fp8": spikestream_config(Precision.FP8, batch_size=batch_size, seed=seed,
+                                              timesteps=timesteps),
+    }
+
+
 def run_svgg11_variants(
     batch_size: int = 16,
     seed: int = 2025,
@@ -115,24 +146,16 @@ def run_svgg11_variants(
 
     Returns a dictionary with keys ``baseline_fp16``, ``spikestream_fp16``
     and ``spikestream_fp8``.  Each variant runs through the vectorized batch
-    engine (:meth:`~repro.core.pipeline.SpikeStreamInference.run_statistical`),
-    so regenerating every figure at the paper's batch size of 128 is cheap.
+    engine (:meth:`~repro.core.pipeline.SpikeStreamInference.run_statistical`)
+    and is memoized in the default session's result store, so regenerating
+    every figure at the paper's batch size of 128 costs one simulation per
+    variant, not one per figure.
     """
-    configurations = {
-        "baseline_fp16": baseline_config(Precision.FP16, batch_size=batch_size, seed=seed,
-                                         timesteps=timesteps),
-        "spikestream_fp16": spikestream_config(Precision.FP16, batch_size=batch_size, seed=seed,
-                                               timesteps=timesteps),
-        "spikestream_fp8": spikestream_config(Precision.FP8, batch_size=batch_size, seed=seed,
-                                              timesteps=timesteps),
-    }
-    results = {}
-    for key, config in configurations.items():
-        engine = SpikeStreamInference(config)
-        results[key] = engine.run_statistical(
-            batch_size=batch_size, firing_rates=firing_rates, seed=seed
-        )
-    return results
+    from ..session import default_session
+
+    return default_session().run_variants(
+        batch_size=batch_size, seed=seed, firing_rates=firing_rates, timesteps=timesteps
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -143,7 +166,14 @@ def utilization_experiment(
     variants: Optional[Dict[str, InferenceResult]] = None,
 ) -> ExperimentResult:
     """Per-layer FPU utilization and per-core IPC for both FP16 code variants."""
-    variants = variants or run_svgg11_variants(batch_size=batch_size, seed=seed)
+    from ..session import default_session
+
+    return default_session().run(
+        "utilization", batch_size=batch_size, seed=seed, variants=variants
+    )
+
+
+def _utilization_impl(variants: Dict[str, InferenceResult]) -> ExperimentResult:
     baseline, spikestream = variants["baseline_fp16"], variants["spikestream_fp16"]
     rows = []
     for base_layer, stream_layer in zip(baseline.layers, spikestream.layers):
@@ -182,7 +212,14 @@ def speedup_experiment(
     variants: Optional[Dict[str, InferenceResult]] = None,
 ) -> ExperimentResult:
     """SpikeStream FP16 over baseline FP16 and SpikeStream FP8 over FP16, per layer."""
-    variants = variants or run_svgg11_variants(batch_size=batch_size, seed=seed)
+    from ..session import default_session
+
+    return default_session().run(
+        "speedup", batch_size=batch_size, seed=seed, variants=variants
+    )
+
+
+def _speedup_impl(variants: Dict[str, InferenceResult]) -> ExperimentResult:
     baseline = variants["baseline_fp16"]
     stream16 = variants["spikestream_fp16"]
     stream8 = variants["spikestream_fp8"]
@@ -218,7 +255,14 @@ def energy_experiment(
     variants: Optional[Dict[str, InferenceResult]] = None,
 ) -> ExperimentResult:
     """Per-layer energy and power for baseline FP16, SpikeStream FP16 and FP8."""
-    variants = variants or run_svgg11_variants(batch_size=batch_size, seed=seed)
+    from ..session import default_session
+
+    return default_session().run(
+        "energy", batch_size=batch_size, seed=seed, variants=variants
+    )
+
+
+def _energy_impl(variants: Dict[str, InferenceResult]) -> ExperimentResult:
     baseline = variants["baseline_fp16"]
     stream16 = variants["spikestream_fp16"]
     stream8 = variants["spikestream_fp8"]
@@ -265,6 +309,16 @@ def accelerator_comparison_experiment(
     timesteps: int = 500, batch_size: int = 4, seed: int = 2025
 ) -> ExperimentResult:
     """Latency and energy of every system on S-VGG11 layer 6 over 500 timesteps."""
+    from ..session import default_session
+
+    return default_session().run(
+        "accelerator_comparison", timesteps=timesteps, batch_size=batch_size, seed=seed
+    )
+
+
+def _accelerator_comparison_impl(
+    timesteps: int = 500, batch_size: int = 4, seed: int = 2025
+) -> ExperimentResult:
     entries = compare_accelerators(timesteps=timesteps, batch_size=batch_size, seed=seed)
     rows = [entry.as_dict() for entry in entries]
     by_name = {entry.name: entry for entry in entries}
@@ -295,6 +349,16 @@ def spva_microbenchmark_experiment(
     stream_lengths=(1, 2, 4, 8, 16, 32, 64, 128), seed: int = 2025
 ) -> ExperimentResult:
     """Instruction-level comparison of the two SpVA listings over stream lengths."""
+    from ..session import default_session
+
+    return default_session().run(
+        "spva_microbenchmark", stream_lengths=tuple(stream_lengths), seed=seed
+    )
+
+
+def _spva_microbenchmark_impl(
+    stream_lengths=(1, 2, 4, 8, 16, 32, 64, 128), seed: int = 2025
+) -> ExperimentResult:
     rng = np.random.default_rng(seed)
     rows = []
     for length in stream_lengths:

@@ -29,7 +29,12 @@ import hashlib
 import json
 import pickle
 import sys
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
@@ -37,6 +42,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..types import Precision
+from ..utils.serialization import atomic_write_text, canonical_json
 from .experiments import ExperimentResult
 from .metrics import ratio
 from .sweeps import (
@@ -81,6 +87,7 @@ class ResultsCache:
     def __init__(self, path: Optional[Path] = None):
         self.path = Path(path) if path is not None else None
         self._rows: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
         self.hits = 0
         self.misses = 0
         if self.path is not None and self.path.exists():
@@ -121,7 +128,10 @@ class ResultsCache:
             "batch": batch_size,
             "config": sorted((config or {}).items()),
         }
-        return json.dumps(payload, sort_keys=True, default=str)
+        # The same canonical encoder serializes keys and the persisted rows
+        # (see save()), so equal parameters can never encode differently
+        # between the two paths.
+        return canonical_json(payload)
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """Cached row for ``key``, or None (updates hit/miss counters)."""
@@ -135,6 +145,7 @@ class ResultsCache:
     def put(self, key: str, row: Mapping[str, object]) -> None:
         """Store one row under ``key``."""
         self._rows[key] = dict(row)
+        self._dirty = True
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -142,15 +153,18 @@ class ResultsCache:
     def save(self) -> None:
         """Persist the cache to its JSON file (no-op for in-memory caches).
 
-        Like the load path, a failure to persist is reported but never
-        raised: the sweep's results have already been computed and must
-        still reach the caller.
+        The write is atomic (temp file in the same directory, then
+        ``os.replace``), so an interrupted sweep can never leave a
+        half-written file that a later load would have to discard.  Like the
+        load path, a failure to persist is reported but never raised: the
+        sweep's results have already been computed and must still reach the
+        caller.
         """
-        if self.path is None:
+        if self.path is None or not self._dirty:
             return
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(self._rows, sort_keys=True, default=float))
+            atomic_write_text(self.path, canonical_json(self._rows))
+            self._dirty = False
         except OSError as error:
             print(
                 f"warning: could not persist results cache {self.path}: {error}",
@@ -354,8 +368,15 @@ def _execute(
     tasks: List[Dict[str, object]],
     jobs: int,
     backend: str,
+    executor: Optional[Executor] = None,
 ) -> List[Dict[str, object]]:
     """Run the point tasks, falling back to the serial path on pool failures.
+
+    When ``executor`` is given (e.g. the long-lived pool owned by a
+    :class:`repro.session.Session`), the tasks are dispatched onto it and it
+    is *not* shut down afterwards — the whole point of sharing one pool
+    across sweeps is to amortize worker start-up.  Otherwise a private pool
+    is created per call and torn down when the sweep finishes.
 
     Only pool-*infrastructure* failures trigger the fallback: OSError while
     constructing the pool (e.g. fork refused), and pickling/broken-executor
@@ -363,7 +384,14 @@ def _execute(
     parameters, model errors) propagates to the caller unchanged — it would
     fail serially too, so re-running everything would only double the work.
     """
-    if jobs <= 1 or backend == "serial" or len(tasks) <= 1:
+    if len(tasks) <= 1:
+        return [run_point(task) for task in tasks]
+    if executor is not None:
+        try:
+            return list(executor.map(run_point, tasks))
+        except (BrokenExecutor, pickle.PicklingError) as error:
+            return _serial_fallback(run_point, tasks, "shared", error)
+    if jobs <= 1 or backend == "serial":
         return [run_point(task) for task in tasks]
     pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
     try:
@@ -384,6 +412,7 @@ def run_sweep(
     seed: int = 2025,
     batch_size: int = 4,
     cache: Optional[ResultsCache] = None,
+    executor: Optional[Executor] = None,
     **point_kwargs,
 ) -> ExperimentResult:
     """Run one registered sweep, fanning its points over a worker pool.
@@ -402,7 +431,11 @@ def run_sweep(
         Batch size of points that run full-network inference (``precision``).
     cache:
         Optional :class:`ResultsCache`; hits skip the point entirely and the
-        cache is saved after the run when file-backed.
+        cache is saved once at the end of the sweep when file-backed.
+    executor:
+        Optional long-lived :class:`concurrent.futures.Executor` to dispatch
+        the points onto instead of creating (and tearing down) a private
+        pool; :class:`repro.session.Session` passes its shared pool here.
     point_kwargs:
         Forwarded to the sweep's point generator (e.g. ``rates=...``,
         ``core_counts=...``, ``precisions=...``, ``lengths=...``).
@@ -439,13 +472,13 @@ def run_sweep(
                 pending.append(index)
 
     if pending:
-        fresh = _execute(definition.run_point, [tasks[i] for i in pending], jobs, backend)
+        fresh = _execute(
+            definition.run_point, [tasks[i] for i in pending], jobs, backend, executor
+        )
         for index, row in zip(pending, fresh):
             rows[index] = row
             if cache is not None:
                 cache.put(keys[index], row)
-        if cache is not None:
-            cache.save()
 
     def run_cached(params: Dict[str, object]) -> Dict[str, object]:
         """Evaluate one extra point through the same cache as the sweep points."""
@@ -460,16 +493,24 @@ def run_sweep(
         row = definition.run_point(task)
         if cache is not None:
             cache.put(key, row)
-            cache.save()
         return row
 
     final_rows: List[Dict[str, object]] = [dict(row) for row in rows]
     # Named distinctly from the sequential sweeps: the per-point seeding
     # produces different (order-independent) draws than the shared-RNG
     # sequential functions, so results keyed by name must never mix.
+    try:
+        headline = definition.finalize(final_rows, tasks, run_cached)
+    finally:
+        # One save at the very end covers the sweep points *and* any extra
+        # finalize anchors, instead of rewriting the file once per addition;
+        # saving in a finally block keeps freshly computed rows persisted
+        # even when finalize (or its anchor point) raises.
+        if cache is not None:
+            cache.save()
     return ExperimentResult(
         name=f"parallel_{definition.name}_sweep",
         figure="sweep",
         rows=final_rows,
-        headline=definition.finalize(final_rows, tasks, run_cached),
+        headline=headline,
     )

@@ -1,0 +1,625 @@
+"""Unified long-lived `Session` front-end over the whole evaluation surface.
+
+Before this module existed the library exposed three parallel APIs: the
+seven per-figure drivers in :mod:`repro.eval.experiments`, the five
+:data:`~repro.eval.runner.SWEEPS` definitions behind
+:func:`~repro.eval.runner.run_sweep`, and raw
+:class:`~repro.core.pipeline.SpikeStreamInference` engines.  Each sweep call
+spun up (and tore down) its own worker pool, and nothing memoized whole
+inference runs — regenerating Figures 3b, 3c and 4 re-simulated the same
+three S-VGG11 variants three times.
+
+A :class:`Session` is the single declarative entry point that fixes both:
+
+* **one shared pool** — the session lazily creates ONE
+  :mod:`concurrent.futures` executor the first time parallel work is
+  dispatched and reuses it for every subsequent sweep and experiment until
+  :meth:`Session.close` (worker start-up, which dominates short sweeps, is
+  paid once per service lifetime, not once per call);
+* **a persistent result store** — :class:`ResultStore` memoizes whole
+  :class:`~repro.core.results.InferenceResult` objects keyed on a canonical
+  fingerprint of the :class:`~repro.config.RunConfig` plus the run
+  parameters and hardware models, optionally persisted as JSON under
+  ``cache_dir`` so results survive the process;
+* **one scenario registry** — every figure experiment and every sweep is a
+  named :class:`Scenario`; :meth:`Session.scenarios` lists them,
+  :meth:`Session.describe` documents one, and :meth:`Session.run` executes
+  it with the session's pool and caches.
+
+Typical use::
+
+    from repro import Session
+
+    with Session(jobs=4, backend="process", cache_dir="results") as session:
+        print(session.scenarios())
+        fig3c = session.run("speedup", batch_size=128)      # simulates
+        fig4 = session.run("energy", batch_size=128)        # store hits
+        sweep = session.run("firing_rate", rates=(0.1, 0.3))
+
+The module-level experiment functions and ``run_sweep`` remain available as
+thin wrappers over a default session, so existing scripts keep working.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import sys
+from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .arch.params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from .config import RunConfig, spikestream_config
+from .core.pipeline import SpikeStreamInference
+from .core.results import InferenceResult
+from .energy.params import DEFAULT_ENERGY, EnergyParams
+from .eval.experiments import (
+    ExperimentResult,
+    _accelerator_comparison_impl,
+    _energy_impl,
+    _memory_footprint_impl,
+    _speedup_impl,
+    _spva_microbenchmark_impl,
+    _utilization_impl,
+    svgg11_variant_configs,
+)
+from .eval.metrics import ratio
+from .eval.runner import ResultsCache, SWEEPS, _execute, run_sweep
+from .utils.serialization import atomic_write_text, canonical_json
+
+_BACKENDS = ("process", "thread", "serial")
+
+
+# --------------------------------------------------------------------------- #
+# Persistent InferenceResult store
+# --------------------------------------------------------------------------- #
+class ResultStore:
+    """Memoized whole :class:`~repro.core.results.InferenceResult` objects.
+
+    Results are keyed on the canonical fingerprint produced by
+    :meth:`Session.fingerprint` (configuration + run parameters + hardware
+    models).  The store is an in-memory dictionary, optionally backed by a
+    directory of one JSON file per fingerprint: :meth:`put` persists through
+    an atomic write, :meth:`get` falls back to disk on an in-memory miss, so
+    a new session pointed at the same ``cache_dir`` serves previous
+    sessions' results without re-simulating.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: Dict[str, InferenceResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[InferenceResult]:
+        """Stored result for ``fingerprint`` or None (counts hits/misses).
+
+        Hits return a deep copy, so a caller mutating a served result (e.g.
+        editing its per-frame arrays in place) can never poison what later
+        callers are served.
+        """
+        result = self._memory.get(fingerprint)
+        if result is None and self.cache_dir is not None:
+            path = self._path(fingerprint)
+            if path.exists():
+                try:
+                    result = InferenceResult.from_dict(json.loads(path.read_text()))
+                except (KeyError, TypeError, ValueError, OSError) as error:
+                    # A store is disposable: unreadable entries re-simulate,
+                    # they never crash the run.
+                    print(
+                        f"warning: ignoring unreadable stored result {path}: {error}",
+                        file=sys.stderr,
+                    )
+                else:
+                    self._memory[fingerprint] = result
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return copy.deepcopy(result)
+
+    def put(self, fingerprint: str, result: InferenceResult) -> None:
+        """Store one result, persisting it when the store is disk-backed.
+
+        The store keeps its own deep copy: the caller usually receives the
+        very object that was just simulated, and mutating it must not
+        rewrite the store's master copy.
+        """
+        self._memory[fingerprint] = copy.deepcopy(result)
+        if self.cache_dir is None:
+            return
+        try:
+            atomic_write_text(self._path(fingerprint), canonical_json(result.to_dict()))
+        except OSError as error:
+            print(
+                f"warning: could not persist result {fingerprint[:12]}…: {error}",
+                file=sys.stderr,
+            )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        return self.cache_dir is not None and self._path(fingerprint).exists()
+
+
+# --------------------------------------------------------------------------- #
+# Scenario registry
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Scenario:
+    """One named entry point of the unified API.
+
+    ``runner`` is called as ``runner(session, **params)`` and returns an
+    :class:`~repro.eval.experiments.ExperimentResult`; ``params`` names the
+    keyword parameters the scenario accepts (for :meth:`Session.describe`
+    and CLI help).
+    """
+
+    name: str
+    kind: str  # "experiment" | "sweep"
+    figure: str
+    description: str
+    params: Tuple[str, ...]
+    runner: Callable[..., ExperimentResult]
+    #: whether the scenario's simulations run on the session's
+    #: cluster/costs/energy models (False: the scenario is model-free or
+    #: hard-wired to the defaults, and Session.run warns when the session
+    #: carries custom models that would be silently ignored)
+    uses_session_models: bool = False
+
+
+def _scenario_memory_footprint(session: "Session", batch_size: int = 128,
+                               seed: int = 2025, index_bytes: int = 2) -> ExperimentResult:
+    return _memory_footprint_impl(batch_size=batch_size, seed=seed, index_bytes=index_bytes)
+
+
+def _scenario_utilization(session: "Session", batch_size: int = 16, seed: int = 2025,
+                          variants: Optional[Dict[str, InferenceResult]] = None
+                          ) -> ExperimentResult:
+    variants = variants or session.run_variants(batch_size=batch_size, seed=seed)
+    return _utilization_impl(variants)
+
+
+def _scenario_speedup(session: "Session", batch_size: int = 16, seed: int = 2025,
+                      variants: Optional[Dict[str, InferenceResult]] = None
+                      ) -> ExperimentResult:
+    variants = variants or session.run_variants(batch_size=batch_size, seed=seed)
+    return _speedup_impl(variants)
+
+
+def _scenario_energy(session: "Session", batch_size: int = 16, seed: int = 2025,
+                     variants: Optional[Dict[str, InferenceResult]] = None
+                     ) -> ExperimentResult:
+    variants = variants or session.run_variants(batch_size=batch_size, seed=seed)
+    return _energy_impl(variants)
+
+
+def _scenario_svgg11_variants(session: "Session", batch_size: int = 16, seed: int = 2025,
+                              firing_rates: Optional[Dict[str, float]] = None,
+                              timesteps: int = 1) -> ExperimentResult:
+    variants = session.run_variants(
+        batch_size=batch_size, seed=seed, firing_rates=firing_rates, timesteps=timesteps
+    )
+    rows = [{"variant": key, **result.summary()} for key, result in variants.items()]
+    baseline = variants["baseline_fp16"]
+    stream16 = variants["spikestream_fp16"]
+    stream8 = variants["spikestream_fp8"]
+    headline = {
+        "network_speedup_fp16_over_baseline": ratio(baseline.total_cycles, stream16.total_cycles),
+        "network_speedup_fp8_over_baseline": ratio(baseline.total_cycles, stream8.total_cycles),
+        "energy_gain_fp16_over_baseline": ratio(baseline.total_energy_j, stream16.total_energy_j),
+        "energy_gain_fp8_over_baseline": ratio(baseline.total_energy_j, stream8.total_energy_j),
+    }
+    return ExperimentResult(
+        name="svgg11_variants", figure="summary", rows=rows, headline=headline
+    )
+
+
+def _scenario_accelerator_comparison(session: "Session", timesteps: int = 500,
+                                     batch_size: int = 4, seed: int = 2025
+                                     ) -> ExperimentResult:
+    return _accelerator_comparison_impl(timesteps=timesteps, batch_size=batch_size, seed=seed)
+
+
+def _scenario_spva_microbenchmark(session: "Session",
+                                  stream_lengths=(1, 2, 4, 8, 16, 32, 64, 128),
+                                  seed: int = 2025) -> ExperimentResult:
+    return _spva_microbenchmark_impl(stream_lengths=stream_lengths, seed=seed)
+
+
+def _make_sweep_runner(sweep_name: str) -> Callable[..., ExperimentResult]:
+    def runner(session: "Session", seed: Optional[int] = None,
+               batch_size: Optional[int] = None, **point_kwargs) -> ExperimentResult:
+        return run_sweep(
+            sweep_name,
+            jobs=session.jobs,
+            backend=session.backend,
+            seed=session.seed if seed is None else seed,
+            batch_size=4 if batch_size is None else batch_size,
+            cache=session.sweep_cache,
+            executor=session.shared_executor(),
+            **point_kwargs,
+        )
+
+    return runner
+
+
+_SWEEP_POINT_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "firing_rate": ("rates", "precision"),
+    "core_count": ("core_counts", "precision", "firing_rate"),
+    "precision": ("precisions",),
+    "stream_length": ("lengths",),
+    "strided_indirect": ("rates", "precision"),
+}
+
+_SWEEP_DESCRIPTIONS: Dict[str, str] = {
+    "firing_rate": "SpikeStream vs baseline conv6 cycles across input firing rates",
+    "core_count": "strong scaling of the conv6 kernel over worker-core counts",
+    "precision": "full-network runtime at FP32/FP16/FP8",
+    "stream_length": "SpVA speedup over the baseline listing across stream lengths",
+    "strided_indirect": "additional speedup of strided-indirect streams by firing rate",
+}
+
+
+def _build_scenarios() -> Dict[str, Scenario]:
+    registry: Dict[str, Scenario] = {}
+
+    def add(name, kind, figure, description, params, runner, uses_session_models=False):
+        registry[name] = Scenario(name, kind, figure, description, tuple(params), runner,
+                                  uses_session_models)
+
+    add("memory_footprint", "experiment", "fig3a",
+        "per-layer ifmap footprint under AER vs CSR and the resulting reduction",
+        ("batch_size", "seed", "index_bytes"), _scenario_memory_footprint)
+    add("utilization", "experiment", "fig3b",
+        "per-layer FPU utilization and IPC, baseline vs SpikeStream (FP16)",
+        ("batch_size", "seed", "variants"), _scenario_utilization,
+        uses_session_models=True)
+    add("speedup", "experiment", "fig3c",
+        "per-layer and network speedups of SpikeStream FP16/FP8 over the baseline",
+        ("batch_size", "seed", "variants"), _scenario_speedup,
+        uses_session_models=True)
+    add("energy", "experiment", "fig4",
+        "per-layer energy and power of the three evaluated variants",
+        ("batch_size", "seed", "variants"), _scenario_energy,
+        uses_session_models=True)
+    add("svgg11_variants", "experiment", "summary",
+        "network-level summary of the three S-VGG11 variants over one batch",
+        ("batch_size", "seed", "firing_rates", "timesteps"), _scenario_svgg11_variants,
+        uses_session_models=True)
+    add("accelerator_comparison", "experiment", "fig5",
+        "latency/energy comparison with SoA neuromorphic accelerators",
+        ("timesteps", "batch_size", "seed"), _scenario_accelerator_comparison)
+    add("spva_microbenchmark", "experiment", "listing1",
+        "instruction-level SpVA micro-benchmark across stream lengths",
+        ("stream_lengths", "seed"), _scenario_spva_microbenchmark)
+    for sweep_name in SWEEPS:
+        add(sweep_name, "sweep", "sweep",
+            _SWEEP_DESCRIPTIONS.get(sweep_name, f"parallel {sweep_name} sweep"),
+            ("seed", "batch_size") + _SWEEP_POINT_PARAMS.get(sweep_name, ()),
+            _make_sweep_runner(sweep_name))
+    return registry
+
+
+SCENARIOS: Dict[str, Scenario] = _build_scenarios()
+
+
+# --------------------------------------------------------------------------- #
+# Worker task (top-level so process pools can pickle it)
+# --------------------------------------------------------------------------- #
+def _statistical_task(payload) -> InferenceResult:
+    config, cluster, costs, energy, batch_size, firing_rates, seed, timesteps = payload
+    engine = SpikeStreamInference(config, cluster=cluster, costs=costs, energy=energy)
+    return engine.run_statistical(
+        batch_size=batch_size, firing_rates=firing_rates, seed=seed, timesteps=timesteps
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The Session facade
+# --------------------------------------------------------------------------- #
+class Session:
+    """Long-lived facade over engines, sweeps, experiments and caches.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.config.RunConfig` of :meth:`run_inference`
+        (full SpikeStream FP16 when omitted).
+    cluster / costs / energy:
+        Hardware models shared by every engine the session builds; they
+        enter every result fingerprint, so results cached under one model
+        are never served under another.
+    jobs:
+        Worker count of the shared pool; ``1`` keeps everything serial.
+    backend:
+        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+    cache_dir:
+        Directory persisting the result store (``cache_dir/results/``) and
+        the sweep row cache (``cache_dir/sweep_rows.json``) across
+        processes.  Omitted: both caches are in-memory for the session's
+        lifetime only.
+    seed:
+        Default base seed of sweeps run through :meth:`run`.
+    sweep_cache:
+        Explicit :class:`~repro.eval.runner.ResultsCache` overriding the
+        ``cache_dir``-derived sweep row cache (the CLI's ``--cache`` flag).
+    """
+
+    def __init__(
+        self,
+        config: Optional[RunConfig] = None,
+        cluster: ClusterParams = DEFAULT_CLUSTER,
+        costs: CostModelParams = DEFAULT_COSTS,
+        energy: EnergyParams = DEFAULT_ENERGY,
+        jobs: int = 1,
+        backend: str = "process",
+        cache_dir: Optional[Union[str, Path]] = None,
+        seed: int = 2025,
+        sweep_cache: Optional[ResultsCache] = None,
+    ):
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        if jobs <= 0:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.config = config if config is not None else spikestream_config()
+        self.cluster = cluster
+        self.costs = costs
+        self.energy = energy
+        self.jobs = jobs
+        self.backend = backend
+        self.seed = seed
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.store = ResultStore(self.cache_dir / "results" if self.cache_dir else None)
+        if sweep_cache is not None:
+            self.sweep_cache = sweep_cache
+        elif self.cache_dir is not None:
+            self.sweep_cache = ResultsCache(self.cache_dir / "sweep_rows.json")
+        else:
+            self.sweep_cache = ResultsCache()
+        self._executor: Optional[Executor] = None
+        self._executor_failed = False
+        #: number of pools created over the session's lifetime; stays at 1
+        #: however many sweeps/experiments run (asserted by the tests).
+        self.pool_launches = 0
+
+    # -- shared worker pool -------------------------------------------------
+    def shared_executor(self) -> Optional[Executor]:
+        """The session's lazily created, reused executor (None when serial).
+
+        The first parallel dispatch creates the pool; every later sweep or
+        experiment reuses it.  If pool creation fails (e.g. fork refused in
+        a restricted environment), or an existing pool breaks (e.g. a
+        worker killed mid-run), the dead pool is shut down and the session
+        degrades to serial execution permanently instead of re-dispatching
+        onto a broken executor on every call.
+        """
+        if self.jobs <= 1 or self.backend == "serial" or self._executor_failed:
+            return None
+        if self._executor is not None and getattr(self._executor, "_broken", False):
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            self._executor_failed = True
+            print(
+                f"warning: shared {self.backend} pool is broken; "
+                "session falls back to serial execution",
+                file=sys.stderr,
+            )
+            return None
+        if self._executor is None:
+            pool_cls = ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
+            try:
+                self._executor = pool_cls(max_workers=self.jobs)
+                self.pool_launches += 1
+            except (OSError, BrokenExecutor) as error:
+                print(
+                    f"warning: could not start {self.backend} pool ({error!r}); "
+                    "session falls back to serial execution",
+                    file=sys.stderr,
+                )
+                self._executor_failed = True
+                return None
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the shared pool (idempotent); caches stay usable."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- engines and store-backed inference ---------------------------------
+    def engine(self, config: Optional[RunConfig] = None) -> SpikeStreamInference:
+        """A fresh engine under this session's hardware models."""
+        return SpikeStreamInference(
+            config if config is not None else self.config,
+            cluster=self.cluster,
+            costs=self.costs,
+            energy=self.energy,
+        )
+
+    def fingerprint(
+        self,
+        config: RunConfig,
+        batch_size: Optional[int] = None,
+        firing_rates: Optional[Mapping[str, float]] = None,
+        seed: Optional[int] = None,
+        timesteps: Optional[int] = None,
+    ) -> str:
+        """Canonical fingerprint of one statistical run under this session.
+
+        Extends :meth:`RunConfig.fingerprint` with the effective run
+        parameters (which may override the config's own) and the session's
+        hardware models, so two sessions with different cluster/cost/energy
+        parameters never share store entries.
+        """
+        payload = {
+            "mode": "statistical",
+            "config": config.to_dict(),
+            "cluster": asdict(self.cluster),
+            "costs": asdict(self.costs),
+            "energy": asdict(self.energy),
+            "batch_size": batch_size if batch_size is not None else config.batch_size,
+            "firing_rates": sorted(firing_rates.items()) if firing_rates else None,
+            "seed": seed if seed is not None else config.seed,
+            "timesteps": timesteps if timesteps is not None else config.timesteps,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def run_inference(
+        self,
+        config: Optional[RunConfig] = None,
+        batch_size: Optional[int] = None,
+        firing_rates: Optional[Dict[str, float]] = None,
+        seed: Optional[int] = None,
+        timesteps: Optional[int] = None,
+    ) -> InferenceResult:
+        """One statistical S-VGG11 run, memoized in the result store.
+
+        A hit returns the stored result without touching an engine; a miss
+        simulates through :meth:`engine` and persists the result (when the
+        store is disk-backed) for every later session.
+        """
+        config = config if config is not None else self.config
+        key = self.fingerprint(config, batch_size, firing_rates, seed, timesteps)
+        hit = self.store.get(key)
+        if hit is not None:
+            return hit
+        result = self.engine(config).run_statistical(
+            batch_size=batch_size, firing_rates=firing_rates, seed=seed, timesteps=timesteps
+        )
+        self.store.put(key, result)
+        return result
+
+    def run_variants(
+        self,
+        batch_size: int = 16,
+        seed: int = 2025,
+        firing_rates: Optional[Dict[str, float]] = None,
+        timesteps: int = 1,
+    ) -> Dict[str, InferenceResult]:
+        """The three evaluated S-VGG11 variants, store-backed and pooled.
+
+        Store misses are fanned out over the shared executor (one variant
+        per worker) when the session is parallel; hits cost nothing.  The
+        returned dictionary has the same keys and bit-for-bit the same
+        results as :func:`repro.eval.experiments.run_svgg11_variants`.
+        """
+        configs = svgg11_variant_configs(batch_size=batch_size, seed=seed, timesteps=timesteps)
+        fingerprints = {
+            key: self.fingerprint(config, batch_size, firing_rates, seed, timesteps)
+            for key, config in configs.items()
+        }
+        results: Dict[str, InferenceResult] = {}
+        missing: List[str] = []
+        for key in configs:
+            hit = self.store.get(fingerprints[key])
+            if hit is not None:
+                results[key] = hit
+            else:
+                missing.append(key)
+        if missing:
+            computed = self._run_statistical_many(
+                [configs[key] for key in missing], batch_size, firing_rates, seed, timesteps
+            )
+            for key, result in zip(missing, computed):
+                self.store.put(fingerprints[key], result)
+                results[key] = result
+        return {key: results[key] for key in configs}
+
+    def _run_statistical_many(
+        self,
+        configs: Sequence[RunConfig],
+        batch_size: int,
+        firing_rates: Optional[Dict[str, float]],
+        seed: int,
+        timesteps: int,
+    ) -> List[InferenceResult]:
+        payloads = [
+            (config, self.cluster, self.costs, self.energy,
+             batch_size, firing_rates, seed, timesteps)
+            for config in configs
+        ]
+        # _execute carries the shared dispatch-with-serial-fallback policy;
+        # jobs=1 keeps it from creating a private pool when the session has
+        # no shared executor.
+        return _execute(
+            _statistical_task, payloads, 1, self.backend, self.shared_executor()
+        )
+
+    # -- the scenario registry ----------------------------------------------
+    def scenarios(self) -> List[str]:
+        """Sorted names accepted by :meth:`run` and :meth:`describe`."""
+        return sorted(SCENARIOS)
+
+    def _scenario(self, name: str) -> Scenario:
+        scenario = SCENARIOS.get(name)
+        if scenario is None:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {', '.join(self.scenarios())}"
+            )
+        return scenario
+
+    def describe(self, name: str) -> Dict[str, object]:
+        """Kind, figure, description and accepted parameters of a scenario."""
+        scenario = self._scenario(name)
+        return {
+            "name": scenario.name,
+            "kind": scenario.kind,
+            "figure": scenario.figure,
+            "description": scenario.description,
+            "params": list(scenario.params),
+        }
+
+    def _models_are_default(self) -> bool:
+        return (self.cluster == DEFAULT_CLUSTER and self.costs == DEFAULT_COSTS
+                and self.energy == DEFAULT_ENERGY)
+
+    def run(self, name: str, **params) -> ExperimentResult:
+        """Execute one registered scenario with the session's pool and caches.
+
+        Experiments that need S-VGG11 variant runs draw them from the result
+        store (simulating only on a cold store); sweeps go through
+        :func:`~repro.eval.runner.run_sweep` with the session's shared
+        executor and sweep row cache.  Scenarios whose point functions are
+        hard-wired to the default hardware models (the sweeps, the
+        accelerator comparison and the model-free format/ISA studies) warn
+        when the session carries custom models they cannot honor.
+        """
+        scenario = self._scenario(name)
+        if not scenario.uses_session_models and not self._models_are_default():
+            print(
+                f"warning: scenario {name!r} runs on the default hardware models; "
+                "this session's custom cluster/cost/energy parameters are ignored",
+                file=sys.stderr,
+            )
+        return scenario.runner(self, **params)
+
+
+# --------------------------------------------------------------------------- #
+# Default session behind the module-level wrapper functions
+# --------------------------------------------------------------------------- #
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide serial session backing the legacy module functions."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

@@ -1,13 +1,17 @@
-"""Small shared utilities: quantization emulation, RNG helpers, validation."""
+"""Small shared utilities: quantization, RNG helpers, validation, serialization."""
 
 from .quantize import dtype_for, quantize, quantization_error
 from .rng import make_rng, spawn_rngs
+from .serialization import atomic_write_text, canonical_json, json_default
 from .validation import check_positive, check_probability, check_shape_match
 
 __all__ = [
     "dtype_for",
     "quantize",
     "quantization_error",
+    "atomic_write_text",
+    "canonical_json",
+    "json_default",
     "make_rng",
     "spawn_rngs",
     "check_positive",

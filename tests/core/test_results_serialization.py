@@ -1,0 +1,114 @@
+"""Round-trip serialization of RunConfig, LayerResult and InferenceResult."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import RunConfig, baseline_config, spikestream_config
+from repro.core.pipeline import SpikeStreamInference
+from repro.core.results import InferenceResult, LayerResult, PER_FRAME_METRICS
+from repro.types import OptimizationFlag, Precision
+
+
+def _layer_result(batch_size: int = 3) -> LayerResult:
+    rng = np.random.default_rng(7)
+    metrics = {metric: rng.random(batch_size) * 1e4 for metric in PER_FRAME_METRICS}
+    return LayerResult(
+        name="conv2",
+        kernel="conv",
+        precision=Precision.FP8,
+        streaming=True,
+        clock_hz=1.0e9,
+        **metrics,
+    )
+
+
+class TestRunConfigSerialization:
+    def test_round_trip_preserves_every_field(self):
+        config = RunConfig(
+            precision=Precision.FP8,
+            optimizations=OptimizationFlag.baseline(),
+            batch_size=32,
+            timesteps=7,
+            seed=99,
+            index_bytes=4,
+        )
+        assert RunConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_through_json(self):
+        config = spikestream_config(Precision.FP16, batch_size=2, seed=5)
+        assert RunConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+    def test_optimization_flags_stored_by_name(self):
+        data = baseline_config().to_dict()
+        assert "STREAMING_ACCELERATION" not in data["optimizations"]
+        assert "TENSOR_COMPRESSION" in data["optimizations"]
+        data = spikestream_config().to_dict()
+        assert "STREAMING_ACCELERATION" in data["optimizations"]
+
+    def test_unknown_flag_rejected(self):
+        data = spikestream_config().to_dict()
+        data["optimizations"] = ["NOT_A_FLAG"]
+        with pytest.raises(ValueError, match="unknown optimization flag"):
+            RunConfig.from_dict(data)
+
+    def test_fingerprint_distinguishes_configs(self):
+        base = spikestream_config(Precision.FP16, batch_size=4)
+        assert base.fingerprint() == spikestream_config(Precision.FP16, batch_size=4).fingerprint()
+        assert base.fingerprint() != base.with_precision(Precision.FP8).fingerprint()
+        assert base.fingerprint() != base.as_baseline().fingerprint()
+        assert base.fingerprint() != spikestream_config(
+            Precision.FP16, batch_size=8
+        ).fingerprint()
+        assert base.fingerprint() != spikestream_config(
+            Precision.FP16, batch_size=4, seed=1
+        ).fingerprint()
+
+
+class TestLayerResultSerialization:
+    def test_round_trip_is_bit_for_bit(self):
+        original = _layer_result()
+        restored = LayerResult.from_dict(original.to_dict())
+        assert restored.identical_to(original)
+        assert restored.precision is Precision.FP8
+        assert restored.streaming is True
+        assert restored.clock_hz == original.clock_hz
+
+    def test_round_trip_through_json(self):
+        original = _layer_result()
+        restored = LayerResult.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert restored.identical_to(original)
+
+    def test_every_per_frame_metric_serialized(self):
+        data = _layer_result(batch_size=2).to_dict()
+        for metric in PER_FRAME_METRICS:
+            assert len(data[metric]) == 2
+
+
+class TestInferenceResultSerialization:
+    @pytest.fixture(scope="class")
+    def result(self) -> InferenceResult:
+        # A real engine run, so the per-frame arrays carry the ClusterStats
+        # metrics (cycles, utilization, IPC, energy, power, DMA bytes) of
+        # every S-VGG11 layer.
+        engine = SpikeStreamInference(spikestream_config(batch_size=2, seed=13))
+        return engine.run_statistical(batch_size=2, seed=13)
+
+    def test_round_trip_is_bit_for_bit(self, result):
+        restored = InferenceResult.from_dict(result.to_dict())
+        assert restored.identical_to(result)
+        assert restored.config == result.config
+        assert restored.layer_names == result.layer_names
+
+    def test_round_trip_through_json(self, result):
+        restored = InferenceResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored.identical_to(result)
+        assert restored.summary() == result.summary()
+        assert restored.per_layer_table() == result.per_layer_table()
+
+    def test_restored_aggregates_match(self, result):
+        restored = InferenceResult.from_dict(result.to_dict())
+        assert restored.total_cycles == result.total_cycles
+        assert restored.total_energy_j == result.total_energy_j
+        assert restored.network_fpu_utilization == result.network_fpu_utilization

@@ -191,6 +191,23 @@ class TestRunSweep:
         run_sweep("core_count", seed=5, core_counts=(2, 4), cache=cache)
         assert cache.hits == 3 and cache.misses == 0  # anchor cached too
 
+    def test_finalize_failure_still_persists_computed_rows(self, tmp_path, monkeypatch):
+        import dataclasses
+
+        from repro.eval import runner as runner_mod
+
+        def exploding_finalize(rows, tasks, run_cached):
+            raise RuntimeError("finalize blew up")
+
+        broken = dataclasses.replace(SWEEPS["stream_length"], finalize=exploding_finalize)
+        monkeypatch.setitem(runner_mod.SWEEPS, "stream_length", broken)
+        cache = ResultsCache(tmp_path / "cache.json")
+        with pytest.raises(RuntimeError, match="finalize blew up"):
+            run_sweep("stream_length", cache=cache, lengths=(1, 8))
+        # The freshly computed sweep rows must have reached the disk cache.
+        reloaded = ResultsCache(tmp_path / "cache.json")
+        assert len(reloaded) == 2
+
     def test_cache_persists_across_runner_instances(self, tmp_path):
         path = tmp_path / "cache.json"
         run_sweep("stream_length", cache=ResultsCache(path), lengths=(4,))

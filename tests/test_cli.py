@@ -59,6 +59,46 @@ class TestCli:
         assert main(["spva", "--lengths", "1", "8"]) == 0
         assert "stream_length" in capsys.readouterr().out
 
+    def test_run_list_scenarios(self, capsys):
+        assert main(["run", "--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output and "firing_rate" in output and "sweep" in output
+
+    def test_run_scenario(self, capsys):
+        assert main(["run", "--scenario", "stream_length"]) == 0
+        output = capsys.readouterr().out
+        assert "stream_length" in output and "headline" in output
+
+    def test_run_scenario_unknown_rejected(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["run", "--scenario", "bogus"])
+
+    def test_run_scenario_keeps_scenario_defaults(self, capsys):
+        # No flags: the scenario's own defaults (500 timesteps, batch 4)
+        # apply, so the data matches the dedicated `compare` command.
+        assert main(["run", "--scenario", "accelerator_comparison"]) == 0
+        scenario_out = capsys.readouterr().out
+        assert main(["compare"]) == 0
+        compare_out = capsys.readouterr().out
+        assert scenario_out.splitlines()[1:] == compare_out.splitlines()[1:]
+
+    def test_run_scenario_forwards_timesteps(self, capsys):
+        assert main(["run", "--scenario", "accelerator_comparison",
+                     "--timesteps", "10", "--batch", "1"]) == 0
+        fast = capsys.readouterr()
+        assert fast.err == ""  # timesteps is consumed, no warning
+        assert main(["run", "--scenario", "accelerator_comparison",
+                     "--timesteps", "20", "--batch", "1"]) == 0
+        slow = capsys.readouterr()
+        assert fast.out != slow.out  # the flag actually changes the result
+
+    def test_run_scenario_warns_on_unsupported_flags(self, capsys):
+        assert main(["run", "--scenario", "spva_microbenchmark", "--baseline",
+                     "--precision", "fp8", "--timesteps", "2", "--batch", "4"]) == 0
+        err = capsys.readouterr().err
+        for flag in ("--baseline", "--precision", "--timesteps", "--batch"):
+            assert flag in err
+
     def test_sweep_json_output(self, capsys):
         assert main(["sweep", "--sweep", "stream_length", "--format", "json"]) == 0
         payload = json.loads(capsys.readouterr().out)

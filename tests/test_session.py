@@ -1,0 +1,277 @@
+"""Tests for the unified Session API: registry, shared pool, result store."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.arch.params import DEFAULT_COSTS
+from repro.core.pipeline import SpikeStreamInference
+from repro.config import spikestream_config
+from repro.eval.experiments import speedup_experiment
+from repro.session import SCENARIOS, ResultStore, Session, default_session
+from repro.types import Precision
+
+
+class TestScenarioRegistry:
+    def test_every_experiment_and_sweep_registered(self):
+        session = Session()
+        names = set(session.scenarios())
+        assert {"memory_footprint", "utilization", "speedup", "energy",
+                "svgg11_variants", "accelerator_comparison",
+                "spva_microbenchmark"} <= names
+        assert {"firing_rate", "core_count", "precision", "stream_length",
+                "strided_indirect"} <= names
+        assert names == set(SCENARIOS)
+
+    def test_describe_reports_kind_figure_and_params(self):
+        session = Session()
+        info = session.describe("speedup")
+        assert info["kind"] == "experiment"
+        assert info["figure"] == "fig3c"
+        assert "batch_size" in info["params"]
+        info = session.describe("firing_rate")
+        assert info["kind"] == "sweep"
+        assert "rates" in info["params"]
+
+    def test_unknown_scenario_rejected(self):
+        session = Session()
+        with pytest.raises(KeyError, match="unknown scenario"):
+            session.run("nope")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            session.describe("nope")
+
+    def test_unknown_scenario_param_rejected(self):
+        with pytest.raises(TypeError):
+            Session().run("spva_microbenchmark", bogus_param=3)
+
+    def test_invalid_backend_and_jobs_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            Session(backend="gpu")
+        with pytest.raises(ValueError, match="jobs"):
+            Session(jobs=0)
+
+    def test_scenario_results_match_module_level_functions(self):
+        session = Session()
+        result = session.run("spva_microbenchmark", stream_lengths=(1, 8), seed=4)
+        assert [row["stream_length"] for row in result.rows] == [1, 8]
+        sweep = session.run("stream_length", lengths=(2, 16))
+        assert sweep.name == "parallel_stream_length_sweep"
+        assert [row["stream_length"] for row in sweep.rows] == [2, 16]
+
+
+class TestResultStore:
+    def _result(self, seed=3):
+        engine = SpikeStreamInference(spikestream_config(batch_size=1, seed=seed))
+        return engine.run_statistical(batch_size=1, seed=seed)
+
+    def test_in_memory_roundtrip_and_counters(self):
+        store = ResultStore()
+        assert store.get("abc") is None
+        result = self._result()
+        store.put("abc", result)
+        assert store.get("abc").identical_to(result)
+        assert store.hits == 1 and store.misses == 1
+        assert "abc" in store and len(store) == 1
+
+    def test_disk_persistence_across_instances(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = self._result()
+        store.put("deadbeef", result)
+        assert (tmp_path / "deadbeef.json").exists()
+        reloaded = ResultStore(tmp_path)
+        served = reloaded.get("deadbeef")
+        assert served is not None and served.identical_to(result)
+        assert reloaded.hits == 1 and reloaded.misses == 0
+
+    def test_corrupt_store_entry_ignored_with_warning(self, tmp_path, capsys):
+        (tmp_path / "badf00d.json").write_text("NOT JSON{{{")
+        store = ResultStore(tmp_path)
+        assert store.get("badf00d") is None  # must not raise
+        assert "warning" in capsys.readouterr().err
+        assert store.misses == 1
+
+    def test_store_files_are_valid_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("cafe", self._result())
+        payload = json.loads((tmp_path / "cafe.json").read_text())
+        assert payload["config"]["precision"] == "fp16"
+        assert payload["layers"]
+
+
+class TestSharedPool:
+    def test_serial_session_has_no_pool(self):
+        session = Session()
+        assert session.shared_executor() is None
+        assert session.pool_launches == 0
+
+    def test_one_pool_reused_across_sweeps_and_experiments(self):
+        with Session(jobs=2, backend="thread") as session:
+            first = session.shared_executor()
+            assert first is not None
+            session.run("stream_length", lengths=(1, 4, 16))
+            session.run("firing_rate", rates=(0.1, 0.3))
+            session.run("utilization", batch_size=1, seed=8)
+            assert session.shared_executor() is first
+            assert session.pool_launches == 1
+
+    def test_close_shuts_down_pool(self):
+        session = Session(jobs=2, backend="thread")
+        pool = session.shared_executor()
+        assert pool is not None
+        session.close()
+        assert session._executor is None
+        session.close()  # idempotent
+
+    def test_broken_pool_invalidated_instead_of_reused(self, capsys):
+        session = Session(jobs=2, backend="thread")
+        pool = session.shared_executor()
+        assert pool is not None
+        pool._broken = "worker died"  # what a BrokenExecutor failure leaves behind
+        assert session.shared_executor() is None  # dead pool not handed out again
+        assert "broken" in capsys.readouterr().err
+        assert session.shared_executor() is None  # permanently serial, no warning spam
+        assert session.pool_launches == 1
+        # The session still produces results (serially).
+        result = session.run("stream_length", lengths=(2,))
+        assert result.rows[0]["stream_length"] == 2
+
+    def test_parallel_session_matches_serial_results(self):
+        serial = Session().run("firing_rate", seed=7, rates=(0.05, 0.2))
+        with Session(jobs=2, backend="thread") as parallel_session:
+            threaded = parallel_session.run("firing_rate", seed=7, rates=(0.05, 0.2))
+        assert serial.rows == threaded.rows
+        assert serial.headline == threaded.headline
+
+    def test_parallel_variants_match_serial(self):
+        cold = Session().run_variants(batch_size=1, seed=21)
+        with Session(jobs=2, backend="thread") as session:
+            pooled = session.run_variants(batch_size=1, seed=21)
+        for key in cold:
+            assert pooled[key].identical_to(cold[key])
+
+
+class TestResultStoreIntegration:
+    def test_run_inference_served_from_store(self, monkeypatch):
+        session = Session()
+        simulations = []
+        original = SpikeStreamInference.run_statistical
+
+        def counting(self, *args, **kwargs):
+            simulations.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SpikeStreamInference, "run_statistical", counting)
+        config = spikestream_config(Precision.FP16, batch_size=1, seed=17)
+        first = session.run_inference(config)
+        assert len(simulations) == 1
+        second = session.run_inference(config)
+        assert len(simulations) == 1  # no re-simulation
+        assert session.store.hits == 1
+        assert second.identical_to(first)
+
+    def test_acceptance_sweep_and_experiment_one_pool_then_store_hit(self, monkeypatch):
+        # The PR's acceptance criterion: one Session instance runs a sweep
+        # and an experiment through session.run(...) reusing the same pool,
+        # and a second session.run with an identical RunConfig fingerprint
+        # is served from the ResultStore without re-simulating.
+        with Session(jobs=2, backend="thread") as session:
+            sweep = session.run("stream_length", lengths=(1, 8))
+            assert sweep.rows
+            first = session.run("speedup", batch_size=1, seed=5)
+            assert session.pool_launches == 1
+
+            simulations = []
+            monkeypatch.setattr(
+                SpikeStreamInference,
+                "run_statistical",
+                lambda self, *a, **k: simulations.append(1),
+            )
+            hits_before = session.store.hits
+            second = session.run("speedup", batch_size=1, seed=5)
+            assert simulations == []  # served entirely from the store
+            assert session.store.hits - hits_before == 3  # all three variants
+            assert second.rows == first.rows
+            assert second.headline == first.headline
+            assert session.pool_launches == 1
+
+    def test_store_persists_across_sessions(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            first = session.run("energy", batch_size=1, seed=9)
+            assert session.store.misses == 3
+        with Session(cache_dir=tmp_path) as fresh:
+            second = fresh.run("energy", batch_size=1, seed=9)
+            assert fresh.store.hits == 3 and fresh.store.misses == 0
+        assert second.rows == first.rows
+        assert second.headline == first.headline
+
+    def test_store_hit_equals_cold_run(self, tmp_path):
+        cached_session = Session(cache_dir=tmp_path)
+        cached_session.run_variants(batch_size=1, seed=31)
+        served = cached_session.run_variants(batch_size=1, seed=31)
+        cold = Session().run_variants(batch_size=1, seed=31)
+        for key in cold:
+            assert served[key].identical_to(cold[key])
+
+    def test_store_immune_to_caller_mutation(self):
+        session = Session()
+        config = spikestream_config(batch_size=1, seed=23)
+        first = session.run_inference(config)  # miss: same object that was put
+        pristine_cycles = float(first.layers[0].cycles[0])
+        first.layers[0].cycles *= 0.0
+        second = session.run_inference(config)  # hit: must be unpoisoned
+        assert second.layers[0].cycles[0] == pristine_cycles
+        second.layers[0].cycles *= 0.0
+        third = session.run_inference(config)
+        assert third.layers[0].cycles[0] == pristine_cycles
+
+    def test_different_fingerprint_misses(self):
+        session = Session()
+        config = spikestream_config(batch_size=1, seed=2)
+        session.run_inference(config)
+        session.run_inference(config.with_precision(Precision.FP8))
+        session.run_inference(config, seed=3)
+        assert session.store.hits == 0 and session.store.misses == 3
+
+    def test_sweep_rows_cached_within_session(self):
+        session = Session()
+        session.run("stream_length", lengths=(2, 4))
+        assert session.sweep_cache.misses == 2
+        session.run("stream_length", lengths=(2, 4))
+        assert session.sweep_cache.hits == 2
+
+    def test_sweep_rows_persist_under_cache_dir(self, tmp_path):
+        with Session(cache_dir=tmp_path) as session:
+            session.run("stream_length", lengths=(4,))
+        assert (tmp_path / "sweep_rows.json").exists()
+        with Session(cache_dir=tmp_path) as fresh:
+            fresh.run("stream_length", lengths=(4,))
+            assert fresh.sweep_cache.hits == 1
+
+
+class TestSessionModelWarnings:
+    def test_scenario_on_default_models_warns_for_custom_session(self, capsys):
+        costs = dataclasses.replace(DEFAULT_COSTS, baseline_spva_instrs_per_element=9)
+        session = Session(costs=costs)
+        session.run("stream_length", lengths=(2,))
+        assert "default hardware models" in capsys.readouterr().err
+        # Scenarios that do run on the session's models stay silent.
+        session.run("speedup", batch_size=1, seed=6)
+        assert "default hardware models" not in capsys.readouterr().err
+
+    def test_default_session_models_never_warn(self, capsys):
+        Session().run("stream_length", lengths=(2,))
+        assert "default hardware models" not in capsys.readouterr().err
+
+
+class TestModuleLevelWrappers:
+    def test_experiment_wrappers_share_default_session_store(self):
+        session = default_session()
+        baseline_hits = session.store.hits
+        first = speedup_experiment(batch_size=1, seed=41)
+        second = speedup_experiment(batch_size=1, seed=41)
+        assert session.store.hits >= baseline_hits + 3
+        assert first.rows == second.rows
+
+    def test_default_session_is_a_singleton(self):
+        assert default_session() is default_session()

@@ -1,9 +1,12 @@
-"""CI smoke check: tier-1 tests plus one fast parallel sweep.
+"""CI smoke check: tier-1 tests, one fast parallel sweep, one Session run.
 
-Runs the repository's tier-1 pytest suite and then exercises the
-``repro.cli sweep`` path end-to-end (stream-length sweep, two workers,
-JSON output), validating that the emitted payload is machine-readable.
-Exits non-zero on the first failure, so it can gate CI directly::
+Runs the repository's tier-1 pytest suite, exercises the ``repro.cli
+sweep`` path end-to-end (stream-length sweep, two workers, JSON output,
+machine-readable payload), and finally runs one scenario through a
+persistent :class:`repro.session.Session` twice, asserting that the second
+run is served from the result store (hit counter > 0) with results equal to
+the cold run.  Exits non-zero on the first failure, so it can gate CI
+directly::
 
     python tools/smoke.py
 """
@@ -14,6 +17,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -68,8 +72,48 @@ def run_fast_sweep() -> int:
     return 0
 
 
+def run_session_store_check() -> int:
+    """One scenario through a persistent Session twice; the rerun must hit.
+
+    The first ``session.run`` simulates the S-VGG11 variants and persists
+    each whole ``InferenceResult`` under ``cache_dir``; the second run with
+    an identical configuration fingerprint must be served from the result
+    store (hit counter > 0) and produce identical rows.
+    """
+    print("== session result store (scenario run served from cache) ==", flush=True)
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.session import Session
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with Session(cache_dir=cache_dir) as session:
+            first = session.run("speedup", batch_size=2, seed=321)
+            misses = session.store.misses
+            second = session.run("speedup", batch_size=2, seed=321)
+        if session.store.hits <= 0:
+            print("second scenario run did not hit the result store", file=sys.stderr)
+            return 1
+        if session.store.misses != misses:
+            print("second scenario run re-simulated despite the store", file=sys.stderr)
+            return 1
+        if first.rows != second.rows or first.headline != second.headline:
+            print("store-served scenario result differs from the cold run", file=sys.stderr)
+            return 1
+        # A brand-new session must be served from the persisted files too.
+        with Session(cache_dir=cache_dir) as fresh:
+            third = fresh.run("speedup", batch_size=2, seed=321)
+        if fresh.store.hits <= 0 or fresh.store.misses != 0:
+            print("fresh session did not reuse the persisted result store", file=sys.stderr)
+            return 1
+        if third.rows != first.rows:
+            print("persisted result store returned different rows", file=sys.stderr)
+            return 1
+    print(f"session store ok: {session.store.hits} hit(s) in-session, "
+          f"{fresh.store.hits} hit(s) from disk")
+    return 0
+
+
 def main() -> int:
-    for step in (run_tier1_tests, run_fast_sweep):
+    for step in (run_tier1_tests, run_fast_sweep, run_session_store_check):
         code = step()
         if code != 0:
             return code
