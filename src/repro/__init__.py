@@ -35,14 +35,36 @@ from .core import (
     SpikeStreamInference,
     SpikeStreamOptimizer,
 )
-from .session import ResultStore, Scenario, Session, default_session
+from .backends import (
+    ExecutionBackend,
+    ExecutorBackend,
+    ProcessBackend,
+    SerialBackend,
+    ShardedBackend,
+    ThreadBackend,
+)
+from .plan import ParameterSpace, PlanRow, ResultsCache, SweepSpec, collect_plan, iter_plan
+from .session import ResultStore, Scenario, Session, default_session, register_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RunConfig",
     "baseline_config",
     "spikestream_config",
+    "ExecutionBackend",
+    "ExecutorBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "ThreadBackend",
+    "ParameterSpace",
+    "PlanRow",
+    "ResultsCache",
+    "SweepSpec",
+    "collect_plan",
+    "iter_plan",
+    "register_sweep",
     "ResultStore",
     "Scenario",
     "Session",

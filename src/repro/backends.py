@@ -1,0 +1,397 @@
+"""Pluggable execution backends for declarative sweep plans.
+
+A backend turns a :class:`~repro.plan.SweepSpec`'s point function plus a
+list of task dictionaries into a *stream* of ``(index, row)`` pairs, yielded
+as points complete.  The index is the task's position in the submitted list,
+so consumers (:func:`repro.plan.iter_plan` / :func:`~repro.plan.collect_plan`)
+can reassemble the canonical row order regardless of completion order —
+every backend is therefore bit-for-bit interchangeable with every other.
+
+Four strategies ship:
+
+* :class:`SerialBackend` — in-process, lazily one point at a time (the
+  reference semantics, and what everything falls back to);
+* :class:`ThreadBackend` / :class:`ProcessBackend` — a private
+  :mod:`concurrent.futures` pool per ``execute`` call;
+* :class:`ExecutorBackend` — dispatch onto a long-lived executor owned by
+  someone else (e.g. a :class:`repro.session.Session`'s shared pool) without
+  ever shutting it down;
+* :class:`ShardedBackend` — partition the points deterministically across N
+  worker :class:`~repro.session.Session` instances (round-robin by index),
+  run the shards concurrently, re-dispatch the unfinished points of a killed
+  shard, and merge every worker's results cache / result store back into the
+  dispatching session.
+
+Failure policy (shared with the PR-1 runner): only pool *infrastructure*
+failures — ``OSError`` while building a pool, ``BrokenExecutor`` /
+``PicklingError`` while dispatching, a killed shard — degrade to the serial
+path; an exception raised by a point function itself propagates unchanged,
+because it would fail serially too.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import sys
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+PointFn = Callable[[Dict[str, object]], Dict[str, object]]
+RowStream = Iterator[Tuple[int, Dict[str, object]]]
+
+#: Errors that mean "the pool could not be built" (e.g. fork refused in a
+#: restricted environment); only caught around pool construction.
+POOL_BUILD_ERRORS = (OSError, BrokenExecutor)
+
+#: Errors that mean "the execution infrastructure died mid-dispatch", never
+#: "the point was wrong": these trigger serial fallback / shard re-dispatch.
+#: Deliberately excludes OSError — a point function raising e.g.
+#: FileNotFoundError is a point error and must propagate unchanged.
+DISPATCH_ERRORS = (BrokenExecutor, pickle.PicklingError)
+
+
+class ShardKilled(RuntimeError):
+    """A shard worker died mid-sweep.
+
+    Raised (or injected, e.g. by tests and chaos tooling) inside a shard to
+    signal that its remaining points must be re-dispatched elsewhere; it is
+    classified as an infrastructure failure, not a point error.
+    """
+
+
+def _warn_fallback(backend: str, error: BaseException) -> None:
+    print(
+        f"warning: {backend} pool failed ({error!r}); running sweep serially",
+        file=sys.stderr,
+    )
+
+
+def _serial_stream(fn: PointFn, tasks: Sequence[Dict[str, object]],
+                   indices: Optional[Sequence[int]] = None) -> RowStream:
+    for position, task in enumerate(tasks):
+        index = indices[position] if indices is not None else position
+        yield index, fn(task)
+
+
+def _stream_futures(executor: Executor, fn: PointFn,
+                    tasks: Sequence[Dict[str, object]], backend: str) -> RowStream:
+    """Submit all tasks, then yield ``(index, row)`` in completion order.
+
+    On an infrastructure failure — whether raised while *submitting* (a pool
+    that broke between creation and dispatch) or while collecting results —
+    the not-yet-yielded points re-run serially (their futures' results, if
+    any, are discarded — re-running a pure point function is always safe); a
+    point's own exception propagates.
+    """
+    futures: Dict[object, int] = {}
+    remaining = set(range(len(tasks)))
+    try:
+        for index, task in enumerate(tasks):
+            futures[executor.submit(fn, task)] = index
+        for future in as_completed(futures):
+            index = futures[future]
+            row = future.result()
+            remaining.discard(index)
+            yield index, row
+    except DISPATCH_ERRORS as error:
+        _warn_fallback(backend, error)
+        for index in sorted(remaining):
+            yield index, fn(tasks[index])
+
+
+class ExecutionBackend:
+    """Strategy interface: stream ``(index, row)`` pairs for a task list."""
+
+    #: short name used in warnings and CLI help
+    name = "abstract"
+
+    def execute(self, fn: PointFn, tasks: Sequence[Dict[str, object]],
+                keys: Optional[Sequence[str]] = None) -> RowStream:
+        """Yield ``(index, row)`` for every task exactly once, as completed.
+
+        ``keys`` is an optional parallel list of canonical row-cache keys;
+        backends that maintain their own caches (:class:`ShardedBackend`'s
+        worker sessions) memoize under them, all others ignore it.
+        """
+        raise NotImplementedError
+
+    def bind(self, cache=None, store=None) -> None:
+        """Attach merge targets (results cache / result store) to the backend.
+
+        Only backends that spawn their own workers with private caches care
+        (:class:`ShardedBackend`); the default is a no-op so callers can bind
+        unconditionally.  ``None`` arguments leave existing targets in place.
+        """
+
+    def close(self) -> None:
+        """Release backend-owned resources (default: nothing to release)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every point in-process, lazily, in canonical order."""
+
+    name = "serial"
+
+    def execute(self, fn, tasks, keys=None):
+        return _serial_stream(fn, tasks)
+
+
+class _OwnedPoolBackend(ExecutionBackend):
+    """Common machinery of backends that build a private pool per call."""
+
+    pool_cls: Callable[..., Executor] = ThreadPoolExecutor
+
+    def __init__(self, jobs: int = 2):
+        if jobs < 1:
+            raise ValueError(f"jobs must be positive, got {jobs}")
+        self.jobs = jobs
+
+    def execute(self, fn, tasks, keys=None):
+        if len(tasks) <= 1 or self.jobs <= 1:
+            yield from _serial_stream(fn, tasks)
+            return
+        try:
+            pool = self.pool_cls(max_workers=min(self.jobs, len(tasks)))
+        except POOL_BUILD_ERRORS as error:
+            _warn_fallback(self.name, error)
+            yield from _serial_stream(fn, tasks)
+            return
+        with pool:
+            yield from _stream_futures(pool, fn, tasks, self.name)
+
+
+class ThreadBackend(_OwnedPoolBackend):
+    """A private thread pool per call (good for GIL-releasing points)."""
+
+    name = "thread"
+    pool_cls = ThreadPoolExecutor
+
+
+class ProcessBackend(_OwnedPoolBackend):
+    """A private process pool per call (true parallelism; picklable points)."""
+
+    name = "process"
+    pool_cls = ProcessPoolExecutor
+
+
+class ExecutorBackend(ExecutionBackend):
+    """Dispatch onto a caller-owned executor without ever shutting it down.
+
+    This is how a :class:`repro.session.Session` amortizes ONE shared pool
+    across every sweep and experiment of its lifetime.
+    """
+
+    name = "shared"
+
+    def __init__(self, executor: Executor):
+        self.executor = executor
+
+    def execute(self, fn, tasks, keys=None):
+        if len(tasks) <= 1:
+            yield from _serial_stream(fn, tasks)
+            return
+        yield from _stream_futures(self.executor, fn, tasks, self.name)
+
+
+class ShardedBackend(ExecutionBackend):
+    """Partition one spec's points deterministically across N Session workers.
+
+    Shard ``s`` owns the points whose canonical index is congruent to ``s``
+    modulo ``shards`` (round-robin), so the partition depends only on the
+    point order — never on timing, worker count changes re-partition
+    deterministically, and a re-run assigns every point to the same shard.
+    Each shard evaluates its points through a private worker
+    :class:`~repro.session.Session` (serial, ``jobs=1``) on its own thread,
+    memoizing rows in the worker's results cache; rows stream back to the
+    consumer as they complete.
+
+    Fault tolerance: a shard that dies with an infrastructure error (or
+    :class:`ShardKilled`) forfeits its unfinished points, which are
+    re-dispatched onto a fresh rescue worker after the surviving shards
+    drain — the sweep always completes with every row.  A *point* error
+    still propagates to the caller unchanged.
+
+    After every ``execute`` the workers' :class:`~repro.plan.ResultsCache`
+    (and :class:`~repro.session.ResultStore`) contents merge into the
+    targets attached via :meth:`bind` — typically the dispatching session's
+    own cache and store — so nothing a shard computed is lost to the
+    service.
+    """
+
+    name = "sharded"
+
+    def __init__(self, shards: int = 2, session_factory: Optional[Callable[[], object]] = None):
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = shards
+        self._session_factory = session_factory
+        self._parent_cache = None
+        self._parent_store = None
+        #: worker sessions of the most recent execute (introspection/tests)
+        self.last_workers: List[object] = []
+        #: points re-dispatched after shard deaths, cumulative
+        self.redispatched = 0
+
+    def bind(self, cache=None, store=None) -> None:
+        if cache is not None:
+            self._parent_cache = cache
+        if store is not None:
+            self._parent_store = store
+
+    def _make_worker(self):
+        if self._session_factory is not None:
+            return self._session_factory()
+        from .session import Session  # runtime import: session imports this module
+
+        return Session(jobs=1, backend="serial")
+
+    def partition(self, count: int) -> List[List[int]]:
+        """Round-robin index partition; shard ``s`` gets ``s, s+N, s+2N, …``."""
+        return [list(range(start, count, self.shards))
+                for start in range(min(self.shards, count))]
+
+    def _evaluate(self, worker, fn, task, key):
+        """One point through a worker session's row cache.
+
+        Separated out so tests (and chaos tooling) can inject shard deaths
+        at point granularity by patching this method.
+        """
+        cache = getattr(worker, "sweep_cache", None)
+        if key is not None and cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        row = fn(task)
+        if key is not None and cache is not None:
+            cache.put(key, row)
+        return row
+
+    def _shard_loop(self, shard_index, worker, fn, assigned, tasks, keys, out, stop):
+        for position, index in enumerate(assigned):
+            if stop.is_set():
+                break
+            key = keys[index] if keys is not None else None
+            try:
+                row = self._evaluate(worker, fn, tasks[index], key)
+            except DISPATCH_ERRORS + (ShardKilled,) as error:
+                out.put(("failed", shard_index, assigned[position:], error))
+                return
+            except BaseException as error:  # a point error: hand to the consumer
+                out.put(("error", error))
+                return
+            out.put(("row", index, row))
+        out.put(("done", shard_index))
+
+    def execute(self, fn, tasks, keys=None):
+        if not tasks:
+            return
+        assignments = self.partition(len(tasks))
+        workers = [self._make_worker() for _ in assignments]
+        self.last_workers = list(workers)
+        out: "queue.Queue[tuple]" = queue.Queue()
+        stop = threading.Event()
+        threads = [
+            threading.Thread(
+                target=self._shard_loop,
+                args=(shard, workers[shard], fn, assigned, tasks, keys, out, stop),
+                name=f"sweep-shard-{shard}",
+                daemon=True,
+            )
+            for shard, assigned in enumerate(assignments)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            finished = 0
+            orphaned: List[int] = []
+            while finished < len(threads):
+                message = out.get()
+                kind = message[0]
+                if kind == "row":
+                    yield message[1], message[2]
+                elif kind == "done":
+                    finished += 1
+                elif kind == "failed":
+                    _, shard_index, remaining, error = message
+                    finished += 1
+                    print(
+                        f"warning: shard {shard_index} died ({error!r}); "
+                        f"re-dispatching its {len(remaining)} unfinished point(s)",
+                        file=sys.stderr,
+                    )
+                    orphaned.extend(remaining)
+                else:  # "error": a point raised — stop the fleet and propagate
+                    stop.set()
+                    raise message[1]
+            if orphaned:
+                rescue = self._make_worker()
+                workers.append(rescue)
+                self.last_workers = list(workers)
+                for index in sorted(orphaned):
+                    key = keys[index] if keys is not None else None
+                    yield index, self._evaluate(rescue, fn, tasks[index], key)
+                    self.redispatched += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            # Only workers whose shard thread actually exited are merged and
+            # closed: after a join timeout (a point still running while the
+            # consumer bailed out) touching that worker's cache would race
+            # with its thread.  Rescue workers (beyond the thread list) ran
+            # on this thread and are always safe.
+            settled = [
+                worker for worker, thread in zip(workers, threads)
+                if not thread.is_alive()
+            ]
+            settled.extend(workers[len(threads):])
+            self._merge(settled)
+            for worker in settled:
+                close = getattr(worker, "close", None)
+                if close is not None:
+                    close()
+
+    def _merge(self, workers) -> None:
+        for worker in workers:
+            worker_cache = getattr(worker, "sweep_cache", None)
+            if self._parent_cache is not None and worker_cache is not None:
+                self._parent_cache.merge_from(worker_cache)
+            worker_store = getattr(worker, "store", None)
+            if self._parent_store is not None and worker_store is not None:
+                self._parent_store.merge_from(worker_store)
+
+
+def make_backend(
+    backend: str,
+    jobs: int = 1,
+    executor: Optional[Executor] = None,
+    shards: int = 2,
+) -> ExecutionBackend:
+    """Resolve the (name, jobs, executor, shards) knobs into a backend object.
+
+    Precedence: an explicit ``"sharded"`` request wins (it brings its own
+    workers), then a caller-owned ``executor`` (the session's shared pool),
+    then the named pool kind — degraded to :class:`SerialBackend` when
+    ``jobs`` stays at 1, matching the historical runner semantics.
+    """
+    if backend == "sharded":
+        return ShardedBackend(shards=shards)
+    if executor is not None:
+        return ExecutorBackend(executor)
+    if jobs <= 1 or backend == "serial":
+        return SerialBackend()
+    if backend == "thread":
+        return ThreadBackend(jobs)
+    if backend == "process":
+        return ProcessBackend(jobs)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected serial, thread, process or sharded"
+    )

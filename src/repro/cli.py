@@ -1,6 +1,6 @@
 """Command-line interface for the SpikeStream reproduction.
 
-Five subcommands cover the common workflows, all built on the unified
+Six subcommands cover the common workflows, all built on the unified
 :class:`repro.session.Session` API::
 
     python -m repro.cli run        --precision fp16 --batch 8        # S-VGG11 inference
@@ -10,14 +10,18 @@ Five subcommands cover the common workflows, all built on the unified
     python -m repro.cli compare    --timesteps 500                   # Figure-5 comparison
     python -m repro.cli spva       --lengths 1 8 64                  # Listing-1 micro-benchmark
     python -m repro.cli sweep      --sweep firing_rate --jobs 4      # parallel parameter sweep
+    python -m repro.cli sweep      --sweep firing_rate --backend sharded --shards 4
+    python -m repro.cli plan       --list                            # declarative sweep specs
 
 Every command prints an aligned text table (the same rows the corresponding
-paper figure reports); ``sweep`` can also emit machine-readable JSON or CSV
-(``--format json|csv``).  ``--jobs``/``--backend`` size the session's shared
-worker pool, and ``--cache-dir`` points the session's persistent result
-store (whole inference runs) and sweep row cache at a directory, so repeated
-invocations — e.g. regenerating several figures that share the same S-VGG11
-variant runs — skip work already done.
+paper figure reports); ``run`` and ``sweep`` can also emit machine-readable
+JSON or CSV (``--format json|csv``) through one shared reporting path.
+``--jobs``/``--backend`` size the session's shared worker pool
+(``--backend sharded --shards N`` instead partitions sweep points across N
+worker sessions), and ``--cache-dir`` points the session's persistent
+result store (whole inference runs) and sweep row cache at a directory, so
+repeated invocations — e.g. regenerating several figures that share the
+same S-VGG11 variant runs — skip work already done.
 """
 
 from __future__ import annotations
@@ -27,13 +31,9 @@ import sys
 from typing import List, Optional
 
 from .config import baseline_config, spikestream_config
-from .eval.reporting import (
-    experiment_to_json,
-    format_table,
-    render_experiment,
-    rows_to_csv,
-)
-from .eval.runner import ResultsCache, available_sweeps
+from .eval.experiments import ExperimentResult
+from .eval.reporting import EXPORT_FORMATS, export_experiment, format_table
+from .eval.runner import ResultsCache, SWEEPS, available_sweeps, get_sweep
 from .session import Session
 from .types import Precision
 
@@ -60,11 +60,25 @@ def _positive_int(value: str) -> int:
 def _add_session_arguments(parser: argparse.ArgumentParser, jobs_default: int = 1) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=jobs_default,
                         help="worker count of the session's shared pool (1 = serial)")
-    parser.add_argument("--backend", choices=("process", "thread", "serial"),
-                        default="process", help="worker-pool kind used when --jobs > 1")
+    parser.add_argument("--backend", choices=("process", "thread", "serial", "sharded"),
+                        default="process",
+                        help="execution backend: a worker-pool kind used when "
+                             "--jobs > 1, or 'sharded' to partition sweep points "
+                             "across --shards worker sessions")
+    parser.add_argument("--shards", type=_positive_int, default=2,
+                        help="worker-session count of the sharded backend")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="directory persisting the session's result store and "
                              "sweep row cache across invocations")
+
+
+def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", choices=EXPORT_FORMATS, default="table",
+                        dest="output_format",
+                        help="output format (one shared reporting path for "
+                             "run and sweep)")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the rendered output to a file instead of stdout")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "instead of plain inference")
     run.add_argument("--list-scenarios", action="store_true",
                      help="list every registered scenario and exit")
+    _add_export_arguments(run)
     _add_session_arguments(run)
 
     figures = subparsers.add_parser("figures", help="regenerate one of the paper's figures")
@@ -107,19 +122,24 @@ def _build_parser() -> argparse.ArgumentParser:
     spva.add_argument("--lengths", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32, 64, 128])
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a parameter sweep, optionally over a worker pool"
+        "sweep", help="run a parameter sweep over a worker pool or sharded sessions"
     )
     sweep.add_argument("--sweep", required=True, choices=available_sweeps())
-    sweep.add_argument("--format", choices=("table", "json", "csv"), default="table",
-                       dest="output_format")
     sweep.add_argument("--batch", type=_positive_int, default=4,
                        help="batch size of full-network sweep points")
     sweep.add_argument("--seed", type=int, default=2025)
     sweep.add_argument("--cache", default=None, metavar="PATH",
                        help="JSON file memoizing per-point results across invocations")
-    sweep.add_argument("--output", default=None, metavar="PATH",
-                       help="write the rendered output to a file instead of stdout")
+    _add_export_arguments(sweep)
     _add_session_arguments(sweep)
+
+    plan = subparsers.add_parser(
+        "plan", help="inspect the declarative sweep specs (SweepSpec registry)"
+    )
+    plan.add_argument("--list", action="store_true", dest="list_plans",
+                      help="list every registered sweep spec (default action)")
+    plan.add_argument("--describe", default=None, metavar="NAME",
+                      help="show one spec's axes, columns and parameters")
     return parser
 
 
@@ -129,13 +149,26 @@ def _session_from_args(args: argparse.Namespace, **kwargs) -> Session:
         backend=getattr(args, "backend", "process"),
         cache_dir=getattr(args, "cache_dir", None),
         seed=getattr(args, "seed", 2025),
+        shards=getattr(args, "shards", 2),
         **kwargs,
     )
 
 
 def _render_result(title: str, result) -> str:
-    notes = "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in result.headline.items())
-    return render_experiment(title, result.rows, notes=notes)
+    return export_experiment(result, "table", title=title)
+
+
+def _emit(rendered: str, args: argparse.Namespace) -> str:
+    """Deliver rendered output: to ``--output`` when given, else stdout."""
+    output = getattr(args, "output", None)
+    if not output:
+        return rendered
+    try:
+        with open(output, "w") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    except OSError as error:
+        raise SystemExit(f"error: cannot write --output file: {error}")
+    return f"wrote {args.output_format} output to {output}"
 
 
 def _list_scenarios(session: Session) -> str:
@@ -190,7 +223,11 @@ def _command_run(args: argparse.Namespace) -> str:
                     file=sys.stderr,
                 )
             result = session.run(args.scenario, **params)
-            return _render_result(f"scenario {args.scenario} ({info['figure']})", result)
+            rendered = export_experiment(
+                result, args.output_format,
+                title=f"scenario {args.scenario} ({info['figure']})",
+            )
+            return _emit(rendered, args)
 
         batch = args.batch if args.batch is not None else 8
         timesteps = args.timesteps if args.timesteps is not None else 1
@@ -199,6 +236,17 @@ def _command_run(args: argparse.Namespace) -> str:
         config = factory(precision, batch_size=batch, timesteps=timesteps, seed=args.seed)
         result = session.run_inference(config, batch_size=batch, seed=args.seed)
         variant = "baseline" if args.baseline else "SpikeStream"
+        if args.output_format != "table":
+            # Machine-readable runs go through the same reporting path as
+            # scenarios and sweeps: per-layer rows + numeric network summary.
+            table = ExperimentResult(
+                name=f"svgg11_{variant.lower()}_inference",
+                figure="run",
+                rows=result.per_layer_table(),
+                headline={key: value for key, value in result.summary().items()
+                          if isinstance(value, (int, float))},
+            )
+            return _emit(export_experiment(table, args.output_format), args)
         lines = [
             f"== S-VGG11 on the Snitch cluster model ({variant}, {precision.value}, "
             f"batch {batch}, {timesteps} timestep(s)) ==",
@@ -209,7 +257,7 @@ def _command_run(args: argparse.Namespace) -> str:
             "",
             format_table([result.summary()]),
         ]
-        return "\n".join(lines)
+        return _emit("\n".join(lines), args)
 
 
 #: Figure 3a reports mean/std footprints over the batch; below this batch
@@ -250,20 +298,41 @@ def _command_sweep(args: argparse.Namespace) -> str:
     sweep_cache = ResultsCache(args.cache) if args.cache else None
     with _session_from_args(args, sweep_cache=sweep_cache) as session:
         result = session.run(args.sweep, seed=args.seed, batch_size=args.batch)
-    if args.output_format == "json":
-        rendered = experiment_to_json(result)
-    elif args.output_format == "csv":
-        rendered = rows_to_csv(result.rows)
-    else:
-        rendered = _render_result(f"sweep: {result.name}", result)
-    if args.output:
+    rendered = export_experiment(result, args.output_format, title=f"sweep: {result.name}")
+    return _emit(rendered, args)
+
+
+def _command_plan(args: argparse.Namespace) -> str:
+    if args.describe is not None:
         try:
-            with open(args.output, "w") as handle:
-                handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
-        except OSError as error:
-            raise SystemExit(f"error: cannot write --output file: {error}")
-        return f"wrote {args.output_format} output to {args.output}"
-    return rendered
+            spec = get_sweep(args.describe)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+        info = spec.describe()
+        lines = [f"== sweep spec: {spec.name} =="]
+        lines.append(format_table([{
+            "axes": info["axes"],
+            "points": info["points"],
+            "seeded": info["seeded"],
+            "parameters": ", ".join(info["parameters"]),
+        }]))
+        if info["columns"]:
+            lines.append("columns: " + ", ".join(info["columns"]))
+        if info["description"]:
+            lines.append(info["description"])
+        return "\n".join(lines)
+    rows = []
+    for name in sorted(SWEEPS):
+        info = SWEEPS[name].describe()
+        rows.append({
+            "sweep": name,
+            "points": info["points"],
+            "axes": info["axes"],
+            "parameters": ", ".join(info["parameters"]),
+            "description": info["description"],
+        })
+    return format_table(rows, columns=["sweep", "points", "axes", "parameters",
+                                       "description"])
 
 
 def _command_spva(args: argparse.Namespace) -> str:
@@ -282,6 +351,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _command_compare,
         "spva": _command_spva,
         "sweep": _command_sweep,
+        "plan": _command_plan,
     }
     output = handlers[args.command](args)
     print(output)

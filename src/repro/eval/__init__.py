@@ -18,7 +18,15 @@ from .experiments import (
     spva_microbenchmark_experiment,
     utilization_experiment,
 )
-from .runner import ResultsCache, available_sweeps, point_seed, run_sweep
+from .runner import (
+    ResultsCache,
+    SweepSpec,
+    SWEEPS,
+    available_sweeps,
+    point_seed,
+    register_sweep,
+    run_sweep,
+)
 from .sweeps import (
     core_count_sweep,
     firing_rate_sweep,
@@ -45,8 +53,11 @@ __all__ = [
     "spva_microbenchmark_experiment",
     "utilization_experiment",
     "ResultsCache",
+    "SweepSpec",
+    "SWEEPS",
     "available_sweeps",
     "point_seed",
+    "register_sweep",
     "run_sweep",
     "core_count_sweep",
     "firing_rate_sweep",

@@ -93,3 +93,36 @@ def rows_to_csv(rows: Sequence[Dict[str, object]],
     for row in rows:
         writer.writerow({col: row.get(col, "") for col in columns})
     return buffer.getvalue()
+
+
+def headline_notes(headline: Dict[str, object]) -> str:
+    """The one-line ``headline: k=v, …`` note under rendered tables."""
+    if not headline:
+        return ""
+    return "headline: " + ", ".join(f"{k}={v:.4g}" for k, v in headline.items())
+
+
+EXPORT_FORMATS = ("table", "json", "csv")
+
+
+def export_experiment(result, fmt: str = "table", title: Optional[str] = None,
+                      columns: Optional[Sequence[str]] = None) -> str:
+    """One rendering path for every CLI command that emits an experiment.
+
+    ``fmt`` is ``"table"`` (aligned ASCII + headline note), ``"json"``
+    (:func:`experiment_to_json`) or ``"csv"`` (:func:`rows_to_csv` of the
+    rows); both ``run --scenario`` and ``sweep`` go through here so the
+    formats can never drift between subcommands.
+    """
+    if fmt == "json":
+        return experiment_to_json(result)
+    if fmt == "csv":
+        return rows_to_csv(result.rows, columns)
+    if fmt != "table":
+        raise ValueError(f"unknown export format {fmt!r}; expected one of {EXPORT_FORMATS}")
+    return render_experiment(
+        title or f"{result.figure}: {result.name}",
+        result.rows,
+        notes=headline_notes(result.headline),
+        columns=columns,
+    )

@@ -1,48 +1,51 @@
-"""Parallel sweep runner.
+"""Built-in sweep specs and the legacy parallel sweep runner entry point.
 
-The sweeps in :mod:`repro.eval.sweeps` evaluate their points one after the
-other.  This module fans the points of a sweep out over a
-:mod:`concurrent.futures` worker pool instead:
+The five ablation sweeps are declarative :class:`~repro.plan.SweepSpec`
+instances (:data:`SWEEPS`): a named :class:`~repro.plan.ParameterSpace`, a
+picklable point function, a row schema and a headline finalizer.  Nothing
+here knows *how* points are executed — :func:`run_sweep` resolves the
+``jobs``/``backend``/``executor``/``shards`` knobs into a
+:class:`repro.backends.ExecutionBackend` and hands the spec to
+:func:`repro.plan.collect_plan`.  The same specs are what
+:meth:`repro.session.Session.run_plan` streams and what the
+``repro.cli sweep``/``plan`` subcommands operate on.
+
+Execution guarantees (inherited from the plan executor and backends):
 
 * **per-point seeding** — every point derives its own seed from the base
-  seed, the sweep name and the point's parameters (see :func:`point_seed`),
-  so results are independent of evaluation order, of which subset of points
-  is requested, and of how many workers execute them;
-* **results cache** — rows are memoized under a key built from the sweep
-  name, the point parameters, the seed, the batch size and any extra
-  configuration (:class:`ResultsCache`), optionally persisted to a JSON
-  file, so repeated invocations (e.g. when refining a figure) skip points
-  that were already evaluated;
-* **pluggable backend** — points run in a process pool (true parallelism),
-  a thread pool, or serially; pool-infrastructure failures fall back to the
-  serial path so a sweep always completes, while errors raised by a point
-  itself propagate to the caller.
+  seed, the sweep name and the point's parameters
+  (:func:`~repro.plan.point_seed`), so results are independent of
+  evaluation order, of which subset of points is requested, and of which
+  backend or shard executes them;
+* **results cache** — rows are memoized in a
+  :class:`~repro.plan.ResultsCache` keyed only on the knobs a sweep
+  actually consumes, optionally persisted to JSON;
+* **serial fallback** — pool-infrastructure failures degrade to the serial
+  path so a sweep always completes, while errors raised by a point itself
+  propagate to the caller.
 
-The ``repro.cli sweep`` subcommand is a thin wrapper around
-:func:`run_sweep`, with JSON/CSV export through
-:mod:`repro.eval.reporting`.
+Registering a new sweep takes one :func:`register_sweep` call with a
+``SweepSpec`` — see the README's "Defining a new sweep" walkthrough.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import pickle
-import sys
-from concurrent.futures import (
-    BrokenExecutor,
-    Executor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
-from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional
 
 import numpy as np
 
+from ..backends import make_backend
+from ..plan import (
+    ParameterSpace,
+    PlanRow,
+    ResultsCache,
+    SweepSpec,
+    collect_plan,
+    iter_plan,
+    point_seed,
+)
+from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES
 from ..types import Precision
-from ..utils.serialization import atomic_write_text, canonical_json
 from .experiments import ExperimentResult
 from .metrics import ratio
 from .sweeps import (
@@ -51,9 +54,9 @@ from .sweeps import (
     DEFAULT_PRECISIONS,
     DEFAULT_STREAM_LENGTHS,
     DEFAULT_STRIDED_INDIRECT_RATES,
-    _conv6_spec,
-    _counts_for_rate,
+    conv6_spec,
     core_count_point,
+    counts_for_rate,
     firing_rate_point,
     fp8_over_fp16_headline,
     precision_point,
@@ -61,119 +64,12 @@ from .sweeps import (
     strided_indirect_point,
 )
 
-_SEED_SPACE = 2**63 - 1
-
-
-def point_seed(base_seed: int, sweep: str, params: Mapping[str, object]) -> int:
-    """Deterministic per-point seed derived from the base seed and the point.
-
-    The derivation hashes the sweep name and the *sorted* parameter items,
-    so the seed of a point never depends on where it appears in the sweep or
-    on which other points run alongside it.
-    """
-    payload = json.dumps([sweep, sorted(params.items())], sort_keys=True, default=str)
-    digest = hashlib.sha256(f"{base_seed}:{payload}".encode()).digest()
-    return int.from_bytes(digest[:8], "little") % _SEED_SPACE
-
-
-class ResultsCache:
-    """Memoized sweep-point rows keyed on (config, seed, batch, sweep point).
-
-    The cache is an in-memory dictionary, optionally backed by a JSON file:
-    pass ``path`` to load previously persisted rows on construction and call
-    :meth:`save` (the runner does) to persist new ones.
-    """
-
-    def __init__(self, path: Optional[Path] = None):
-        self.path = Path(path) if path is not None else None
-        self._rows: Dict[str, Dict[str, object]] = {}
-        self._dirty = False
-        self.hits = 0
-        self.misses = 0
-        if self.path is not None and self.path.exists():
-            try:
-                rows = json.loads(self.path.read_text())
-                if not isinstance(rows, dict):
-                    raise ValueError("cache root must be a JSON object")
-                kept = {k: v for k, v in rows.items() if isinstance(v, dict)}
-                if len(kept) != len(rows):
-                    print(
-                        f"warning: dropped {len(rows) - len(kept)} malformed "
-                        f"entr(y/ies) from results cache {self.path}",
-                        file=sys.stderr,
-                    )
-                self._rows = kept
-            except (ValueError, OSError) as error:
-                # A cache is disposable: a corrupt/unreadable file means the
-                # points re-run, it must never crash the sweep.
-                print(
-                    f"warning: ignoring unreadable results cache {self.path}: {error}",
-                    file=sys.stderr,
-                )
-                self._rows = {}
-
-    @staticmethod
-    def key(
-        sweep: str,
-        params: Mapping[str, object],
-        seed: int,
-        batch_size: int,
-        config: Optional[Mapping[str, object]] = None,
-    ) -> str:
-        """Stable string key of one sweep point under one configuration."""
-        payload = {
-            "sweep": sweep,
-            "params": sorted(params.items()),
-            "seed": seed,
-            "batch": batch_size,
-            "config": sorted((config or {}).items()),
-        }
-        # The same canonical encoder serializes keys and the persisted rows
-        # (see save()), so equal parameters can never encode differently
-        # between the two paths.
-        return canonical_json(payload)
-
-    def get(self, key: str) -> Optional[Dict[str, object]]:
-        """Cached row for ``key``, or None (updates hit/miss counters)."""
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return dict(row)
-
-    def put(self, key: str, row: Mapping[str, object]) -> None:
-        """Store one row under ``key``."""
-        self._rows[key] = dict(row)
-        self._dirty = True
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    def save(self) -> None:
-        """Persist the cache to its JSON file (no-op for in-memory caches).
-
-        The write is atomic (temp file in the same directory, then
-        ``os.replace``), so an interrupted sweep can never leave a
-        half-written file that a later load would have to discard.  Like the
-        load path, a failure to persist is reported but never raised: the
-        sweep's results have already been computed and must still reach the
-        caller.
-        """
-        if self.path is None or not self._dirty:
-            return
-        try:
-            atomic_write_text(self.path, canonical_json(self._rows))
-            self._dirty = False
-        except OSError as error:
-            print(
-                f"warning: could not persist results cache {self.path}: {error}",
-                file=sys.stderr,
-            )
+#: Backwards-compatible name: sweep definitions *are* sweep specs now.
+SweepDefinition = SweepSpec
 
 
 # --------------------------------------------------------------------------- #
-# Point tasks (top-level functions so process pools can pickle them)
+# Point tasks (top-level functions so process pools and shards can pickle them)
 # --------------------------------------------------------------------------- #
 def _run_firing_rate_point(task: Dict[str, object]) -> Dict[str, object]:
     return firing_rate_point(
@@ -184,10 +80,10 @@ def _run_firing_rate_point(task: Dict[str, object]) -> Dict[str, object]:
 def _run_core_count_point(task: Dict[str, object]) -> Dict[str, object]:
     # Every core count must cost the *same* spike-count map for the sweep to
     # be a strong-scaling study, so the map is drawn from a seed that does
-    # not include the core count (see _task_seed).
-    spec = _conv6_spec()
+    # not include the core count (see SweepSpec.task_seed / compute_params).
+    spec = conv6_spec()
     rng = np.random.default_rng(task["seed"])
-    counts = _counts_for_rate(spec, task["rate"], rng)
+    counts = counts_for_rate(spec, task["rate"], rng)
     return core_count_point(task["cores"], counts, Precision.from_name(task["precision"]))
 
 
@@ -205,65 +101,6 @@ def _run_strided_indirect_point(task: Dict[str, object]) -> Dict[str, object]:
     return strided_indirect_point(
         task["rate"], Precision.from_name(task["precision"]), seed=task["seed"]
     )
-
-
-# --------------------------------------------------------------------------- #
-# Sweep definitions
-# --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class SweepDefinition:
-    """One parallelizable sweep: its points, point runner and finalizer.
-
-    ``finalize`` receives the collected rows, the executed task dicts (which
-    carry each point's derived seed and configuration) and a ``run_cached``
-    callable that evaluates one extra point through the results cache; it
-    returns the headline and may also add derived columns to the rows.
-    """
-
-    name: str
-    points: Callable[..., List[Dict[str, object]]]
-    run_point: Callable[[Dict[str, object]], Dict[str, object]]
-    finalize: Callable[
-        [
-            List[Dict[str, object]],
-            List[Dict[str, object]],
-            Callable[[Dict[str, object]], Dict[str, object]],
-        ],
-        Dict[str, float],
-    ]
-    #: whether points consume randomness (False keeps the seed out of the
-    #: cache key and skips per-point seed derivation)
-    seeded: bool = True
-    #: whether points consume the batch size (False keeps it out of the key)
-    uses_batch: bool = False
-
-
-def _firing_rate_points(rates: Sequence[float] = DEFAULT_FIRING_RATES,
-                        precision: str = "fp16") -> List[Dict[str, object]]:
-    return [{"rate": float(r), "precision": precision} for r in rates]
-
-
-def _core_count_points(core_counts: Sequence[int] = DEFAULT_CORE_COUNTS, precision: str = "fp16",
-                       firing_rate: Optional[float] = None) -> List[Dict[str, object]]:
-    from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES
-
-    rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES["conv6"]
-    return [{"cores": int(c), "rate": float(rate), "precision": precision} for c in core_counts]
-
-
-def _precision_points(precisions: Sequence[str] = tuple(p.value for p in DEFAULT_PRECISIONS),
-                      ) -> List[Dict[str, object]]:
-    return [{"precision": p} for p in precisions]
-
-
-def _stream_length_points(lengths: Sequence[int] = DEFAULT_STREAM_LENGTHS,
-                          ) -> List[Dict[str, object]]:
-    return [{"length": int(n)} for n in lengths]
-
-
-def _strided_indirect_points(rates: Sequence[float] = DEFAULT_STRIDED_INDIRECT_RATES,
-                             precision: str = "fp16") -> List[Dict[str, object]]:
-    return [{"rate": float(r), "precision": precision} for r in rates]
 
 
 def _core_count_finalize(
@@ -295,42 +132,87 @@ def _core_count_finalize(
     return {f"efficiency_at_{last['cores']}_cores": last["parallel_efficiency"]}
 
 
-SWEEPS: Dict[str, SweepDefinition] = {
-    "firing_rate": SweepDefinition(
-        name="firing_rate",
-        points=_firing_rate_points,
-        run_point=_run_firing_rate_point,
-        finalize=lambda rows, tasks, run_cached: {"max_speedup": max(r["speedup"] for r in rows)},
+# --------------------------------------------------------------------------- #
+# The built-in sweep specs
+# --------------------------------------------------------------------------- #
+SWEEPS: Dict[str, SweepSpec] = {}
+
+
+def register_sweep(spec: SweepSpec) -> SweepSpec:
+    """Register a spec under its name; later registrations replace earlier.
+
+    :mod:`repro.session` additionally mirrors registered sweeps into the
+    scenario registry — prefer :func:`repro.session.register_sweep` when the
+    sweep should also be reachable via ``Session.run(name)`` and the CLI.
+    """
+    SWEEPS[spec.name] = spec
+    return spec
+
+
+register_sweep(SweepSpec(
+    name="firing_rate",
+    description="SpikeStream vs baseline conv6 cycles across input firing rates",
+    space=ParameterSpace.grid(rate=DEFAULT_FIRING_RATES, precision=("fp16",)),
+    point=_run_firing_rate_point,
+    row_schema=("firing_rate", "baseline_cycles", "spikestream_cycles",
+                "speedup", "spikestream_fpu_util"),
+    finalize=lambda rows, tasks, run_cached: {"max_speedup": max(r["speedup"] for r in rows)},
+    kwarg_axes={"rates": "rate", "precision": "precision"},
+    normalize={"rate": float},
+))
+
+register_sweep(SweepSpec(
+    name="core_count",
+    description="strong scaling of the conv6 kernel over worker-core counts",
+    space=ParameterSpace.grid(
+        cores=DEFAULT_CORE_COUNTS,
+        rate=(SVGG11_LAYER_FIRING_RATES["conv6"],),
+        precision=("fp16",),
     ),
-    "core_count": SweepDefinition(
-        name="core_count",
-        points=_core_count_points,
-        run_point=_run_core_count_point,
-        finalize=_core_count_finalize,
-    ),
-    "precision": SweepDefinition(
-        name="precision",
-        points=_precision_points,
-        run_point=_run_precision_point,
-        finalize=lambda rows, tasks, run_cached: fp8_over_fp16_headline(rows),
-        uses_batch=True,
-    ),
-    "stream_length": SweepDefinition(
-        name="stream_length",
-        points=_stream_length_points,
-        run_point=_run_stream_length_point,
-        finalize=lambda rows, tasks, run_cached: {"asymptotic_speedup": rows[-1]["speedup"]},
-        seeded=False,
-    ),
-    "strided_indirect": SweepDefinition(
-        name="strided_indirect",
-        points=_strided_indirect_points,
-        run_point=_run_strided_indirect_point,
-        finalize=lambda rows, tasks, run_cached: {
-            "max_additional_speedup": max(r["additional_speedup"] for r in rows)
-        },
-    ),
-}
+    point=_run_core_count_point,
+    row_schema=("cores", "cycles", "fpu_util", "parallel_efficiency"),
+    finalize=_core_count_finalize,
+    kwarg_axes={"core_counts": "cores", "precision": "precision", "firing_rate": "rate"},
+    normalize={"cores": int, "rate": float},
+))
+
+register_sweep(SweepSpec(
+    name="precision",
+    description="full-network runtime at FP32/FP16/FP8",
+    space=ParameterSpace.grid(precision=tuple(p.value for p in DEFAULT_PRECISIONS)),
+    point=_run_precision_point,
+    row_schema=("precision", "simd_width", "runtime_ms", "energy_mj", "fpu_util"),
+    finalize=lambda rows, tasks, run_cached: fp8_over_fp16_headline(rows),
+    uses_batch=True,
+    kwarg_axes={"precisions": "precision"},
+))
+
+register_sweep(SweepSpec(
+    name="stream_length",
+    description="SpVA speedup over the baseline listing across stream lengths",
+    space=ParameterSpace.grid(length=DEFAULT_STREAM_LENGTHS),
+    point=_run_stream_length_point,
+    row_schema=("stream_length", "baseline_cycles", "streaming_cycles", "speedup"),
+    finalize=lambda rows, tasks, run_cached: {"asymptotic_speedup": rows[-1]["speedup"]},
+    seeded=False,
+    kwarg_axes={"lengths": "length"},
+    normalize={"length": int},
+))
+
+register_sweep(SweepSpec(
+    name="strided_indirect",
+    description="additional speedup of strided-indirect streams by firing rate",
+    space=ParameterSpace.grid(rate=DEFAULT_STRIDED_INDIRECT_RATES, precision=("fp16",)),
+    point=_run_strided_indirect_point,
+    row_schema=("firing_rate", "spikestream_cycles", "strided_indirect_cycles",
+                "additional_speedup", "spikestream_fpu_util",
+                "strided_indirect_fpu_util"),
+    finalize=lambda rows, tasks, run_cached: {
+        "max_additional_speedup": max(r["additional_speedup"] for r in rows)
+    },
+    kwarg_axes={"rates": "rate", "precision": "precision"},
+    normalize={"rate": float},
+))
 
 
 def available_sweeps() -> List[str]:
@@ -338,29 +220,17 @@ def available_sweeps() -> List[str]:
     return sorted(SWEEPS)
 
 
-#: Point parameters that configure the *computation*, not the random input
-#: data.  They are excluded from the per-point seed derivation so that e.g.
-#: every core count costs the same spike-count map (strong scaling) and
-#: every precision runs the same random batch (matched-data speedups).
-_COMPUTE_PARAMS = ("cores", "precision")
+def get_sweep(name: str) -> SweepSpec:
+    """The registered spec for ``name`` (KeyError lists the alternatives)."""
+    if name not in SWEEPS:
+        raise KeyError(f"unknown sweep {name!r}; available: {', '.join(available_sweeps())}")
+    return SWEEPS[name]
 
 
-def _task_seed(definition: SweepDefinition, base_seed: int,
+def _task_seed(definition: SweepSpec, base_seed: int,
                params: Mapping[str, object]) -> int:
-    if not definition.seeded:
-        return base_seed
-    seed_params = dict(params)
-    for key in _COMPUTE_PARAMS:
-        seed_params.pop(key, None)
-    return point_seed(base_seed, definition.name, seed_params)
-
-
-def _serial_fallback(run_point, tasks, backend, error):
-    print(
-        f"warning: {backend} pool failed ({error!r}); running sweep serially",
-        file=sys.stderr,
-    )
-    return [run_point(task) for task in tasks]
+    """Backwards-compatible alias for :meth:`SweepSpec.task_seed`."""
+    return definition.task_seed(base_seed, params)
 
 
 def _execute(
@@ -368,41 +238,22 @@ def _execute(
     tasks: List[Dict[str, object]],
     jobs: int,
     backend: str,
-    executor: Optional[Executor] = None,
+    executor=None,
 ) -> List[Dict[str, object]]:
-    """Run the point tasks, falling back to the serial path on pool failures.
+    """Run point tasks through a backend, returning rows in task order.
 
-    When ``executor`` is given (e.g. the long-lived pool owned by a
-    :class:`repro.session.Session`), the tasks are dispatched onto it and it
-    is *not* shut down afterwards — the whole point of sharing one pool
-    across sweeps is to amortize worker start-up.  Otherwise a private pool
-    is created per call and torn down when the sweep finishes.
-
-    Only pool-*infrastructure* failures trigger the fallback: OSError while
-    constructing the pool (e.g. fork refused), and pickling/broken-executor
-    errors while dispatching.  An exception raised by a point function (bad
-    parameters, model errors) propagates to the caller unchanged — it would
-    fail serially too, so re-running everything would only double the work.
+    Thin bridge kept for callers that predate the backend objects (e.g.
+    :meth:`repro.session.Session._run_statistical_many`): the
+    dispatch-with-serial-fallback policy now lives in
+    :mod:`repro.backends`.  When ``executor`` is given it is used and *not*
+    shut down; otherwise ``jobs``/``backend`` pick a private pool.
     """
-    if len(tasks) <= 1:
-        return [run_point(task) for task in tasks]
-    if executor is not None:
-        try:
-            return list(executor.map(run_point, tasks))
-        except (BrokenExecutor, pickle.PicklingError) as error:
-            return _serial_fallback(run_point, tasks, "shared", error)
-    if jobs <= 1 or backend == "serial":
-        return [run_point(task) for task in tasks]
-    pool_cls = ProcessPoolExecutor if backend == "process" else ThreadPoolExecutor
-    try:
-        pool = pool_cls(max_workers=min(jobs, len(tasks)))
-    except (OSError, BrokenExecutor) as error:
-        return _serial_fallback(run_point, tasks, backend, error)
-    with pool:
-        try:
-            return list(pool.map(run_point, tasks))
-        except (BrokenExecutor, pickle.PicklingError) as error:
-            return _serial_fallback(run_point, tasks, backend, error)
+    rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
+    for index, row in make_backend(backend, jobs=jobs, executor=executor).execute(
+        run_point, tasks
+    ):
+        rows[index] = row
+    return rows
 
 
 def run_sweep(
@@ -412,105 +263,63 @@ def run_sweep(
     seed: int = 2025,
     batch_size: int = 4,
     cache: Optional[ResultsCache] = None,
-    executor: Optional[Executor] = None,
+    executor=None,
+    shards: int = 2,
     **point_kwargs,
 ) -> ExperimentResult:
-    """Run one registered sweep, fanning its points over a worker pool.
+    """Run one registered sweep, fanning its points over an execution backend.
 
     Parameters
     ----------
     name:
         A sweep from :func:`available_sweeps`.
     jobs:
-        Worker count; ``1`` runs serially.
+        Worker count; ``1`` runs serially (unless ``backend="sharded"``).
     backend:
-        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+        ``"process"`` (default), ``"thread"``, ``"serial"`` or
+        ``"sharded"`` (partition the points across ``shards`` worker
+        sessions).
     seed:
-        Base seed; every point derives its own seed via :func:`point_seed`.
+        Base seed; every point derives its own seed via
+        :func:`~repro.plan.point_seed`.
     batch_size:
         Batch size of points that run full-network inference (``precision``).
     cache:
-        Optional :class:`ResultsCache`; hits skip the point entirely and the
-        cache is saved once at the end of the sweep when file-backed.
+        Optional :class:`~repro.plan.ResultsCache`; hits skip the point
+        entirely and the cache is saved once at the end of the sweep when
+        file-backed.
     executor:
         Optional long-lived :class:`concurrent.futures.Executor` to dispatch
         the points onto instead of creating (and tearing down) a private
         pool; :class:`repro.session.Session` passes its shared pool here.
+    shards:
+        Worker-session count when ``backend="sharded"``.
     point_kwargs:
-        Forwarded to the sweep's point generator (e.g. ``rates=...``,
+        Axis overrides declared by the spec (e.g. ``rates=...``,
         ``core_counts=...``, ``precisions=...``, ``lengths=...``).
     """
-    if name not in SWEEPS:
-        raise KeyError(f"unknown sweep {name!r}; available: {', '.join(available_sweeps())}")
-    definition = SWEEPS[name]
-    points = definition.points(**point_kwargs)
-    tasks = []
-    for params in points:
-        task = dict(params)
-        task["seed"] = _task_seed(definition, seed, params)
-        task["batch"] = batch_size
-        tasks.append(task)
-
-    rows: List[Optional[Dict[str, object]]] = [None] * len(tasks)
-    # Only the knobs a sweep actually consumes enter its cache key, so e.g.
-    # deterministic sweeps hit the cache regardless of --seed and sweeps
-    # that never run full-network inference hit regardless of --batch.
-    key_seed = seed if definition.seeded else 0
-    key_batch = batch_size if definition.uses_batch else 0
-    keys = [
-        ResultsCache.key(definition.name, params, key_seed, key_batch)
-        for params in points
-    ]
-    pending = list(range(len(tasks)))
+    spec = get_sweep(name)
+    backend_obj = make_backend(backend, jobs=jobs, executor=executor, shards=shards)
     if cache is not None:
-        pending = []
-        for index, key in enumerate(keys):
-            hit = cache.get(key)
-            if hit is not None:
-                rows[index] = hit
-            else:
-                pending.append(index)
-
-    if pending:
-        fresh = _execute(
-            definition.run_point, [tasks[i] for i in pending], jobs, backend, executor
-        )
-        for index, row in zip(pending, fresh):
-            rows[index] = row
-            if cache is not None:
-                cache.put(keys[index], row)
-
-    def run_cached(params: Dict[str, object]) -> Dict[str, object]:
-        """Evaluate one extra point through the same cache as the sweep points."""
-        key = ResultsCache.key(definition.name, params, key_seed, key_batch)
-        if cache is not None:
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
-        task = dict(params)
-        task["seed"] = _task_seed(definition, seed, params)
-        task["batch"] = batch_size
-        row = definition.run_point(task)
-        if cache is not None:
-            cache.put(key, row)
-        return row
-
-    final_rows: List[Dict[str, object]] = [dict(row) for row in rows]
-    # Named distinctly from the sequential sweeps: the per-point seeding
-    # produces different (order-independent) draws than the shared-RNG
-    # sequential functions, so results keyed by name must never mix.
-    try:
-        headline = definition.finalize(final_rows, tasks, run_cached)
-    finally:
-        # One save at the very end covers the sweep points *and* any extra
-        # finalize anchors, instead of rewriting the file once per addition;
-        # saving in a finally block keeps freshly computed rows persisted
-        # even when finalize (or its anchor point) raises.
-        if cache is not None:
-            cache.save()
-    return ExperimentResult(
-        name=f"parallel_{definition.name}_sweep",
-        figure="sweep",
-        rows=final_rows,
-        headline=headline,
+        backend_obj.bind(cache=cache)
+    return collect_plan(
+        spec, backend_obj, seed=seed, batch_size=batch_size,
+        cache=cache, point_kwargs=point_kwargs,
     )
+
+
+__all__ = [
+    "ParameterSpace",
+    "PlanRow",
+    "ResultsCache",
+    "SweepDefinition",
+    "SweepSpec",
+    "SWEEPS",
+    "available_sweeps",
+    "collect_plan",
+    "get_sweep",
+    "iter_plan",
+    "point_seed",
+    "register_sweep",
+    "run_sweep",
+]

@@ -33,7 +33,7 @@ DEFAULT_STREAM_LENGTHS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 DEFAULT_STRIDED_INDIRECT_RATES = (0.05, 0.1, 0.2, 0.4)
 
 
-def _conv6_spec() -> ConvLayerSpec:
+def conv6_spec() -> ConvLayerSpec:
     """The layer used by most sweeps (S-VGG11 conv6: 8x8x512 ifmap, 512 filters)."""
     return ConvLayerSpec(
         name="conv6",
@@ -46,10 +46,31 @@ def _conv6_spec() -> ConvLayerSpec:
     )
 
 
-def _counts_for_rate(spec: ConvLayerSpec, rate: float, rng: np.random.Generator) -> np.ndarray:
+def counts_for_rate(spec: ConvLayerSpec, rate: float, rng: np.random.Generator) -> np.ndarray:
+    """A per-pixel spike-count map for ``spec``'s ifmap at firing rate ``rate``."""
     unpadded = spec.input_shape
     counts = rng.binomial(unpadded.channels, rate, size=(unpadded.height, unpadded.width))
     return np.pad(counts.astype(np.float64), spec.padding)
+
+
+#: Former private names of :func:`conv6_spec` / :func:`counts_for_rate`.
+#: They were imported across modules (``repro.eval.runner``), so they are now
+#: public; the underscore aliases warn once per call site and will go away.
+_DEPRECATED_ALIASES = {"_conv6_spec": conv6_spec, "_counts_for_rate": counts_for_rate}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_ALIASES:
+        import warnings
+
+        public = _DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"repro.eval.sweeps.{name} is deprecated; use {public.__name__}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return public
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def firing_rate_point(
@@ -65,9 +86,9 @@ def firing_rate_point(
     :mod:`repro.eval.runner` (which derives an independent ``seed`` per
     point so results do not depend on evaluation order).
     """
-    spec = _conv6_spec()
+    spec = conv6_spec()
     rng = rng if rng is not None else np.random.default_rng(seed)
-    counts = _counts_for_rate(spec, rate, rng)
+    counts = counts_for_rate(spec, rate, rng)
     base = conv_layer_perf(spec, counts, precision, streaming=False)
     stream = conv_layer_perf(spec, counts, precision, streaming=True)
     return {
@@ -101,7 +122,7 @@ def core_count_point(
     precision: Precision = Precision.FP16,
 ) -> Dict[str, object]:
     """One strong-scaling point: SpikeStream conv6 on ``cores`` worker cores."""
-    spec = _conv6_spec()
+    spec = conv6_spec()
     params = ClusterParams(num_worker_cores=cores)
     stats = conv_layer_perf(spec, counts, precision, streaming=True, params=params,
                             num_active_cores=cores)
@@ -125,10 +146,10 @@ def core_count_sweep(
     1-core reference is evaluated separately rather than extrapolated, so the
     efficiency column is meaningful for any core-count subset.
     """
-    spec = _conv6_spec()
+    spec = conv6_spec()
     rate = firing_rate if firing_rate is not None else SVGG11_LAYER_FIRING_RATES["conv6"]
     rng = np.random.default_rng(seed)
-    counts = _counts_for_rate(spec, rate, rng)
+    counts = counts_for_rate(spec, rate, rng)
     rows = [core_count_point(cores, counts, precision) for cores in core_counts]
     by_cores = {row["cores"]: row for row in rows}
     if 1 in by_cores:
@@ -220,9 +241,9 @@ def strided_indirect_point(
     seed: int = 2025,
 ) -> Dict[str, object]:
     """One strided-indirect sweep point (standard vs strided-indirect conv6)."""
-    spec = _conv6_spec()
+    spec = conv6_spec()
     rng = rng if rng is not None else np.random.default_rng(seed)
-    counts = _counts_for_rate(spec, rate, rng)
+    counts = counts_for_rate(spec, rate, rng)
     standard = conv_layer_perf(spec, counts, precision, streaming=True)
     strided = conv_layer_perf(spec, counts, precision, streaming=True, strided_indirect=True)
     return {
@@ -292,9 +313,9 @@ def optimization_ablation(batch_size: int = 4, seed: int = 2025) -> ExperimentRe
         )
 
     # Workload stealing vs static partitioning on the most imbalanced layer.
-    spec = _conv6_spec()
+    spec = conv6_spec()
     rng = np.random.default_rng(seed)
-    counts = _counts_for_rate(spec, SVGG11_LAYER_FIRING_RATES["conv6"], rng)
+    counts = counts_for_rate(spec, SVGG11_LAYER_FIRING_RATES["conv6"], rng)
     from ..kernels.conv import window_sum  # local import to avoid cycle at module load
 
     rf_costs = window_sum(counts, spec.kernel_size, spec.stride).reshape(-1)

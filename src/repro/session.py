@@ -45,13 +45,16 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import re
 import sys
+from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from .arch.params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
+from .backends import ExecutionBackend, ExecutorBackend, SerialBackend, make_backend
 from .config import RunConfig, spikestream_config
 from .core.pipeline import SpikeStreamInference
 from .core.results import InferenceResult
@@ -67,10 +70,37 @@ from .eval.experiments import (
     svgg11_variant_configs,
 )
 from .eval.metrics import ratio
-from .eval.runner import ResultsCache, SWEEPS, _execute, run_sweep
+from .eval.runner import ResultsCache, SWEEPS, _execute, get_sweep, run_sweep
+from .eval.runner import register_sweep as _register_sweep_spec
+from .plan import PlanRow, SweepSpec, collect_plan, iter_plan
 from .utils.serialization import atomic_write_text, canonical_json
 
-_BACKENDS = ("process", "thread", "serial")
+_BACKENDS = ("process", "thread", "serial", "sharded")
+
+_SIZE_SUFFIXES = {"b": 1, "kb": 1024, "mb": 1024**2, "gb": 1024**3}
+
+
+def _parse_cache_limit(limit: Union[None, int, str]) -> Tuple[Optional[int], Optional[int]]:
+    """``cache_limit`` knob -> (max_entries, max_bytes).
+
+    An integer (or bare digit string) bounds the entry count; a string with
+    a size suffix (``"64MB"``, ``"512kb"``, ``"2gb"``) bounds the canonical
+    JSON footprint in bytes.
+    """
+    if limit is None:
+        return None, None
+    if isinstance(limit, int):
+        return limit, None
+    text = str(limit).strip().lower()
+    if text.isdigit():
+        return int(text), None
+    match = re.fullmatch(r"([0-9]+(?:\.[0-9]+)?)\s*(b|kb|mb|gb)", text)
+    if not match:
+        raise ValueError(
+            f"unrecognized cache_limit {limit!r}; expected an entry count "
+            "or a size such as '64MB'"
+        )
+    return None, int(float(match.group(1)) * _SIZE_SUFFIXES[match.group(2)])
 
 
 # --------------------------------------------------------------------------- #
@@ -86,16 +116,65 @@ class ResultStore:
     an atomic write, :meth:`get` falls back to disk on an in-memory miss, so
     a new session pointed at the same ``cache_dir`` serves previous
     sessions' results without re-simulating.
+
+    Long-lived service deployments can bound the in-memory working set with
+    ``max_entries`` and/or ``max_bytes`` (canonical-JSON size of the stored
+    results): the store then evicts least-recently-used entries on admission
+    (`evictions` counts them).  Eviction drops only the in-memory copy —
+    persisted files stay on disk and are transparently re-loaded on the next
+    :meth:`get`, so bounding memory never loses results, it only trades a
+    re-read (or, for memory-only stores, a re-simulation) for footprint.
     """
 
-    def __init__(self, cache_dir: Optional[Union[str, Path]] = None):
+    def __init__(
+        self,
+        cache_dir: Optional[Union[str, Path]] = None,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self._memory: Dict[str, InferenceResult] = {}
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._memory: "OrderedDict[str, InferenceResult]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self.total_bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, fingerprint: str) -> Path:
         return self.cache_dir / f"{fingerprint}.json"
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_entries is not None or self.max_bytes is not None
+
+    def _admit(self, fingerprint: str, result: InferenceResult,
+               encoded_size: Optional[int] = None) -> None:
+        """Insert into the LRU map and evict down to the configured bounds."""
+        if fingerprint in self._memory:
+            self.total_bytes -= self._sizes.pop(fingerprint, 0)
+            del self._memory[fingerprint]
+        self._memory[fingerprint] = result
+        if self.bounded:
+            if encoded_size is None:
+                encoded_size = len(canonical_json(result.to_dict()).encode())
+            self._sizes[fingerprint] = encoded_size
+            self.total_bytes += encoded_size
+            self._evict()
+
+    def _evict(self) -> None:
+        while self._memory and (
+            (self.max_entries is not None and len(self._memory) > self.max_entries)
+            or (self.max_bytes is not None and self.total_bytes > self.max_bytes)
+        ):
+            victim, _ = self._memory.popitem(last=False)
+            self.total_bytes -= self._sizes.pop(victim, 0)
+            self.evictions += 1
 
     def get(self, fingerprint: str) -> Optional[InferenceResult]:
         """Stored result for ``fingerprint`` or None (counts hits/misses).
@@ -105,11 +184,14 @@ class ResultStore:
         callers are served.
         """
         result = self._memory.get(fingerprint)
-        if result is None and self.cache_dir is not None:
+        if result is not None:
+            self._memory.move_to_end(fingerprint)
+        elif self.cache_dir is not None:
             path = self._path(fingerprint)
             if path.exists():
                 try:
-                    result = InferenceResult.from_dict(json.loads(path.read_text()))
+                    text = path.read_text()
+                    result = InferenceResult.from_dict(json.loads(text))
                 except (KeyError, TypeError, ValueError, OSError) as error:
                     # A store is disposable: unreadable entries re-simulate,
                     # they never crash the run.
@@ -118,7 +200,7 @@ class ResultStore:
                         file=sys.stderr,
                     )
                 else:
-                    self._memory[fingerprint] = result
+                    self._admit(fingerprint, result, encoded_size=len(text.encode()))
         if result is None:
             self.misses += 1
             return None
@@ -132,16 +214,38 @@ class ResultStore:
         very object that was just simulated, and mutating it must not
         rewrite the store's master copy.
         """
-        self._memory[fingerprint] = copy.deepcopy(result)
+        encoded: Optional[str] = None
+        if self.cache_dir is not None or self.bounded:
+            encoded = canonical_json(result.to_dict())
+        self._admit(
+            fingerprint,
+            copy.deepcopy(result),
+            encoded_size=len(encoded.encode()) if encoded is not None else None,
+        )
         if self.cache_dir is None:
             return
         try:
-            atomic_write_text(self._path(fingerprint), canonical_json(result.to_dict()))
+            atomic_write_text(self._path(fingerprint), encoded)
         except OSError as error:
             print(
                 f"warning: could not persist result {fingerprint[:12]}…: {error}",
                 file=sys.stderr,
             )
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Adopt every in-memory result of ``other`` this store lacks.
+
+        Used by :class:`repro.backends.ShardedBackend` to fold shard
+        workers' stores back into the dispatching session's store; adopted
+        results persist/evict under this store's own policy.  Returns the
+        number of newly adopted results.
+        """
+        added = 0
+        for fingerprint, result in list(other._memory.items()):
+            if fingerprint not in self._memory:
+                self.put(fingerprint, result)
+                added += 1
+        return added
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -248,27 +352,40 @@ def _make_sweep_runner(sweep_name: str) -> Callable[..., ExperimentResult]:
             batch_size=4 if batch_size is None else batch_size,
             cache=session.sweep_cache,
             executor=session.shared_executor(),
+            shards=session.shards,
             **point_kwargs,
         )
 
     return runner
 
 
-_SWEEP_POINT_PARAMS: Dict[str, Tuple[str, ...]] = {
-    "firing_rate": ("rates", "precision"),
-    "core_count": ("core_counts", "precision", "firing_rate"),
-    "precision": ("precisions",),
-    "stream_length": ("lengths",),
-    "strided_indirect": ("rates", "precision"),
-}
+def _sweep_scenario(spec: SweepSpec) -> Scenario:
+    """The scenario-registry entry of one declarative sweep spec."""
+    return Scenario(
+        name=spec.name,
+        kind="sweep",
+        figure="sweep",
+        description=spec.description or f"parallel {spec.name} sweep",
+        params=("seed", "batch_size") + tuple(sorted(spec.kwarg_axes)),
+        runner=_make_sweep_runner(spec.name),
+    )
 
-_SWEEP_DESCRIPTIONS: Dict[str, str] = {
-    "firing_rate": "SpikeStream vs baseline conv6 cycles across input firing rates",
-    "core_count": "strong scaling of the conv6 kernel over worker-core counts",
-    "precision": "full-network runtime at FP32/FP16/FP8",
-    "stream_length": "SpVA speedup over the baseline listing across stream lengths",
-    "strided_indirect": "additional speedup of strided-indirect streams by firing rate",
-}
+
+def register_sweep(spec: SweepSpec) -> Scenario:
+    """Register a declarative sweep in BOTH registries.
+
+    The spec enters :data:`repro.eval.runner.SWEEPS` (so
+    :func:`~repro.eval.runner.run_sweep`, :meth:`Session.run_plan` and the
+    ``repro.cli plan`` listing see it) and the scenario registry (so
+    ``Session.run(name)`` and ``repro.cli run --scenario`` dispatch it).
+    Re-registering a name replaces the previous sweep.  This is the whole
+    story of adding an experiment: declare a spec, register it, run it on
+    any backend.
+    """
+    _register_sweep_spec(spec)
+    scenario = _sweep_scenario(spec)
+    SCENARIOS[spec.name] = scenario
+    return scenario
 
 
 def _build_scenarios() -> Dict[str, Scenario]:
@@ -303,11 +420,8 @@ def _build_scenarios() -> Dict[str, Scenario]:
     add("spva_microbenchmark", "experiment", "listing1",
         "instruction-level SpVA micro-benchmark across stream lengths",
         ("stream_lengths", "seed"), _scenario_spva_microbenchmark)
-    for sweep_name in SWEEPS:
-        add(sweep_name, "sweep", "sweep",
-            _SWEEP_DESCRIPTIONS.get(sweep_name, f"parallel {sweep_name} sweep"),
-            ("seed", "batch_size") + _SWEEP_POINT_PARAMS.get(sweep_name, ()),
-            _make_sweep_runner(sweep_name))
+    for spec in SWEEPS.values():
+        registry[spec.name] = _sweep_scenario(spec)
     return registry
 
 
@@ -343,7 +457,9 @@ class Session:
     jobs:
         Worker count of the shared pool; ``1`` keeps everything serial.
     backend:
-        ``"process"`` (default), ``"thread"`` or ``"serial"``.
+        ``"process"`` (default), ``"thread"``, ``"serial"`` or
+        ``"sharded"`` (sweep points partitioned across ``shards`` worker
+        sessions; see :class:`repro.backends.ShardedBackend`).
     cache_dir:
         Directory persisting the result store (``cache_dir/results/``) and
         the sweep row cache (``cache_dir/sweep_rows.json``) across
@@ -352,8 +468,15 @@ class Session:
     seed:
         Default base seed of sweeps run through :meth:`run`.
     sweep_cache:
-        Explicit :class:`~repro.eval.runner.ResultsCache` overriding the
+        Explicit :class:`~repro.plan.ResultsCache` overriding the
         ``cache_dir``-derived sweep row cache (the CLI's ``--cache`` flag).
+    shards:
+        Worker-session count of the ``"sharded"`` backend.
+    cache_limit:
+        Bound on the result store's in-memory working set: an integer caps
+        the entry count, a size string (``"64MB"``) caps the canonical-JSON
+        footprint; least-recently-used results are evicted (disk-backed
+        entries transparently re-load on the next hit).
     """
 
     def __init__(
@@ -367,11 +490,15 @@ class Session:
         cache_dir: Optional[Union[str, Path]] = None,
         seed: int = 2025,
         sweep_cache: Optional[ResultsCache] = None,
+        shards: int = 2,
+        cache_limit: Union[None, int, str] = None,
     ):
         if backend not in _BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
         if jobs <= 0:
             raise ValueError(f"jobs must be positive, got {jobs}")
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
         self.config = config if config is not None else spikestream_config()
         self.cluster = cluster
         self.costs = costs
@@ -379,8 +506,14 @@ class Session:
         self.jobs = jobs
         self.backend = backend
         self.seed = seed
+        self.shards = shards
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.store = ResultStore(self.cache_dir / "results" if self.cache_dir else None)
+        max_entries, max_bytes = _parse_cache_limit(cache_limit)
+        self.store = ResultStore(
+            self.cache_dir / "results" if self.cache_dir else None,
+            max_entries=max_entries,
+            max_bytes=max_bytes,
+        )
         if sweep_cache is not None:
             self.sweep_cache = sweep_cache
         elif self.cache_dir is not None:
@@ -404,7 +537,9 @@ class Session:
         degrades to serial execution permanently instead of re-dispatching
         onto a broken executor on every call.
         """
-        if self.jobs <= 1 or self.backend == "serial" or self._executor_failed:
+        # The sharded backend brings its own worker sessions; a shared pool
+        # on top of them would only add idle threads.
+        if self.jobs <= 1 or self.backend in ("serial", "sharded") or self._executor_failed:
             return None
         if self._executor is not None and getattr(self._executor, "_broken", False):
             self._executor.shutdown(wait=False)
@@ -557,9 +692,104 @@ class Session:
         ]
         # _execute carries the shared dispatch-with-serial-fallback policy;
         # jobs=1 keeps it from creating a private pool when the session has
-        # no shared executor.
+        # no shared executor.  Sharding applies to sweep *points*, not to
+        # the handful of variant runs, so a sharded session computes these
+        # serially rather than spinning up worker sessions.
+        backend = "serial" if self.backend == "sharded" else self.backend
         return _execute(
-            _statistical_task, payloads, 1, self.backend, self.shared_executor()
+            _statistical_task, payloads, 1, backend, self.shared_executor()
+        )
+
+    # -- declarative plans ---------------------------------------------------
+    def _resolve_spec(self, spec: Union[str, SweepSpec]) -> SweepSpec:
+        if isinstance(spec, SweepSpec):
+            return spec
+        return get_sweep(spec)
+
+    def plan_backend(
+        self,
+        backend: Union[None, str, ExecutionBackend] = None,
+        shards: Optional[int] = None,
+    ) -> ExecutionBackend:
+        """Resolve a plan's execution backend under this session's knobs.
+
+        ``None`` means "the session's own strategy": the shared pool when
+        one exists, the sharded fleet when the session was built with
+        ``backend="sharded"``, serial otherwise.  A string picks a strategy
+        ad hoc for one plan; a ready-made
+        :class:`~repro.backends.ExecutionBackend` passes through.
+        """
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        shard_count = self.shards if shards is None else shards
+        if backend is None:
+            backend = self.backend
+        if backend == "sharded":
+            return make_backend("sharded", shards=shard_count)
+        executor = self.shared_executor() if backend == self.backend else None
+        return make_backend(backend, jobs=self.jobs, executor=executor)
+
+    def run_plan(
+        self,
+        spec: Union[str, SweepSpec],
+        backend: Union[None, str, ExecutionBackend] = None,
+        seed: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
+        **point_kwargs,
+    ) -> Iterator[PlanRow]:
+        """Stream a declarative sweep's rows as they complete.
+
+        Accepts a registered sweep name or any :class:`~repro.plan.SweepSpec`
+        (including ones never registered).  Rows arrive as
+        :class:`~repro.plan.PlanRow` objects the moment the backend finishes
+        them — cache hits first, then completion order — each carrying its
+        canonical ``index``, so a consumer can render progress long before
+        the sweep ends and still reassemble the deterministic row order.
+        The session's sweep row cache memoizes every fresh row; for sharded
+        backends the worker sessions' caches and stores merge back into this
+        session on completion.
+        """
+        resolved = self._resolve_spec(spec)
+        backend_obj = self.plan_backend(backend, shards)
+        backend_obj.bind(cache=self.sweep_cache, store=self.store)
+
+        def stream() -> Iterator[PlanRow]:
+            try:
+                yield from iter_plan(
+                    resolved,
+                    backend_obj,
+                    seed=self.seed if seed is None else seed,
+                    batch_size=4 if batch_size is None else batch_size,
+                    cache=self.sweep_cache,
+                    point_kwargs=point_kwargs,
+                )
+            finally:
+                self.sweep_cache.save()
+
+        return stream()
+
+    def run_spec(
+        self,
+        spec: Union[str, SweepSpec],
+        backend: Union[None, str, ExecutionBackend] = None,
+        seed: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
+        **point_kwargs,
+    ) -> ExperimentResult:
+        """Run a declarative sweep to completion (collected counterpart of
+        :meth:`run_plan`): canonical row order, finalized headline."""
+        resolved = self._resolve_spec(spec)
+        backend_obj = self.plan_backend(backend, shards)
+        backend_obj.bind(cache=self.sweep_cache, store=self.store)
+        return collect_plan(
+            resolved,
+            backend_obj,
+            seed=self.seed if seed is None else seed,
+            batch_size=4 if batch_size is None else batch_size,
+            cache=self.sweep_cache,
+            point_kwargs=point_kwargs,
         )
 
     # -- the scenario registry ----------------------------------------------

@@ -15,6 +15,14 @@ from repro.snn.neuron import LIFParameters
 from repro.types import TensorShape
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast cross-backend smoke checks shared with tools/smoke.py "
+        "(run alone with `pytest -m smoke`)",
+    )
+
+
 @pytest.fixture
 def rng():
     """Deterministic NumPy generator shared by tests."""

@@ -158,3 +158,84 @@ class TestCli:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPlanCli:
+    def test_plan_list_shows_every_spec(self, capsys):
+        assert main(["plan", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("firing_rate", "core_count", "precision", "stream_length",
+                     "strided_indirect"):
+            assert name in output
+        assert "axes" in output
+
+    def test_plan_default_action_is_list(self, capsys):
+        assert main(["plan"]) == 0
+        assert "firing_rate" in capsys.readouterr().out
+
+    def test_plan_describe_shows_axes_and_columns(self, capsys):
+        assert main(["plan", "--describe", "core_count"]) == 0
+        output = capsys.readouterr().out
+        assert "cores x4" in output
+        assert "parallel_efficiency" in output
+
+    def test_plan_describe_unknown_rejected(self):
+        with pytest.raises(SystemExit, match="unknown sweep"):
+            main(["plan", "--describe", "bogus"])
+
+
+class TestShardedCli:
+    def test_sweep_sharded_matches_serial_bit_for_bit(self, capsys):
+        # The ISSUE acceptance criterion, at CLI level: the sharded and
+        # serial paths must render byte-identical machine-readable output.
+        assert main(["sweep", "--sweep", "firing_rate", "--backend", "sharded",
+                     "--shards", "2", "--format", "json"]) == 0
+        sharded = capsys.readouterr().out
+        assert main(["sweep", "--sweep", "firing_rate", "--backend", "serial",
+                     "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert sharded == serial
+        assert json.loads(sharded)["rows"]
+
+    def test_invalid_shards_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sweep", "stream_length", "--backend", "sharded",
+                  "--shards", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestRunExport:
+    def test_run_scenario_json_export(self, capsys):
+        assert main(["run", "--scenario", "stream_length", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "parallel_stream_length_sweep"
+        assert payload["rows"] and "asymptotic_speedup" in payload["headline"]
+
+    def test_run_scenario_csv_export(self, capsys):
+        assert main(["run", "--scenario", "stream_length", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("stream_length,")
+        assert len(lines) >= 2
+
+    def test_run_plain_inference_json_export(self, capsys):
+        assert main(["run", "--batch", "1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(row["layer"] == "conv6" for row in payload["rows"])
+        assert "total_runtime_ms" in payload["headline"]
+
+    def test_run_plain_inference_csv_export(self, capsys):
+        assert main(["run", "--batch", "1", "--format", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("layer,")
+
+    def test_run_scenario_output_file(self, tmp_path, capsys):
+        out = tmp_path / "scenario.json"
+        assert main(["run", "--scenario", "stream_length", "--format", "json",
+                     "--output", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert json.loads(out.read_text())["rows"]
+
+    def test_run_unwritable_output_is_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot write"):
+            main(["run", "--scenario", "stream_length",
+                  "--output", "/nonexistent-dir/out.json"])

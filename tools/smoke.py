@@ -1,14 +1,22 @@
-"""CI smoke check: tier-1 tests, one fast parallel sweep, one Session run.
+"""CI smoke check: tier-1 tests, fast sweep, backend matrix, Session store.
 
 Runs the repository's tier-1 pytest suite, exercises the ``repro.cli
 sweep`` path end-to-end (stream-length sweep, two workers, JSON output,
-machine-readable payload), and finally runs one scenario through a
-persistent :class:`repro.session.Session` twice, asserting that the second
-run is served from the result store (hit counter > 0) with results equal to
-the cold run.  Exits non-zero on the first failure, so it can gate CI
+machine-readable payload), runs one declarative
+:class:`~repro.plan.SweepSpec` through EVERY execution backend
+(serial / thread / process / sharded-2) asserting bit-for-bit row equality,
+and finally runs one scenario through a persistent
+:class:`repro.session.Session` twice, asserting that the second run is
+served from the result store (hit counter > 0) with results equal to the
+cold run.  Exits non-zero on the first failure, so it can gate CI
 directly::
 
     python tools/smoke.py
+
+The backend-matrix step is also wired into the tier-1 pytest flow as a
+fast ``smoke``-marked test (``tests/eval/test_backend_matrix.py`` imports
+:func:`backend_matrix_check`), so every plain ``pytest`` run covers it and
+``pytest -m smoke`` runs it alone.
 """
 
 from __future__ import annotations
@@ -72,6 +80,54 @@ def run_fast_sweep() -> int:
     return 0
 
 
+#: (label, run_sweep keyword arguments) of every execution backend the
+#: matrix check exercises; sharded runs with two worker sessions.
+BACKEND_MATRIX = (
+    ("serial", {"backend": "serial"}),
+    ("thread", {"backend": "thread", "jobs": 2}),
+    ("process", {"backend": "process", "jobs": 2}),
+    ("sharded-2", {"backend": "sharded", "shards": 2}),
+)
+
+
+def backend_matrix_check(sweep: str = "stream_length", **point_kwargs) -> None:
+    """One SweepSpec through every backend; rows must be bit-for-bit equal.
+
+    Importable (used by the ``smoke``-marked tier-1 test) and raising
+    ``AssertionError`` on the first divergence so failures name the backend.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.eval.runner import run_sweep
+
+    point_kwargs = point_kwargs or {"lengths": (1, 4, 16, 64)}
+    reference = None
+    for label, kwargs in BACKEND_MATRIX:
+        result = run_sweep(sweep, seed=17, **kwargs, **point_kwargs)
+        if reference is None:
+            reference = (label, result)
+            continue
+        ref_label, ref = reference
+        assert result.rows == ref.rows, (
+            f"backend {label} rows diverge from {ref_label}"
+        )
+        assert result.headline == ref.headline, (
+            f"backend {label} headline diverges from {ref_label}"
+        )
+
+
+def run_backend_matrix() -> int:
+    """The backend matrix as a smoke step (prints a summary, returns a code)."""
+    print("== backend matrix (one SweepSpec through every backend) ==", flush=True)
+    try:
+        backend_matrix_check()
+    except AssertionError as error:
+        print(f"backend matrix failed: {error}", file=sys.stderr)
+        return 1
+    print("backend matrix ok: " + ", ".join(label for label, _ in BACKEND_MATRIX))
+    return 0
+
+
 def run_session_store_check() -> int:
     """One scenario through a persistent Session twice; the rerun must hit.
 
@@ -113,7 +169,8 @@ def run_session_store_check() -> int:
 
 
 def main() -> int:
-    for step in (run_tier1_tests, run_fast_sweep, run_session_store_check):
+    for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
+                 run_session_store_check):
         code = step()
         if code != 0:
             return code
