@@ -11,10 +11,15 @@ asserts that their :class:`~repro.core.results.InferenceResult` objects are
 **bit-for-bit identical**, and reports the wall-clock speedup (>= 3x at
 batch 128 is the acceptance bar; ~4x is typical).
 
-Runs standalone (``python benchmarks/bench_batch_engine.py``) or under the
-pytest-benchmark harness (``pytest benchmarks/bench_batch_engine.py``).
+Runs standalone (``python benchmarks/bench_batch_engine.py [--json]``) or
+under the pytest-benchmark harness
+(``pytest benchmarks/bench_batch_engine.py``).  ``--json`` emits the result
+dictionary as machine-readable JSON — the same schema
+``benchmarks/bench_functional.py`` emits, so statistical and functional perf
+trajectories are comparable across PRs.
 """
 
+import json
 import sys
 import time
 
@@ -43,6 +48,7 @@ def compare_engines(batch_size: int = FULL_BATCH, seed: int = SEED, repeats: int
 
     best = min(vectorized_s)
     return {
+        "benchmark": "batch_engine",
         "batch_size": batch_size,
         "vectorized_s": best,
         "looped_s": looped_s,
@@ -66,15 +72,19 @@ def test_batch_engine_equivalent_and_faster(benchmark):
     )
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
     result = compare_engines()
-    print(
-        f"S-VGG11 statistical run, batch {result['batch_size']}:\n"
-        f"  per-frame loop : {result['looped_s']:.3f} s\n"
-        f"  batch engine   : {result['vectorized_s']:.3f} s (best of 3)\n"
-        f"  speedup        : {result['speedup']:.2f}x\n"
-        f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
-    )
+    if "--json" in argv:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(
+            f"S-VGG11 statistical run, batch {result['batch_size']}:\n"
+            f"  per-frame loop : {result['looped_s']:.3f} s\n"
+            f"  batch engine   : {result['vectorized_s']:.3f} s (best of 3)\n"
+            f"  speedup        : {result['speedup']:.2f}x\n"
+            f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
+        )
     if not result["identical"]:
         return 1
     if result["speedup"] < 3.0:

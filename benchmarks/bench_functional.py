@@ -1,0 +1,126 @@
+"""Batched functional engine vs the per-frame reference loop.
+
+Times the S-VGG11 *functional* scenario at batch 64: the three evaluated
+hardware variants (baseline FP16, SpikeStream FP16, SpikeStream FP8) costed
+on the network's real recorded spike activity, through both execution paths
+of :class:`~repro.core.pipeline.SpikeStreamInference`:
+
+* **vectorized** — ONE batched forward pass
+  (:meth:`~repro.snn.network.SpikingNetwork.forward_batch`) records the
+  activity, and each variant's performance model costs the stacked spike
+  maps through the kernels' ``*_perf_batch`` entry points
+  (:meth:`~repro.core.pipeline.SpikeStreamInference.run_functional` with a
+  shared ``activity=``);
+* **looped** — the historical per-frame path
+  (:meth:`~repro.core.pipeline.SpikeStreamInference.run_functional_reference`):
+  every variant walks the batch frame-by-frame, re-running the network
+  forward and one scalar kernel-perf call per layer and frame,
+
+asserts that each variant's :class:`~repro.core.results.InferenceResult` is
+**bit-for-bit identical** across the two paths, and reports the wall-clock
+speedup (>= 2x at batch 64 is the acceptance bar; ~3-4x is typical — the
+batched path pays the GEMM-bound forward once instead of once per variant,
+and replaces ~2000 scalar kernel-perf calls with 11 batched ones).
+
+Emits the same result schema as ``benchmarks/bench_batch_engine.py``
+(``--json`` prints it as machine-readable JSON), so functional and
+statistical perf trajectories are comparable across PRs.
+
+Runs standalone (``python benchmarks/bench_functional.py [--json]``) or
+under the pytest-benchmark harness
+(``pytest benchmarks/bench_functional.py``).
+"""
+
+import json
+import sys
+import time
+
+from repro.core.pipeline import SpikeStreamInference
+from repro.eval.experiments import svgg11_variant_configs
+from repro.session import functional_svgg11_setup
+
+#: The acceptance batch size: both paths run the full 64 recorded frames.
+FULL_BATCH = 64
+SEED = 2025
+SPEEDUP_BAR = 2.0
+
+
+def compare_engines(batch_size: int = FULL_BATCH, seed: int = SEED, repeats: int = 2):
+    """Time both paths on the functional scenario; returns a result dictionary.
+
+    The dictionary uses the exact schema of
+    ``bench_batch_engine.compare_engines`` (plus the ``benchmark`` name), so
+    perf dashboards can track both engines with one parser.
+    """
+    network, frames = functional_svgg11_setup(batch_size=batch_size, seed=seed)
+    engines = {
+        key: SpikeStreamInference(config)
+        for key, config in svgg11_variant_configs(batch_size=batch_size, seed=seed).items()
+    }
+    any_engine = next(iter(engines.values()))
+    any_engine.run_functional(network, frames[: min(2, batch_size)])  # warm-up
+
+    vectorized_s = []
+    vectorized = {}
+    for _ in range(repeats):
+        start = time.perf_counter()
+        activity = any_engine.record_activity(network, frames)
+        vectorized = {
+            key: engine.run_functional(network, frames, activity=activity)
+            for key, engine in engines.items()
+        }
+        vectorized_s.append(time.perf_counter() - start)
+
+    start = time.perf_counter()
+    reference = {
+        key: engine.run_functional_reference(network, frames)
+        for key, engine in engines.items()
+    }
+    looped_s = time.perf_counter() - start
+
+    best = min(vectorized_s)
+    return {
+        "benchmark": "functional",
+        "batch_size": batch_size,
+        "vectorized_s": best,
+        "looped_s": looped_s,
+        "speedup": looped_s / best if best > 0 else float("inf"),
+        "identical": all(
+            vectorized[key].identical_to(reference[key]) for key in engines
+        ),
+    }
+
+
+def test_functional_engine_equivalent_and_faster(benchmark):
+    """Batched functional engine: bit-for-bit equal to the loop and >= 2x faster."""
+    result = benchmark(compare_engines, repeats=1)
+    assert result["identical"]
+    assert result["speedup"] >= SPEEDUP_BAR, (
+        f"batched functional engine only {result['speedup']:.2f}x faster "
+        f"({result['vectorized_s']:.3f}s vs {result['looped_s']:.3f}s)"
+    )
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    result = compare_engines()
+    if "--json" in argv:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(
+            f"S-VGG11 functional scenario (3 variants), batch {result['batch_size']}:\n"
+            f"  per-frame loop : {result['looped_s']:.3f} s\n"
+            f"  batch engine   : {result['vectorized_s']:.3f} s (best of 2)\n"
+            f"  speedup        : {result['speedup']:.2f}x\n"
+            f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
+        )
+    if not result["identical"]:
+        return 1
+    if result["speedup"] < SPEEDUP_BAR:
+        print(f"FAIL: speedup below the {SPEEDUP_BAR}x acceptance bar", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,10 @@ def _add_session_arguments(parser: argparse.ArgumentParser, jobs_default: int = 
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="directory persisting the session's result store and "
                              "sweep row cache across invocations")
+    parser.add_argument("--cache-limit", default=None, metavar="LIMIT",
+                        help="bound the result store: an entry count, an in-memory "
+                             "size ('64MB'), and/or a persisted-directory bound "
+                             "('disk:256MB'); comma-combine clauses")
 
 
 def _add_export_arguments(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser("run", help="run S-VGG11 inference or a registered scenario")
     run.add_argument("--precision", default="fp16", choices=[p.value for p in Precision])
     run.add_argument("--baseline", action="store_true", help="disable streaming acceleration")
+    run.add_argument("--mode", choices=("statistical", "functional"), default="statistical",
+                     help="statistical (firing-rate profile, default) or functional "
+                          "(a real S-VGG11 forward pass supplies the spike activity "
+                          "through the batched functional engine)")
     # None sentinels: plain inference resolves them to 8 frames / 1 timestep,
     # while --scenario keeps each scenario's own defaults unless the user
     # explicitly overrides them.
@@ -150,6 +158,7 @@ def _session_from_args(args: argparse.Namespace, **kwargs) -> Session:
         cache_dir=getattr(args, "cache_dir", None),
         seed=getattr(args, "seed", 2025),
         shards=getattr(args, "shards", 2),
+        cache_limit=getattr(args, "cache_limit", None),
         **kwargs,
     )
 
@@ -212,6 +221,8 @@ def _command_run(args: argparse.Namespace) -> str:
                 ignored.append("--baseline")
             if args.precision != "fp16":
                 ignored.append("--precision")
+            if args.mode != "statistical":
+                ignored.append("--mode")
             if args.timesteps is not None and "timesteps" not in info["params"]:
                 ignored.append("--timesteps")
             if args.batch is not None and "batch_size" not in info["params"]:
@@ -234,13 +245,22 @@ def _command_run(args: argparse.Namespace) -> str:
         precision = Precision.from_name(args.precision)
         factory = baseline_config if args.baseline else spikestream_config
         config = factory(precision, batch_size=batch, timesteps=timesteps, seed=args.seed)
-        result = session.run_inference(config, batch_size=batch, seed=args.seed)
+        if args.mode == "functional":
+            # A real S-VGG11 forward pass supplies the spike activity; the
+            # batched functional engine costs it (store-backed, so repeated
+            # invocations with --cache-dir skip both forward and model).
+            from .session import functional_svgg11_setup
+
+            network, frames = functional_svgg11_setup(batch_size=batch, seed=args.seed)
+            result = session.run_functional(network, frames, config=config)
+        else:
+            result = session.run_inference(config, batch_size=batch, seed=args.seed)
         variant = "baseline" if args.baseline else "SpikeStream"
         if args.output_format != "table":
             # Machine-readable runs go through the same reporting path as
             # scenarios and sweeps: per-layer rows + numeric network summary.
             table = ExperimentResult(
-                name=f"svgg11_{variant.lower()}_inference",
+                name=f"svgg11_{variant.lower()}_{args.mode}_inference",
                 figure="run",
                 rows=result.per_layer_table(),
                 headline={key: value for key, value in result.summary().items()
@@ -248,8 +268,8 @@ def _command_run(args: argparse.Namespace) -> str:
             )
             return _emit(export_experiment(table, args.output_format), args)
         lines = [
-            f"== S-VGG11 on the Snitch cluster model ({variant}, {precision.value}, "
-            f"batch {batch}, {timesteps} timestep(s)) ==",
+            f"== S-VGG11 on the Snitch cluster model ({variant}, {args.mode}, "
+            f"{precision.value}, batch {batch}, {timesteps} timestep(s)) ==",
             format_table(result.per_layer_table(), columns=[
                 "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
                 "mean_energy_mj", "mean_power_w",

@@ -17,21 +17,32 @@ Two execution modes are provided:
   :class:`~repro.snn.network.SpikingNetwork` forward pass supplies the real
   per-layer spike maps, and the same performance model is evaluated on them.
 
-Statistical mode is implemented by a **vectorized batch engine**: instead of
-walking the batch frame-by-frame and re-entering every kernel per frame, the
-engine iterates layer-major, stacks every frame's spike counts for the layer
-into one array with a leading batch axis, and costs the whole batch through
-the kernels' ``*_perf_batch`` entry points (vectorized SpVA costs, batched
-window aggregation, and a batch-parallel workload-stealing simulation).  Each
-frame still draws from its own spawned RNG stream, so the result is
-bit-for-bit identical to the historical per-frame loop — which is preserved
-as :meth:`SpikeStreamInference.run_statistical_reference` and exercised by
-the equivalence tests and ``benchmarks/bench_batch_engine.py``.
+**Batch is the native execution unit** of both modes.  One internal batch
+engine (:meth:`SpikeStreamInference._run_layer_batches`) iterates
+layer-major, takes each layer's whole-batch workload — stacked padded
+spike-count maps for conv layers, per-frame nnz for FC layers, a plain
+frame count for the dense encoding layer — and costs it through the
+kernels' ``*_perf_batch`` entry points (vectorized SpVA costs, batched
+window aggregation, and a batch-parallel workload-stealing simulation).
+The two modes differ only in where those spike counts come from:
+
+* statistical draws them from per-frame RNG streams
+  (:meth:`SpikeStreamInference._statistical_workloads`), and
+* functional reads them off the stacked
+  :class:`~repro.snn.network.BatchNetworkActivity` recorded by one
+  vectorized :meth:`~repro.snn.network.SpikingNetwork.forward_batch` pass
+  (:meth:`SpikeStreamInference._functional_workloads`).
+
+Both are bit-for-bit identical to their historical per-frame loops, which
+are preserved as :meth:`SpikeStreamInference.run_statistical_reference` and
+:meth:`SpikeStreamInference.run_functional_reference` and exercised by the
+equivalence tests plus ``benchmarks/bench_batch_engine.py`` and
+``benchmarks/bench_functional.py``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -42,10 +53,10 @@ from ..config import RunConfig
 from ..energy.model import EnergyModel
 from ..energy.params import DEFAULT_ENERGY, EnergyParams
 from ..formats.convert import compress_ifmap, compress_vector
-from ..kernels.conv import conv_layer_perf, conv_layer_perf_batch
+from ..kernels.conv import conv_layer_perf, conv_layer_perf_batch, pad_counts
 from ..kernels.encode import encode_layer_perf, encode_layer_perf_batch
 from ..kernels.fc import fc_layer_perf, fc_layer_perf_batch
-from ..snn.network import NetworkActivity, SpikingNetwork
+from ..snn.network import BatchNetworkActivity, NetworkActivity, SpikingNetwork
 from ..types import LayerKind
 from ..utils.rng import SeedLike, make_rng, spawn_rngs
 from .layer_mapping import KernelKind, LayerPlan
@@ -88,6 +99,23 @@ class _LayerAccumulator:
             dma_bytes=np.asarray(self.dma_bytes),
             clock_hz=clock_hz,
         )
+
+
+@dataclass
+class _LayerBatch:
+    """One layer's whole-batch workload for the internal batch engine.
+
+    Exactly one of the three payloads is set, matching the layer's kernel:
+    ``counts`` is the stacked padded spike-count maps ``(B, Hp, Wp)`` of a
+    conv layer, ``nnz`` the per-frame spiking input counts of an FC layer,
+    and ``batch`` the plain frame count of the input-independent dense
+    encoding layer.
+    """
+
+    plan: LayerPlan
+    counts: Optional[np.ndarray] = None
+    nnz: Optional[Sequence[int]] = None
+    batch: int = 0
 
 
 class SpikeStreamInference:
@@ -161,6 +189,69 @@ class SpikeStreamInference:
         return report.energy_j
 
     # ------------------------------------------------------------------ #
+    # The internal batch engine (shared by both execution modes)
+    # ------------------------------------------------------------------ #
+    def _cost_layer_batch(self, work: _LayerBatch) -> List[ClusterStats]:
+        """Cost one layer's whole-batch workload through its batched kernel."""
+        plan = work.plan
+        if plan.kernel is KernelKind.CONV:
+            return conv_layer_perf_batch(
+                plan.spec,
+                work.counts,
+                precision=plan.precision,
+                streaming=plan.streaming,
+                params=self.cluster,
+                costs=self.costs,
+                index_bytes=self.config.index_bytes,
+            )
+        if plan.kernel is KernelKind.FC:
+            return fc_layer_perf_batch(
+                plan.spec,
+                work.nnz,
+                precision=plan.precision,
+                streaming=plan.streaming,
+                params=self.cluster,
+                costs=self.costs,
+                index_bytes=self.config.index_bytes,
+            )
+        return encode_layer_perf_batch(
+            plan.spec,
+            work.batch,
+            precision=plan.precision,
+            streaming=plan.streaming,
+            params=self.cluster,
+            costs=self.costs,
+            index_bytes=self.config.index_bytes,
+        )
+
+    def _run_layer_batches(
+        self, workloads: Sequence[_LayerBatch], timesteps: int = 1
+    ) -> InferenceResult:
+        """Aggregate whole-batch layer workloads into an :class:`InferenceResult`.
+
+        This is the shared back half of :meth:`run_statistical` and
+        :meth:`run_functional`: layer-major iteration, one ``*_perf_batch``
+        kernel call per layer, per-frame timestep scaling (statistical mode
+        only — functional activity already carries one entry per timestep),
+        the energy model, and the ``_LayerAccumulator`` reduction.  The two
+        public modes differ *only* in how they build ``workloads``.
+        """
+        accumulators = []
+        for work in workloads:
+            accumulator = _LayerAccumulator(work.plan)
+            for stats in self._cost_layer_batch(work):
+                if timesteps > 1:
+                    stats = _scale_stats(stats, timesteps)
+                energy = self.layer_energy(work.plan, stats)
+                accumulator.add(stats, energy, self.cluster.clock_hz)
+            accumulators.append(accumulator)
+        return InferenceResult(
+            config=self.config,
+            layers=[a.result(self.cluster.clock_hz) for a in accumulators],
+            clock_hz=self.cluster.clock_hz,
+        )
+
+    # ------------------------------------------------------------------ #
     # Statistical batch execution
     # ------------------------------------------------------------------ #
     def _synthetic_counts(
@@ -171,10 +262,8 @@ class SpikeStreamInference:
         unpadded = spec.input_shape
         counts = rng.binomial(
             unpadded.channels, plan.firing_rate, size=(unpadded.height, unpadded.width)
-        ).astype(np.float64)
-        if spec.padding:
-            counts = np.pad(counts, spec.padding)
-        return counts
+        )
+        return pad_counts(spec, counts)
 
     def _synthetic_counts_batch(
         self, plan: LayerPlan, rngs: Sequence[np.random.Generator]
@@ -183,8 +272,8 @@ class SpikeStreamInference:
 
         Each frame draws from its own generator (in frame order), so the
         per-frame streams are identical to the per-frame reference loop; the
-        zero padding is applied to the whole stack in one call (bit-for-bit
-        the same as padding each map individually).
+        zero padding is applied to the whole stack in one :func:`pad_counts`
+        call (bit-for-bit the same as padding each map individually).
         """
         spec = plan.spec
         unpadded = spec.input_shape
@@ -197,11 +286,37 @@ class SpikeStreamInference:
                 )
                 for rng in rngs
             ]
-        ).astype(np.float64)
-        if spec.padding:
-            counts = np.pad(counts, ((0, 0), (spec.padding, spec.padding),
-                                     (spec.padding, spec.padding)))
-        return counts
+        )
+        return pad_counts(spec, counts)
+
+    def _statistical_workloads(
+        self,
+        plans: Sequence[LayerPlan],
+        batch_size: int,
+        seed: SeedLike,
+    ) -> List[_LayerBatch]:
+        """Draw every layer's whole-batch synthetic workload.
+
+        Layer-major iteration with one spawned RNG stream per frame: each
+        frame's stream is consumed in layer order, exactly as the per-frame
+        reference loop consumes it, so the draws are bit-for-bit identical.
+        """
+        frame_rngs = spawn_rngs(seed, batch_size)
+        workloads: List[_LayerBatch] = []
+        for plan in plans:
+            if plan.kernel is KernelKind.CONV:
+                workloads.append(
+                    _LayerBatch(plan, counts=self._synthetic_counts_batch(plan, frame_rngs))
+                )
+            elif plan.kernel is KernelKind.FC:
+                nnz = [
+                    int(rng.binomial(plan.spec.in_features, plan.firing_rate))
+                    for rng in frame_rngs
+                ]
+                workloads.append(_LayerBatch(plan, nnz=nnz))
+            else:
+                workloads.append(_LayerBatch(plan, batch=batch_size))
+        return workloads
 
     def run_statistical(
         self,
@@ -230,56 +345,8 @@ class SpikeStreamInference:
         batch_size = batch_size or self.config.batch_size
         timesteps = timesteps or self.config.timesteps
         seed = seed if seed is not None else self.config.seed
-        frame_rngs = spawn_rngs(seed, batch_size)
-
-        accumulators = [_LayerAccumulator(plan) for plan in plans]
-        for accumulator in accumulators:
-            plan = accumulator.plan
-            if plan.kernel is KernelKind.CONV:
-                counts = self._synthetic_counts_batch(plan, frame_rngs)
-                stats_batch = conv_layer_perf_batch(
-                    plan.spec,
-                    counts,
-                    precision=plan.precision,
-                    streaming=plan.streaming,
-                    params=self.cluster,
-                    costs=self.costs,
-                    index_bytes=self.config.index_bytes,
-                )
-            elif plan.kernel is KernelKind.FC:
-                nnz = [
-                    int(rng.binomial(plan.spec.in_features, plan.firing_rate))
-                    for rng in frame_rngs
-                ]
-                stats_batch = fc_layer_perf_batch(
-                    plan.spec,
-                    nnz,
-                    precision=plan.precision,
-                    streaming=plan.streaming,
-                    params=self.cluster,
-                    costs=self.costs,
-                    index_bytes=self.config.index_bytes,
-                )
-            else:
-                stats_batch = encode_layer_perf_batch(
-                    plan.spec,
-                    batch_size,
-                    precision=plan.precision,
-                    streaming=plan.streaming,
-                    params=self.cluster,
-                    costs=self.costs,
-                    index_bytes=self.config.index_bytes,
-                )
-            for stats in stats_batch:
-                if timesteps > 1:
-                    stats = _scale_stats(stats, timesteps)
-                energy = self.layer_energy(plan, stats)
-                accumulator.add(stats, energy, self.cluster.clock_hz)
-        return InferenceResult(
-            config=self.config,
-            layers=[a.result(self.cluster.clock_hz) for a in accumulators],
-            clock_hz=self.cluster.clock_hz,
-        )
+        workloads = self._statistical_workloads(plans, batch_size, seed)
+        return self._run_layer_batches(workloads, timesteps=timesteps)
 
     def run_statistical_reference(
         self,
@@ -328,17 +395,133 @@ class SpikeStreamInference:
     # ------------------------------------------------------------------ #
     # Functional batch execution
     # ------------------------------------------------------------------ #
+    def record_activity(
+        self, network: SpikingNetwork, frames: Sequence[np.ndarray]
+    ) -> BatchNetworkActivity:
+        """Record the network's batched activity under this engine's timesteps.
+
+        One vectorized :meth:`~repro.snn.network.SpikingNetwork.forward_batch`
+        pass over all frames.  The returned activity is reusable: costing
+        several hardware variants (baseline vs SpikeStream, FP16 vs FP8) on
+        the same recorded activity only pays the forward pass once — pass it
+        to :meth:`run_functional` via ``activity=``.
+        """
+        return network.forward_batch(frames, timesteps=self.config.timesteps)
+
+    def _check_activity(
+        self, activity: BatchNetworkActivity, frames: Sequence[np.ndarray]
+    ) -> None:
+        """Reject a pre-recorded activity that cannot belong to ``frames``.
+
+        Results are memoized under a fingerprint of (config, network,
+        frames) that does not cover the activity object, so a stale or
+        mismatched activity would poison the store; the cheap consistency
+        checks here — frame count and records-per-timestep — catch the
+        common mistakes (different batch, different timesteps) before
+        anything is costed or cached.
+        """
+        num_frames = frames.shape[0] if isinstance(frames, np.ndarray) else len(frames)
+        if activity.batch_size != num_frames:
+            raise ValueError(
+                f"activity covers {activity.batch_size} frame(s) but {num_frames} "
+                "frame(s) were supplied"
+            )
+        records_per_layer: Dict[int, int] = {}
+        for record in activity.records:
+            records_per_layer[record.layer_index] = (
+                records_per_layer.get(record.layer_index, 0) + 1
+            )
+        timesteps = set(records_per_layer.values())
+        if timesteps and timesteps != {self.config.timesteps}:
+            raise ValueError(
+                f"activity records {sorted(timesteps)} timestep(s) per layer but "
+                f"this engine's configuration uses {self.config.timesteps}"
+            )
+
+    def _functional_workloads(
+        self,
+        plans: Sequence[LayerPlan],
+        activity: BatchNetworkActivity,
+    ) -> List[_LayerBatch]:
+        """Stack recorded activity into whole-batch layer workloads.
+
+        The batch axis enumerates ``(frame, timestep)`` pairs frame-major —
+        ``frame 0 t0, frame 0 t1, ..., frame 1 t0, ...`` — which is exactly
+        the order the per-frame reference loop appends per-layer entries in,
+        so the resulting per-frame metric arrays line up element for element.
+        """
+        workloads: List[_LayerBatch] = []
+        for plan in plans:
+            records = activity.for_name(plan.name)
+            if not records:
+                continue
+            batch = activity.batch_size
+            if plan.kernel is KernelKind.ENCODE:
+                workloads.append(_LayerBatch(plan, batch=batch * len(records)))
+            elif plan.kernel is KernelKind.CONV:
+                # (T, B, H, W) per-position counts -> frame-major (B*T, Hp, Wp).
+                counts = np.stack(
+                    [np.count_nonzero(r.input_spikes, axis=3) for r in records]
+                )
+                counts = counts.transpose(1, 0, 2, 3).reshape(
+                    batch * len(records), counts.shape[2], counts.shape[3]
+                )
+                workloads.append(_LayerBatch(plan, counts=pad_counts(plan.spec, counts)))
+            else:
+                nnz = np.stack(
+                    [np.count_nonzero(r.input_spikes, axis=1) for r in records]
+                )
+                workloads.append(
+                    _LayerBatch(plan, nnz=[int(n) for n in nnz.T.reshape(-1)])
+                )
+        return workloads
+
     def run_functional(
         self,
         network: SpikingNetwork,
         frames: Sequence[np.ndarray],
         firing_rates: Optional[Dict[str, float]] = None,
+        activity: Optional[BatchNetworkActivity] = None,
     ) -> InferenceResult:
         """Run the performance model on the *actual* activity of a network.
 
-        Every frame is passed through the functional network
-        (:meth:`repro.snn.network.SpikingNetwork.forward`); the recorded
-        per-layer spike maps then drive the same kernels' performance model.
+        The whole batch of frames goes through one vectorized
+        :meth:`~repro.snn.network.SpikingNetwork.forward_batch` pass; the
+        stacked per-layer spike maps then drive the kernels' ``*_perf_batch``
+        entry points through the same internal batch engine as
+        :meth:`run_statistical`.  The result is bit-for-bit identical to the
+        historical per-frame loop kept in :meth:`run_functional_reference`
+        (gated by ``tests/core/test_functional_batch.py``), at a fraction of
+        the wall-clock cost (``benchmarks/bench_functional.py``).
+
+        Pass a pre-recorded ``activity`` (see :meth:`record_activity`) to
+        skip the forward pass — e.g. when costing several hardware variants
+        on the same recorded spike activity.
+        """
+        plans = self.optimizer.plan_network(network, firing_rates)
+        if activity is None:
+            activity = self.record_activity(network, frames)
+        else:
+            self._check_activity(activity, frames)
+        workloads = self._functional_workloads(plans, activity)
+        # Timesteps are real executions recorded one-per-record in the
+        # activity (already unrolled into the batch axis): no scaling.
+        return self._run_layer_batches(workloads, timesteps=1)
+
+    def run_functional_reference(
+        self,
+        network: SpikingNetwork,
+        frames: Sequence[np.ndarray],
+        firing_rates: Optional[Dict[str, float]] = None,
+    ) -> InferenceResult:
+        """Per-frame reference implementation of :meth:`run_functional`.
+
+        Walks the batch frame-by-frame: one per-frame
+        :meth:`~repro.snn.network.SpikingNetwork.forward` pass followed by
+        one scalar kernel-perf call per recorded layer and timestep.  Kept
+        as the golden reference for the batched functional engine's
+        equivalence tests and as the baseline timed by
+        ``benchmarks/bench_functional.py``.
         """
         plans = self.optimizer.plan_network(network, firing_rates)
         plans_by_name = {plan.name: plan for plan in plans}
@@ -366,16 +549,12 @@ class SpikeStreamInference:
             if plan.kernel is KernelKind.ENCODE:
                 stats = self.run_layer(plan)
             elif plan.kernel is KernelKind.CONV:
-                spikes = record.input_spikes
-                padded = np.pad(
-                    spikes,
-                    (
-                        (plan.spec.padding, plan.spec.padding),
-                        (plan.spec.padding, plan.spec.padding),
-                        (0, 0),
-                    ),
+                # Counting the unpadded map then zero-padding the counts is
+                # exactly counting the padded map (the ring carries no
+                # spikes); pad_counts is the shared home of that logic.
+                counts = pad_counts(
+                    plan.spec, np.count_nonzero(record.input_spikes, axis=2)
                 )
-                counts = np.count_nonzero(padded, axis=2).astype(np.float64)
                 stats = self.run_layer(plan, spike_counts=counts)
             else:
                 nnz = int(np.count_nonzero(record.input_spikes))
@@ -389,18 +568,26 @@ def _scale_stats(stats: ClusterStats, timesteps: int) -> ClusterStats:
 
     All activity counters scale linearly; derived ratios (utilization, IPC)
     are unchanged, which matches executing the same layer once per timestep.
+    ``timesteps <= 1`` returns the stats unchanged.
     """
     if timesteps <= 1:
         return stats
-    scaled_cores = []
-    for core in stats.core_stats:
-        fields = {key: value * timesteps for key, value in vars(core).items() if key != "core_id"}
-        scaled_cores.append(type(core)(core_id=core.core_id, **fields))
-    return ClusterStats(
+    scaled_cores = [
+        replace(
+            core,
+            **{
+                field_info.name: getattr(core, field_info.name) * timesteps
+                for field_info in dataclass_fields(core)
+                if field_info.name != "core_id"
+            },
+        )
+        for core in stats.core_stats
+    ]
+    return replace(
+        stats,
         core_stats=scaled_cores,
         dma_cycles=stats.dma_cycles * timesteps,
         dma_bytes=stats.dma_bytes * timesteps,
         dma_exposed_cycles=stats.dma_exposed_cycles * timesteps,
         total_cycles=stats.total_cycles * timesteps,
-        label=stats.label,
     )

@@ -51,6 +51,7 @@ from .metrics import ratio
 from .sweeps import (
     DEFAULT_CORE_COUNTS,
     DEFAULT_FIRING_RATES,
+    DEFAULT_FUNCTIONAL_BATCHES,
     DEFAULT_PRECISIONS,
     DEFAULT_STREAM_LENGTHS,
     DEFAULT_STRIDED_INDIRECT_RATES,
@@ -59,6 +60,7 @@ from .sweeps import (
     counts_for_rate,
     firing_rate_point,
     fp8_over_fp16_headline,
+    functional_point,
     precision_point,
     stream_length_point,
     strided_indirect_point,
@@ -100,6 +102,12 @@ def _run_stream_length_point(task: Dict[str, object]) -> Dict[str, object]:
 def _run_strided_indirect_point(task: Dict[str, object]) -> Dict[str, object]:
     return strided_indirect_point(
         task["rate"], Precision.from_name(task["precision"]), seed=task["seed"]
+    )
+
+
+def _run_functional_batch_point(task: Dict[str, object]) -> Dict[str, object]:
+    return functional_point(
+        task["frames"], Precision.from_name(task["precision"]), seed=task["seed"]
     )
 
 
@@ -212,6 +220,26 @@ register_sweep(SweepSpec(
     },
     kwarg_axes={"rates": "rate", "precision": "precision"},
     normalize={"rate": float},
+))
+
+
+register_sweep(SweepSpec(
+    name="functional_batch",
+    description="batched functional engine (real spike activity) across frame-batch sizes",
+    space=ParameterSpace.grid(frames=DEFAULT_FUNCTIONAL_BATCHES, precision=("fp16",)),
+    point=_run_functional_batch_point,
+    row_schema=("frames", "total_cycles", "total_energy_mj", "network_fpu_utilization"),
+    finalize=lambda rows, tasks, run_cached: {
+        "cycles_per_frame_spread": ratio(
+            max(r["total_cycles"] for r in rows), min(r["total_cycles"] for r in rows)
+        )
+    },
+    # Every frame count costs the same deterministic network and the same
+    # frame-stream prefix (spawned per-frame RNGs are prefix-stable), so the
+    # sweep isolates the batch axis instead of resampling data per point.
+    compute_params=("frames", "precision"),
+    kwarg_axes={"frame_counts": "frames", "precision": "precision"},
+    normalize={"frames": int},
 ))
 
 

@@ -15,7 +15,7 @@ import numpy as np
 from ..arch.params import DEFAULT_CLUSTER, DEFAULT_COSTS, ClusterParams
 from ..config import baseline_config, spikestream_config
 from ..core.pipeline import SpikeStreamInference
-from ..kernels.conv import ConvLayerSpec, conv_layer_perf
+from ..kernels.conv import ConvLayerSpec, conv_layer_perf, pad_counts
 from ..kernels.scheduler import workload_stealing_schedule
 from ..kernels.spva import baseline_spva_cost, streaming_spva_cost
 from ..snn.svgg11 import SVGG11_LAYER_FIRING_RATES
@@ -50,7 +50,7 @@ def counts_for_rate(spec: ConvLayerSpec, rate: float, rng: np.random.Generator) 
     """A per-pixel spike-count map for ``spec``'s ifmap at firing rate ``rate``."""
     unpadded = spec.input_shape
     counts = rng.binomial(unpadded.channels, rate, size=(unpadded.height, unpadded.width))
-    return np.pad(counts.astype(np.float64), spec.padding)
+    return pad_counts(spec, counts)
 
 
 #: Former private names of :func:`conv6_spec` / :func:`counts_for_rate`.
@@ -275,6 +275,65 @@ def strided_indirect_sweep(
         rows=rows,
         headline={"max_additional_speedup": max(r["additional_speedup"] for r in rows)},
     )
+
+
+#: Frame-batch sizes swept by the ``functional_batch`` sweep.
+DEFAULT_FUNCTIONAL_BATCHES = (1, 2, 4, 8)
+
+
+def functional_network(seed: int = 2025):
+    """A small SVGG-style spiking network for fast functional sweep points.
+
+    Same topology family as S-VGG11 (spike-encoding first conv, max-pooled
+    conv stack, FC readout) on a 16x16 input, so a functional sweep point —
+    which must run a real forward pass — stays a few milliseconds instead of
+    the full network's seconds.  Deterministic in ``seed``.
+    """
+    from ..snn.layers import Flatten, SpikingConv2d, SpikingLinear, SpikingMaxPool2d
+    from ..snn.network import SpikingNetwork
+    from ..snn.neuron import LIFParameters
+
+    lif = LIFParameters(alpha=0.9, v_threshold=0.25)
+    layers = [
+        SpikingConv2d(3, 8, kernel_size=3, padding=1, lif=lif,
+                      encodes_input=True, name="conv1"),
+        SpikingMaxPool2d(name="pool1"),
+        SpikingConv2d(8, 16, kernel_size=3, padding=1, lif=lif, name="conv2"),
+        SpikingMaxPool2d(name="pool2"),
+        Flatten(name="flatten"),
+        SpikingLinear(4 * 4 * 16, 10, lif=lif, name="fc1", is_output=True),
+    ]
+    network = SpikingNetwork(layers, input_shape=TensorShape(16, 16, 3), name="svgg-small")
+    network.initialize(seed)
+    return network
+
+
+def functional_point(
+    batch: int,
+    precision: Precision = Precision.FP16,
+    seed: int = 2025,
+) -> Dict[str, object]:
+    """One functional-mode run of the small SVGG network at a frame-batch size.
+
+    Builds the deterministic network, records ``batch`` synthetic frames'
+    real spike activity through the batched forward pass and costs it with
+    the batched functional engine.  Deterministic in ``(batch, precision,
+    seed)``, so the row is backend- and shard-invariant.
+    """
+    from ..snn.datasets import SyntheticCIFAR10
+
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(batch)
+    config = spikestream_config(precision, batch_size=batch, seed=seed)
+    result = SpikeStreamInference(config).run_functional(network, frames)
+    return {
+        "frames": batch,
+        "total_cycles": result.total_cycles,
+        "total_energy_mj": result.total_energy_j * 1e3,
+        "network_fpu_utilization": result.network_fpu_utilization,
+    }
 
 
 def optimization_ablation(batch_size: int = 4, seed: int = 2025) -> ExperimentResult:

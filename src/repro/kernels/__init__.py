@@ -21,9 +21,20 @@ from .spva import (
     spva_gather_accumulate,
     streaming_spva_cost,
 )
-from .conv import ConvLayerSpec, conv_layer_functional, conv_layer_perf
-from .fc import FcLayerSpec, fc_layer_functional, fc_layer_perf
-from .encode import EncodeLayerSpec, encode_layer_functional, encode_layer_perf
+from .conv import (
+    ConvLayerSpec,
+    conv_layer_functional,
+    conv_layer_perf,
+    conv_layer_perf_batch,
+    pad_counts,
+)
+from .fc import FcLayerSpec, fc_layer_functional, fc_layer_perf, fc_layer_perf_batch
+from .encode import (
+    EncodeLayerSpec,
+    encode_layer_functional,
+    encode_layer_perf,
+    encode_layer_perf_batch,
+)
 from .pool import PoolLayerSpec, pool_layer_functional, pool_layer_perf
 from .tiling import TilePlan, plan_conv_tiles, plan_fc_tiles
 
@@ -38,12 +49,16 @@ __all__ = [
     "ConvLayerSpec",
     "conv_layer_functional",
     "conv_layer_perf",
+    "conv_layer_perf_batch",
+    "pad_counts",
     "FcLayerSpec",
     "fc_layer_functional",
     "fc_layer_perf",
+    "fc_layer_perf_batch",
     "EncodeLayerSpec",
     "encode_layer_functional",
     "encode_layer_perf",
+    "encode_layer_perf_batch",
     "PoolLayerSpec",
     "pool_layer_functional",
     "pool_layer_perf",

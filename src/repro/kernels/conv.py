@@ -88,6 +88,27 @@ class ConvLayerSpec:
         return int(np.prod(self.weight_shape)) * precision.bytes
 
 
+def pad_counts(spec: "ConvLayerSpec", counts: np.ndarray) -> np.ndarray:
+    """Zero-pad per-position spike-count map(s) to ``spec``'s padded geometry.
+
+    ``counts`` holds the *unpadded* per-position spike counts with the two
+    spatial axes last — ``(H, W)`` for one frame or ``(..., H, W)`` with any
+    leading axes (e.g. a batch) — and comes back as float64 with the zero
+    padding ring applied to the spatial axes only.  The padding ring of a
+    spiking ifmap never carries spikes, so padding the count map with zeros
+    is exactly the count map of the padded ifmap; this helper is the single
+    home of that logic for the statistical draw, the batched draw and the
+    functional activity paths.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.ndim < 2:
+        raise ValueError(f"counts must have at least 2 spatial axes, got shape {counts.shape}")
+    if not spec.padding:
+        return counts
+    pad_width = [(0, 0)] * (counts.ndim - 2) + [(spec.padding, spec.padding)] * 2
+    return np.pad(counts, pad_width)
+
+
 def window_sum(values: np.ndarray, kernel: int, stride: int) -> np.ndarray:
     """Sliding-window sum of a 2-D map (the per-RF aggregation).
 

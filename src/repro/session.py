@@ -53,6 +53,8 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from .arch.params import ClusterParams, CostModelParams, DEFAULT_CLUSTER, DEFAULT_COSTS
 from .backends import ExecutionBackend, ExecutorBackend, SerialBackend, make_backend
 from .config import RunConfig, spikestream_config
@@ -80,27 +82,47 @@ _BACKENDS = ("process", "thread", "serial", "sharded")
 _SIZE_SUFFIXES = {"b": 1, "kb": 1024, "mb": 1024**2, "gb": 1024**3}
 
 
-def _parse_cache_limit(limit: Union[None, int, str]) -> Tuple[Optional[int], Optional[int]]:
-    """``cache_limit`` knob -> (max_entries, max_bytes).
-
-    An integer (or bare digit string) bounds the entry count; a string with
-    a size suffix (``"64MB"``, ``"512kb"``, ``"2gb"``) bounds the canonical
-    JSON footprint in bytes.
-    """
-    if limit is None:
-        return None, None
-    if isinstance(limit, int):
-        return limit, None
-    text = str(limit).strip().lower()
-    if text.isdigit():
-        return int(text), None
+def _parse_size(text: str, original: object) -> int:
     match = re.fullmatch(r"([0-9]+(?:\.[0-9]+)?)\s*(b|kb|mb|gb)", text)
     if not match:
         raise ValueError(
-            f"unrecognized cache_limit {limit!r}; expected an entry count "
-            "or a size such as '64MB'"
+            f"unrecognized cache_limit {original!r}; expected an entry count, "
+            "a size such as '64MB', or a disk bound such as 'disk:256MB' "
+            "(clauses may be comma-combined)"
         )
-    return None, int(float(match.group(1)) * _SIZE_SUFFIXES[match.group(2)])
+    return int(float(match.group(1)) * _SIZE_SUFFIXES[match.group(2)])
+
+
+def _parse_cache_limit(
+    limit: Union[None, int, str]
+) -> Tuple[Optional[int], Optional[int], Optional[int]]:
+    """``cache_limit`` knob -> (max_entries, max_bytes, max_disk_bytes).
+
+    An integer (or bare digit string) bounds the in-memory entry count; a
+    string with a size suffix (``"64MB"``, ``"512kb"``, ``"2gb"``) bounds
+    the in-memory canonical-JSON footprint; a ``disk:`` clause
+    (``"disk:256MB"``) bounds the *persisted* store directory, pruning the
+    oldest files by mtime.  Clauses compose with commas:
+    ``"100,disk:256MB"`` caps both.
+    """
+    if limit is None:
+        return None, None, None
+    if isinstance(limit, int):
+        return limit, None, None
+    max_entries: Optional[int] = None
+    max_bytes: Optional[int] = None
+    max_disk_bytes: Optional[int] = None
+    for clause in str(limit).split(","):
+        text = clause.strip().lower()
+        if not text:
+            continue
+        if text.isdigit():
+            max_entries = int(text)
+        elif text.startswith("disk:") or text.startswith("disk="):
+            max_disk_bytes = _parse_size(text[5:].strip(), limit)
+        else:
+            max_bytes = _parse_size(text, limit)
+    return max_entries, max_bytes, max_disk_bytes
 
 
 # --------------------------------------------------------------------------- #
@@ -124,6 +146,13 @@ class ResultStore:
     persisted files stay on disk and are transparently re-loaded on the next
     :meth:`get`, so bounding memory never loses results, it only trades a
     re-read (or, for memory-only stores, a re-simulation) for footprint.
+
+    ``max_disk_bytes`` bounds the *persisted* side (``cache_dir`` grows one
+    JSON file per distinct run and is otherwise unbounded): after every
+    persisting :meth:`put` the oldest files by mtime are pruned until the
+    directory fits, never touching the file just written
+    (``disk_evictions`` counts removals).  A pruned result is simply a
+    future store miss — it re-simulates; nothing breaks.
     """
 
     def __init__(
@@ -131,20 +160,29 @@ class ResultStore:
         cache_dir: Optional[Union[str, Path]] = None,
         max_entries: Optional[int] = None,
         max_bytes: Optional[int] = None,
+        max_disk_bytes: Optional[int] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError(f"max_disk_bytes must be positive, got {max_disk_bytes}")
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_evictions = 0
+        if self.cache_dir is not None and self.max_disk_bytes is not None:
+            # Pointing a bounded store at an oversized directory prunes it
+            # immediately, so the bound holds from the first session on.
+            self._prune_disk()
 
     def _path(self, fingerprint: str) -> Path:
         return self.cache_dir / f"{fingerprint}.json"
@@ -231,6 +269,43 @@ class ResultStore:
                 f"warning: could not persist result {fingerprint[:12]}…: {error}",
                 file=sys.stderr,
             )
+        else:
+            if self.max_disk_bytes is not None:
+                self._prune_disk(keep=self._path(fingerprint))
+
+    def _prune_disk(self, keep: Optional[Path] = None) -> None:
+        """Delete oldest-mtime persisted results until the directory fits.
+
+        ``keep`` (the file just written) is never pruned, so a single result
+        larger than the bound still persists rather than thrashing.  Races
+        with concurrent sessions are tolerated: files that vanish mid-scan
+        are simply skipped.
+        """
+        if self.cache_dir is None or self.max_disk_bytes is None:
+            return
+        entries = []
+        try:
+            paths = list(self.cache_dir.glob("*.json"))
+        except OSError:
+            return
+        for path in paths:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        for _, size, path in sorted(entries, key=lambda entry: entry[0]):
+            if total <= self.max_disk_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.disk_evictions += 1
 
     def merge_from(self, other: "ResultStore") -> int:
         """Adopt every in-memory result of ``other`` this store lacks.
@@ -329,6 +404,75 @@ def _scenario_svgg11_variants(session: "Session", batch_size: int = 16, seed: in
     )
 
 
+def frames_fingerprint(frames) -> str:
+    """Canonical hex digest of a batch of input frames (shape, dtype, bytes).
+
+    This is what lets :class:`Session` memoize whole *functional* runs: the
+    store key covers the exact pixels, so two different frame batches can
+    never share an entry.
+    """
+    stacked = frames if isinstance(frames, np.ndarray) else np.stack(
+        [np.asarray(frame) for frame in frames]
+    )
+    digest = hashlib.sha256()
+    digest.update(repr((stacked.shape, str(stacked.dtype))).encode())
+    digest.update(np.ascontiguousarray(stacked).tobytes())
+    return digest.hexdigest()
+
+
+#: LIF threshold of the functional scenario's S-VGG11.  The trained CIFAR-10
+#: weights are not public; a lowered threshold keeps spike activity
+#: propagating through all eleven randomly-initialized layers so the
+#: recorded firing profile resembles a trained model's.
+_FUNCTIONAL_V_THRESHOLD = 0.25
+
+
+def functional_svgg11_setup(batch_size: int = 8, seed: int = 2025):
+    """The functional scenario's deterministic workload: ``(network, frames)``.
+
+    Builds the S-VGG11 network (weights seeded by ``seed``) and samples
+    ``batch_size`` synthetic CIFAR-10-like frames — the exact workload
+    ``benchmarks/bench_functional.py`` times and the ``functional`` scenario
+    runs.
+    """
+    from .snn.datasets import SyntheticCIFAR10
+    from .snn.neuron import LIFParameters
+    from .snn.svgg11 import build_svgg11
+
+    network = build_svgg11(
+        lif=LIFParameters(alpha=0.9, v_threshold=_FUNCTIONAL_V_THRESHOLD), rng=seed
+    )
+    frames, _ = SyntheticCIFAR10(seed=seed).sample(batch_size)
+    return network, frames
+
+
+def _scenario_functional(session: "Session", batch_size: int = 8, seed: int = 2025,
+                         timesteps: int = 1) -> ExperimentResult:
+    """The three evaluated S-VGG11 variants on *real* recorded spike activity.
+
+    The functional counterpart of ``svgg11_variants``: one batched forward
+    pass records the network's true per-layer activity, and the baseline
+    FP16 / SpikeStream FP16 / SpikeStream FP8 performance models are all
+    costed on that shared activity (store hits skip even the forward pass).
+    """
+    network, frames = functional_svgg11_setup(batch_size=batch_size, seed=seed)
+    variants = session.run_functional_variants(
+        network, frames, batch_size=batch_size, seed=seed, timesteps=timesteps
+    )
+    rows = [{"variant": key, **result.summary()} for key, result in variants.items()]
+    baseline = variants["baseline_fp16"]
+    stream16 = variants["spikestream_fp16"]
+    stream8 = variants["spikestream_fp8"]
+    headline = {
+        "network_speedup_fp16_over_baseline": ratio(baseline.total_cycles, stream16.total_cycles),
+        "network_speedup_fp8_over_baseline": ratio(baseline.total_cycles, stream8.total_cycles),
+        "energy_gain_fp16_over_baseline": ratio(baseline.total_energy_j, stream16.total_energy_j),
+        "energy_gain_fp8_over_baseline": ratio(baseline.total_energy_j, stream8.total_energy_j),
+    }
+    return ExperimentResult(name="functional", figure="functional", rows=rows,
+                            headline=headline)
+
+
 def _scenario_accelerator_comparison(session: "Session", timesteps: int = 500,
                                      batch_size: int = 4, seed: int = 2025
                                      ) -> ExperimentResult:
@@ -414,6 +558,11 @@ def _build_scenarios() -> Dict[str, Scenario]:
         "network-level summary of the three S-VGG11 variants over one batch",
         ("batch_size", "seed", "firing_rates", "timesteps"), _scenario_svgg11_variants,
         uses_session_models=True)
+    add("functional", "experiment", "functional",
+        "the three S-VGG11 variants costed on real recorded spike activity "
+        "(one shared batched forward pass)",
+        ("batch_size", "seed", "timesteps"), _scenario_functional,
+        uses_session_models=True)
     add("accelerator_comparison", "experiment", "fig5",
         "latency/energy comparison with SoA neuromorphic accelerators",
         ("timesteps", "batch_size", "seed"), _scenario_accelerator_comparison)
@@ -473,10 +622,14 @@ class Session:
     shards:
         Worker-session count of the ``"sharded"`` backend.
     cache_limit:
-        Bound on the result store's in-memory working set: an integer caps
-        the entry count, a size string (``"64MB"``) caps the canonical-JSON
-        footprint; least-recently-used results are evicted (disk-backed
-        entries transparently re-load on the next hit).
+        Bound on the result store: an integer caps the in-memory entry
+        count, a size string (``"64MB"``) caps the in-memory canonical-JSON
+        footprint, and a ``disk:`` clause (``"disk:256MB"``) caps the
+        persisted ``cache_dir/results/`` directory with oldest-mtime
+        pruning; clauses combine with commas (``"100,disk:256MB"``).
+        Least-recently-used in-memory results are evicted (disk-backed
+        entries transparently re-load on the next hit); pruned disk entries
+        re-simulate on the next miss.
     """
 
     def __init__(
@@ -508,11 +661,12 @@ class Session:
         self.seed = seed
         self.shards = shards
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        max_entries, max_bytes = _parse_cache_limit(cache_limit)
+        max_entries, max_bytes, max_disk_bytes = _parse_cache_limit(cache_limit)
         self.store = ResultStore(
             self.cache_dir / "results" if self.cache_dir else None,
             max_entries=max_entries,
             max_bytes=max_bytes,
+            max_disk_bytes=max_disk_bytes,
         )
         if sweep_cache is not None:
             self.sweep_cache = sweep_cache
@@ -640,6 +794,102 @@ class Session:
         )
         self.store.put(key, result)
         return result
+
+    def functional_fingerprint(
+        self,
+        config: RunConfig,
+        network,
+        frames,
+        firing_rates: Optional[Mapping[str, float]] = None,
+    ) -> str:
+        """Canonical fingerprint of one functional run under this session.
+
+        Covers the configuration, the session's hardware models, the
+        network's architecture-and-weights digest
+        (:meth:`repro.snn.network.SpikingNetwork.fingerprint`) and the exact
+        frame bytes (:func:`frames_fingerprint`), so a stored functional
+        result is only ever served for the identical workload.
+        """
+        payload = {
+            "mode": "functional",
+            "config": config.to_dict(),
+            "cluster": asdict(self.cluster),
+            "costs": asdict(self.costs),
+            "energy": asdict(self.energy),
+            "network": network.fingerprint(),
+            "frames": frames_fingerprint(frames),
+            "firing_rates": sorted(firing_rates.items()) if firing_rates else None,
+        }
+        return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+    def run_functional(
+        self,
+        network,
+        frames,
+        config: Optional[RunConfig] = None,
+        firing_rates: Optional[Dict[str, float]] = None,
+        activity=None,
+    ) -> InferenceResult:
+        """One functional (real-activity) run, memoized in the result store.
+
+        A hit returns the stored result without running the network or the
+        performance model; a miss records the batched forward pass
+        (:meth:`~repro.core.pipeline.SpikeStreamInference.record_activity`)
+        and costs it through the batched functional engine.  ``activity``
+        optionally supplies a pre-recorded
+        :class:`~repro.snn.network.BatchNetworkActivity` of exactly these
+        frames under ``config``'s timesteps (the store key does not cover
+        it), letting several variant configs share one forward pass — see
+        :meth:`run_functional_variants`.
+        """
+        config = config if config is not None else self.config
+        key = self.functional_fingerprint(config, network, frames, firing_rates)
+        hit = self.store.get(key)
+        if hit is not None:
+            return hit
+        result = self.engine(config).run_functional(
+            network, frames, firing_rates=firing_rates, activity=activity
+        )
+        self.store.put(key, result)
+        return result
+
+    def run_functional_variants(
+        self,
+        network,
+        frames,
+        batch_size: Optional[int] = None,
+        seed: int = 2025,
+        firing_rates: Optional[Dict[str, float]] = None,
+        timesteps: int = 1,
+        activity=None,
+    ) -> Dict[str, InferenceResult]:
+        """The three evaluated variants costed on one shared recorded activity.
+
+        The functional counterpart of :meth:`run_variants`: store misses
+        share a single batched forward pass (a caller-supplied ``activity``,
+        or one recorded on the first miss), so regenerating the
+        three-variant comparison costs at most one forward plus three
+        batched engine passes — the workload
+        ``benchmarks/bench_functional.py`` measures.
+        """
+        if batch_size is None:
+            batch_size = len(frames)
+        configs = svgg11_variant_configs(batch_size=batch_size, seed=seed, timesteps=timesteps)
+        results: Dict[str, InferenceResult] = {}
+        for key, config in configs.items():
+            fingerprint = self.functional_fingerprint(config, network, frames, firing_rates)
+            hit = self.store.get(fingerprint)
+            if hit is not None:
+                results[key] = hit
+                continue
+            if activity is None:
+                activity = self.engine(config).record_activity(network, frames)
+            result = self.engine(config).run_functional(
+                network, frames, firing_rates=firing_rates, activity=activity
+            )
+            self.store.put(fingerprint, result)
+            results[key] = result
+        return results
 
     def run_variants(
         self,

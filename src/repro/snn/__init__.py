@@ -7,7 +7,7 @@ evaluation, spike encoders for RGB images, a NumPy golden-reference
 implementation, synthetic CIFAR-10-like data and firing-rate statistics.
 """
 
-from .neuron import IzhikevichParameters, LIFParameters, LIFState, lif_step
+from .neuron import IzhikevichParameters, LIFParameters, LIFState, lif_step, lif_step_batch
 from .layers import (
     Flatten,
     SpikingAvgPool2d,
@@ -15,7 +15,13 @@ from .layers import (
     SpikingLinear,
     SpikingMaxPool2d,
 )
-from .network import LayerRecord, NetworkActivity, SpikingNetwork
+from .network import (
+    BatchLayerRecord,
+    BatchNetworkActivity,
+    LayerRecord,
+    NetworkActivity,
+    SpikingNetwork,
+)
 from .svgg11 import (
     SVGG11_CONV_CHANNELS,
     SVGG11_LAYER_FIRING_RATES,
@@ -43,11 +49,14 @@ __all__ = [
     "LIFParameters",
     "LIFState",
     "lif_step",
+    "lif_step_batch",
     "Flatten",
     "SpikingAvgPool2d",
     "SpikingConv2d",
     "SpikingLinear",
     "SpikingMaxPool2d",
+    "BatchLayerRecord",
+    "BatchNetworkActivity",
     "LayerRecord",
     "NetworkActivity",
     "SpikingNetwork",

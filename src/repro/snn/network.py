@@ -5,19 +5,37 @@ across timesteps and records, for every weighted layer and timestep, the
 input spike map it consumed and the output spikes it produced.  Those records
 (:class:`LayerRecord`) are exactly what the cluster kernels need as their
 workload description.
+
+Batch is the native execution unit: :meth:`SpikingNetwork.forward_batch`
+runs ``B`` frames through the network in one vectorized NumPy pass (batched
+im2row convolutions, batched LIF updates, batched pooling), recording one
+:class:`BatchLayerRecord` of stacked spike tensors per weighted layer and
+timestep.  The per-frame :meth:`SpikingNetwork.forward` is kept as the
+bit-for-bit reference — every frame's slice of a batched record equals the
+corresponding per-frame record exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..types import LayerKind, TensorShape
 from .layers import Flatten, SpikingAvgPool2d, SpikingConv2d, SpikingLinear, SpikingMaxPool2d
-from .neuron import LIFState, lif_step
-from .reference import avgpool2d_hwc, conv2d_hwc, linear, maxpool2d_hwc
+from .neuron import LIFState, lif_step, lif_step_batch
+from .reference import (
+    avgpool2d_hwc,
+    avgpool2d_hwc_batch,
+    conv2d_hwc,
+    conv2d_hwc_batch,
+    linear,
+    linear_batch,
+    maxpool2d_hwc,
+    maxpool2d_hwc_batch,
+)
 
 Layer = Union[SpikingConv2d, SpikingLinear, SpikingMaxPool2d, SpikingAvgPool2d, Flatten]
 
@@ -69,6 +87,76 @@ class NetworkActivity:
     def weighted_layer_indices(self) -> List[int]:
         """Sorted indices of weighted layers that produced records."""
         return sorted({r.layer_index for r in self.records})
+
+
+@dataclass
+class BatchLayerRecord:
+    """What a weighted layer consumed/produced for a whole batch in one timestep.
+
+    The stacked counterpart of :class:`LayerRecord`: every spike/current
+    tensor carries a leading batch axis, and ``frame(b)`` slices out the
+    per-frame record (bit-for-bit what :meth:`SpikingNetwork.forward` would
+    have recorded for that frame).
+    """
+
+    layer_index: int
+    name: str
+    kind: LayerKind
+    timestep: int
+    input_shape: TensorShape
+    output_shape: TensorShape
+    input_spikes: Optional[np.ndarray]
+    input_currents: Optional[np.ndarray]
+    output_spikes: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of frames stacked in this record."""
+        return int(self.output_spikes.shape[0])
+
+    def frame(self, index: int) -> LayerRecord:
+        """The per-frame :class:`LayerRecord` of frame ``index``."""
+        return LayerRecord(
+            layer_index=self.layer_index,
+            name=self.name,
+            kind=self.kind,
+            timestep=self.timestep,
+            input_shape=self.input_shape,
+            output_shape=self.output_shape,
+            input_spikes=None if self.input_spikes is None else self.input_spikes[index],
+            input_currents=None if self.input_currents is None else self.input_currents[index],
+            output_spikes=self.output_spikes[index],
+        )
+
+
+@dataclass
+class BatchNetworkActivity:
+    """All batched layer records of a multi-timestep forward pass on B frames."""
+
+    records: List[BatchLayerRecord] = field(default_factory=list)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of frames the activity covers (0 when empty)."""
+        if not self.records:
+            return 0
+        return self.records[0].batch_size
+
+    def for_layer(self, layer_index: int) -> List[BatchLayerRecord]:
+        """Records of a specific weighted layer across timesteps."""
+        return [r for r in self.records if r.layer_index == layer_index]
+
+    def for_name(self, name: str) -> List[BatchLayerRecord]:
+        """Records of the weighted layer called ``name`` across timesteps."""
+        return [r for r in self.records if r.name == name]
+
+    def frame_activity(self, index: int) -> NetworkActivity:
+        """The per-frame :class:`NetworkActivity` of frame ``index``.
+
+        Record order matches what per-frame :meth:`SpikingNetwork.forward`
+        produces (timestep-major, layers in network order within a timestep).
+        """
+        return NetworkActivity(records=[record.frame(index) for record in self.records])
 
 
 class SpikingNetwork:
@@ -211,3 +299,151 @@ class SpikingNetwork:
         for record in activity.for_layer(output_index):
             counts += record.output_spikes.astype(np.int64).reshape(-1)
         return int(np.argmax(counts))
+
+    # ------------------------------------------------------------------ #
+    # Batched execution
+    # ------------------------------------------------------------------ #
+    def _batch_states(self, batch_size: int) -> Dict[int, LIFState]:
+        """Fresh zero membrane states with a leading batch axis."""
+        states: Dict[int, LIFState] = {}
+        for index, layer in enumerate(self.layers):
+            if layer.kind in WEIGHTED_KINDS:
+                out_shape = self._layer_output_shapes[index]
+                if layer.kind is LayerKind.CONV:
+                    state_shape = (batch_size,) + out_shape.as_tuple()
+                else:
+                    state_shape = (batch_size, out_shape.channels)
+                states[index] = LIFState.zeros(state_shape)
+        return states
+
+    def forward_batch(self, frames: Sequence[np.ndarray], timesteps: int = 1) -> BatchNetworkActivity:
+        """Run the network on a whole batch of frames in one vectorized pass.
+
+        ``frames`` is a ``(B, H, W, C)`` array (or a sequence of HWC frames,
+        which is stacked).  Every frame starts from a fresh zero membrane
+        state, exactly like per-frame :meth:`forward` with ``reset=True``;
+        the per-frame state kept in :attr:`_states` is not touched, so
+        batched and per-frame execution can be interleaved freely.
+
+        The heavy per-layer work — im2row patch extraction, the conv/FC
+        matrix products, LIF updates and pooling — runs once per layer and
+        timestep over the stacked batch instead of once per frame, which is
+        where the batched functional engine's speedup comes from
+        (``benchmarks/bench_functional.py``).  Every frame's slice of the
+        returned records is bit-for-bit identical to the per-frame loop
+        (gated by ``tests/snn/test_forward_batch.py``).
+        """
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        stacked = np.stack([np.asarray(frame) for frame in frames]) if not isinstance(
+            frames, np.ndarray
+        ) else np.asarray(frames)
+        if stacked.ndim != 4:
+            raise ValueError(
+                f"frames must stack to a (batch, H, W, C) tensor, got shape {stacked.shape}"
+            )
+        if stacked.shape[0] == 0:
+            raise ValueError("frames must contain at least one frame")
+        states = self._batch_states(stacked.shape[0])
+        activity = BatchNetworkActivity()
+        for t in range(timesteps):
+            self._forward_timestep_batch(stacked, states, t, activity)
+        return activity
+
+    def _forward_timestep_batch(
+        self,
+        frames: np.ndarray,
+        states: Dict[int, LIFState],
+        timestep: int,
+        activity: BatchNetworkActivity,
+    ) -> None:
+        """One batched timestep; appends records to ``activity`` in layer order."""
+        current: np.ndarray = frames
+        for index, layer in enumerate(self.layers):
+            if layer.kind is LayerKind.CONV:
+                currents = conv2d_hwc_batch(
+                    current, layer.require_weights(), stride=layer.stride, padding=layer.padding
+                )
+                state, spikes = lif_step_batch(states[index], currents, layer.lif)
+                states[index] = state
+                activity.records.append(
+                    BatchLayerRecord(
+                        layer_index=index,
+                        name=layer.name,
+                        kind=layer.kind,
+                        timestep=timestep,
+                        input_shape=self._layer_input_shapes[index],
+                        output_shape=self._layer_output_shapes[index],
+                        # Spike maps are never mutated, so records may alias
+                        # them (asarray) instead of copying per layer.
+                        input_spikes=None if layer.encodes_input else np.asarray(current, dtype=bool),
+                        input_currents=current if layer.encodes_input else None,
+                        output_spikes=spikes,
+                    )
+                )
+                current = spikes
+            elif layer.kind is LayerKind.LINEAR:
+                flat = np.asarray(current, dtype=bool).reshape(current.shape[0], -1)
+                currents = linear_batch(current, layer.require_weights())
+                state, spikes = lif_step_batch(states[index], currents, layer.lif)
+                states[index] = state
+                activity.records.append(
+                    BatchLayerRecord(
+                        layer_index=index,
+                        name=layer.name,
+                        kind=layer.kind,
+                        timestep=timestep,
+                        input_shape=self._layer_input_shapes[index],
+                        output_shape=self._layer_output_shapes[index],
+                        input_spikes=flat,
+                        input_currents=None,
+                        output_spikes=spikes,
+                    )
+                )
+                current = spikes
+            elif layer.kind is LayerKind.MAXPOOL:
+                current = maxpool2d_hwc_batch(current, layer.kernel_size, layer.stride)
+            elif layer.kind is LayerKind.AVGPOOL:
+                current = avgpool2d_hwc_batch(current, layer.kernel_size, layer.stride)
+            elif layer.kind is LayerKind.FLATTEN:
+                current = np.asarray(current).reshape(current.shape[0], -1)
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"unsupported layer kind {layer.kind}")
+
+    def predict_batch(self, frames: Sequence[np.ndarray], timesteps: int = 1) -> np.ndarray:
+        """Classify a batch of frames (``(B,)`` class indices) in one pass."""
+        activity = self.forward_batch(frames, timesteps=timesteps)
+        output_index = self.weighted_layers[-1]
+        records = activity.for_layer(output_index)
+        counts = np.zeros(
+            (activity.batch_size, self._layer_output_shapes[output_index].channels),
+            dtype=np.int64,
+        )
+        for record in records:
+            counts += record.output_spikes.astype(np.int64).reshape(counts.shape)
+        return np.argmax(counts, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Canonical hex digest of the network's architecture and weights.
+
+        Two networks share a fingerprint exactly when every layer's kind,
+        geometry, neuron parameters and weight bytes match — which is what
+        lets :class:`repro.session.Session` key functional-mode results on
+        the network without storing it.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.name, self.input_shape.as_tuple())).encode())
+        for layer in self.layers:
+            described = []
+            for field_info in dataclass_fields(layer):
+                if field_info.name == "weights":
+                    continue
+                described.append((field_info.name, repr(getattr(layer, field_info.name))))
+            digest.update(repr((type(layer).__name__, sorted(described))).encode())
+            weights = getattr(layer, "weights", None)
+            if weights is not None:
+                digest.update(np.ascontiguousarray(weights).tobytes())
+        return digest.hexdigest()

@@ -9,7 +9,7 @@ meaningful correctness check.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -21,6 +21,17 @@ def pad_hwc(x: np.ndarray, padding: int) -> np.ndarray:
     if padding == 0:
         return np.asarray(x)
     return np.pad(np.asarray(x), ((padding, padding), (padding, padding), (0, 0)))
+
+
+def pad_bhwc(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of a batched BHWC tensor."""
+    if padding < 0:
+        raise ValueError(f"padding must be non-negative, got {padding}")
+    if padding == 0:
+        return np.asarray(x)
+    return np.pad(
+        np.asarray(x), ((0, 0), (padding, padding), (padding, padding), (0, 0))
+    )
 
 
 def conv_output_size(in_size: int, kernel: int, stride: int, padding: int) -> int:
@@ -55,6 +66,34 @@ def im2row(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) ->
         for ox in range(out_w):
             patch = padded[oy * stride : oy * stride + kh, ox * stride : ox * stride + kw, :]
             rows[oy * out_w + ox] = patch.reshape(-1)
+    return rows
+
+
+def im2row_batch(
+    x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int
+) -> np.ndarray:
+    """Batched :func:`im2row`: BHWC input -> ``(B, out_h * out_w, kh * kw * C)``.
+
+    The receptive-field walk runs once for the whole batch (each iteration
+    slices every frame's patch at that output position), so the Python loop
+    cost is amortized over the batch instead of paid per frame.  Each
+    ``im2row_batch(x, ...)[b]`` holds exactly the bytes of
+    ``im2row(x[b], ...)`` — patch extraction copies values, it performs no
+    arithmetic.
+    """
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected a BHWC tensor, got shape {x.shape}")
+    kh, kw = kernel
+    padded = pad_bhwc(x, padding)
+    batch, in_h, in_w, channels = padded.shape
+    out_h = (in_h - kh) // stride + 1
+    out_w = (in_w - kw) // stride + 1
+    rows = np.empty((batch, out_h * out_w, kh * kw * channels), dtype=padded.dtype)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            patch = padded[:, oy * stride : oy * stride + kh, ox * stride : ox * stride + kw, :]
+            rows[:, oy * out_w + ox] = patch.reshape(batch, -1)
     return rows
 
 
@@ -94,6 +133,68 @@ def conv2d_hwc(
     return flat.reshape(out_h, out_w, c_out)
 
 
+#: Target byte size of one im2row chunk buffer.  Large enough to amortize the
+#: per-position Python walk over many frames, small enough that the buffer
+#: and the GEMM working set stay cache/TLB-friendly (a full batch-64 buffer
+#: for S-VGG11's conv2 would be 300 MB and thrash).
+_IM2ROW_CHUNK_BYTES = 32 * 1024 * 1024
+
+
+def conv2d_hwc_batch(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    chunk_frames: Optional[int] = None,
+) -> np.ndarray:
+    """Batched :func:`conv2d_hwc`: BHWC input -> ``(B, out_h, out_w, C_out)``.
+
+    Bit-for-bit per frame: the chunked im2row rows hold the same bytes as
+    the per-frame rows, and each chunk of frames goes through one
+    ``(chunk * P, K) @ (K, C)`` GEMM.  Each output row's accumulation over
+    the shared ``K`` axis is independent of which other rows the GEMM
+    computes (BLAS partitions the row axis, never the reduction order), so
+    every frame's block is bit-for-bit identical to the scalar
+    ``(P, K) @ (K, C)`` product — for any chunking.  Chunks are sized so the
+    im2row buffer stays cache-friendly (:data:`_IM2ROW_CHUNK_BYTES`) while
+    the weight panels are reused across all frames of a chunk instead of
+    re-streamed per frame; ``chunk_frames`` overrides the automatic size.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (kh, kw, C_in, C_out), got shape {weights.shape}")
+    kh, kw, c_in, c_out = weights.shape
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected a BHWC tensor, got shape {x.shape}")
+    if x.shape[-1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[-1]} channels but weights expect {c_in}"
+        )
+    batch = x.shape[0]
+    out_h = conv_output_size(x.shape[1], kh, stride, padding)
+    out_w = conv_output_size(x.shape[2], kw, stride, padding)
+    positions, k = out_h * out_w, kh * kw * c_in
+    if chunk_frames is None:
+        chunk_frames = max(1, _IM2ROW_CHUNK_BYTES // (positions * k * 8))
+    flat_weights = weights.reshape(k, c_out)
+    # Pad while the spike map is still 1-byte bools; the float64 conversion
+    # happens per chunk, so the kh*kw-fold overlapping reads of the patch
+    # walk hit a cache-resident float64 chunk instead of re-streaming a
+    # batch-sized float64 tensor from memory.
+    padded = pad_bhwc(x, padding)
+    out = np.empty((batch, out_h, out_w, c_out), dtype=np.float64)
+    for start in range(0, batch, chunk_frames):
+        stop = min(start + chunk_frames, batch)
+        chunk = padded[start:stop]
+        if chunk.dtype != np.float64:
+            chunk = chunk.astype(np.float64)
+        rows = im2row_batch(chunk, (kh, kw), stride, 0)
+        flat = rows.reshape((stop - start) * positions, k) @ flat_weights
+        out[start:stop] = flat.reshape(stop - start, out_h, out_w, c_out)
+    return out
+
+
 def linear(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Dense fully connected layer: ``y = W^T x`` for HWC-flattened inputs.
 
@@ -106,6 +207,33 @@ def linear(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
     if x.shape[0] != weights.shape[0]:
         raise ValueError(
             f"input has {x.shape[0]} features but weights expect {weights.shape[0]}"
+        )
+    return x @ weights
+
+
+def linear_batch(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Batched :func:`linear`: ``(B, in_features)`` input -> ``(B, out_features)``.
+
+    The whole batch goes through one ``(B, F) @ (F, C)`` GEMM, so the weight
+    matrix — 67 MB for S-VGG11's ``fc1``, 134 MB for ``fc2`` at FP64 —
+    streams through the memory hierarchy once per *batch* where the
+    per-frame vector-matrix product streams it once per *frame*.  This is
+    the single largest win of the batched forward pass.  The GEMM's
+    per-output accumulation can differ from the scalar product in the last
+    ulp of the membrane *current*; the recorded spikes (the only quantity
+    the network consumes and the performance model reads) are gated
+    bit-for-bit against the per-frame loop by ``tests/snn`` — an ulp-level
+    current difference cannot flip a LIF threshold comparison except at an
+    exact-threshold coincidence, which the equivalence tests would surface.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    x = x.reshape(x.shape[0], -1)
+    if x.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"input has {x.shape[1]} features but weights expect {weights.shape[0]}"
         )
     return x @ weights
 
@@ -128,6 +256,22 @@ def maxpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray
     return out
 
 
+def maxpool2d_hwc_batch(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
+    """Batched :func:`maxpool2d_hwc` over a BHWC tensor (exact per frame)."""
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected a BHWC tensor, got shape {x.shape}")
+    batch, height, width, channels = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = np.empty((batch, out_h, out_w, channels), dtype=x.dtype)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = x[:, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel, :]
+            out[:, oy, ox] = window.max(axis=(1, 2))
+    return out
+
+
 def avgpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
     """Average pooling over the spatial dimensions of an HWC tensor."""
     x = np.asarray(x, dtype=np.float64)
@@ -139,4 +283,20 @@ def avgpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray
         for ox in range(out_w):
             window = x[oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel, :]
             out[oy, ox] = window.mean(axis=(0, 1))
+    return out
+
+
+def avgpool2d_hwc_batch(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:
+    """Batched :func:`avgpool2d_hwc` over a BHWC tensor (exact per frame)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 4:
+        raise ValueError(f"expected a BHWC tensor, got shape {x.shape}")
+    batch, height, width, channels = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    out = np.empty((batch, out_h, out_w, channels), dtype=np.float64)
+    for oy in range(out_h):
+        for ox in range(out_w):
+            window = x[:, oy * stride : oy * stride + kernel, ox * stride : ox * stride + kernel, :]
+            out[:, oy, ox] = window.mean(axis=(1, 2))
     return out

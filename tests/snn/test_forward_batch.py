@@ -1,0 +1,215 @@
+"""Equivalence tests for the batched SNN forward pass.
+
+``SpikingNetwork.forward_batch`` and the batched reference ops must
+reproduce the per-frame golden model: the conv path, pooling, im2row and
+the LIF update are bit-for-bit exact per frame; the FC current may differ
+in the last ulp (one whole-batch GEMM instead of per-frame vector-matrix
+products), so the recorded *spikes* — the only quantity the network
+consumes and the performance model reads — are what the network-level
+tests gate exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.snn.neuron import LIFParameters, LIFState, lif_step, lif_step_batch
+from repro.snn.reference import (
+    avgpool2d_hwc,
+    avgpool2d_hwc_batch,
+    conv2d_hwc,
+    conv2d_hwc_batch,
+    im2row,
+    im2row_batch,
+    linear,
+    linear_batch,
+    maxpool2d_hwc,
+    maxpool2d_hwc_batch,
+    pad_bhwc,
+)
+
+
+class TestBatchedReferenceOps:
+    def test_pad_bhwc_matches_per_frame(self, rng):
+        x = rng.random((3, 5, 6, 2))
+        padded = pad_bhwc(x, 2)
+        assert padded.shape == (3, 9, 10, 2)
+        assert np.array_equal(padded[1, 2:-2, 2:-2], x[1])
+        assert padded[:, 0].sum() == 0.0
+        with pytest.raises(ValueError):
+            pad_bhwc(x, -1)
+
+    def test_im2row_batch_matches_per_frame(self, rng):
+        x = rng.random((4, 7, 8, 3))
+        batched = im2row_batch(x, (3, 3), 1, 1)
+        for frame in range(4):
+            assert np.array_equal(batched[frame], im2row(x[frame], (3, 3), 1, 1))
+
+    def test_im2row_batch_preserves_spike_dtype(self, rng):
+        spikes = rng.random((2, 6, 6, 4)) < 0.4
+        rows = im2row_batch(spikes, (3, 3), 1, 1)
+        assert rows.dtype == np.bool_
+        for frame in range(2):
+            assert np.array_equal(rows[frame], im2row(spikes[frame], (3, 3), 1, 1))
+
+    def test_im2row_batch_rejects_non_bhwc(self):
+        with pytest.raises(ValueError):
+            im2row_batch(np.ones((4, 4, 3)), (2, 2), 1, 0)
+
+    @pytest.mark.parametrize("chunk_frames", [None, 1, 2, 64])
+    def test_conv2d_batch_bit_for_bit(self, rng, chunk_frames):
+        """Exact per frame, for ANY chunking (GEMM rows are M-invariant)."""
+        x = rng.random((5, 8, 8, 6)) < 0.35
+        weights = rng.normal(size=(3, 3, 6, 10))
+        batched = conv2d_hwc_batch(x, weights, stride=1, padding=1,
+                                   chunk_frames=chunk_frames)
+        for frame in range(5):
+            expected = conv2d_hwc(x[frame], weights, stride=1, padding=1)
+            assert np.array_equal(batched[frame], expected)
+
+    def test_conv2d_batch_validates(self, rng):
+        weights = rng.normal(size=(3, 3, 6, 10))
+        with pytest.raises(ValueError):
+            conv2d_hwc_batch(np.ones((8, 8, 6)), weights)
+        with pytest.raises(ValueError):
+            conv2d_hwc_batch(np.ones((2, 8, 8, 5)), weights)
+
+    def test_linear_batch_last_ulp(self, rng):
+        """One whole-batch GEMM: equal to per-frame products to the last ulp."""
+        x = rng.random((6, 64)) < 0.2
+        weights = rng.normal(size=(64, 16))
+        batched = linear_batch(x, weights)
+        for frame in range(6):
+            expected = linear(x[frame], weights)
+            np.testing.assert_allclose(batched[frame], expected, rtol=1e-12, atol=1e-14)
+
+    def test_linear_batch_validates(self, rng):
+        with pytest.raises(ValueError):
+            linear_batch(np.ones((2, 8)), np.ones(8))
+        with pytest.raises(ValueError):
+            linear_batch(np.ones((2, 9)), np.ones((8, 4)))
+
+    def test_pools_match_per_frame(self, rng):
+        spikes = rng.random((3, 8, 8, 5)) < 0.5
+        values = rng.random((3, 8, 8, 5))
+        maxed = maxpool2d_hwc_batch(spikes, 2, 2)
+        meaned = avgpool2d_hwc_batch(values, 2, 2)
+        for frame in range(3):
+            assert np.array_equal(maxed[frame], maxpool2d_hwc(spikes[frame], 2, 2))
+            assert np.array_equal(meaned[frame], avgpool2d_hwc(values[frame], 2, 2))
+        with pytest.raises(ValueError):
+            maxpool2d_hwc_batch(spikes[0], 2, 2)
+        with pytest.raises(ValueError):
+            avgpool2d_hwc_batch(values[0], 2, 2)
+
+
+class TestLifStepBatch:
+    def test_matches_per_frame_lif_step(self, rng):
+        params = LIFParameters(alpha=0.9, v_threshold=0.4)
+        membranes = rng.normal(size=(5, 6, 6, 4))
+        currents = rng.normal(size=(5, 6, 6, 4))
+        state, spikes = lif_step_batch(LIFState(membrane=membranes), currents, params)
+        for frame in range(5):
+            ref_state, ref_spikes = lif_step(
+                LIFState(membrane=membranes[frame]), currents[frame], params
+            )
+            assert np.array_equal(state.membrane[frame], ref_state.membrane)
+            assert np.array_equal(spikes[frame], ref_spikes)
+
+    def test_chunking_is_exact(self, rng, monkeypatch):
+        import repro.snn.neuron as neuron
+
+        params = LIFParameters()
+        membranes = rng.normal(size=(3, 40))
+        currents = rng.normal(size=(3, 40))
+        full_state, full_spikes = lif_step_batch(
+            LIFState(membrane=membranes), currents, params
+        )
+        monkeypatch.setattr(neuron, "_LIF_CHUNK_ELEMS", 7)
+        tiny_state, tiny_spikes = lif_step_batch(
+            LIFState(membrane=membranes), currents, params
+        )
+        assert np.array_equal(full_state.membrane, tiny_state.membrane)
+        assert np.array_equal(full_spikes, tiny_spikes)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lif_step_batch(LIFState.zeros((2, 4)), np.ones((2, 5)), LIFParameters())
+
+
+class TestForwardBatch:
+    def _assert_frame_equal(self, batch_record, frame_record):
+        assert batch_record.name == frame_record.name
+        assert batch_record.timestep == frame_record.timestep
+        assert batch_record.kind == frame_record.kind
+        for attr in ("input_spikes", "input_currents", "output_spikes"):
+            batched = getattr(batch_record, attr)
+            reference = getattr(frame_record, attr)
+            assert (batched is None) == (reference is None)
+            if batched is not None:
+                assert np.array_equal(batched, reference.reshape(batched.shape))
+
+    @pytest.mark.parametrize("timesteps", [1, 3])
+    def test_matches_per_frame_forward(self, tiny_network, rng, timesteps):
+        frames = rng.random((4, 8, 8, 3))
+        activity = tiny_network.forward_batch(frames, timesteps=timesteps)
+        assert activity.batch_size == 4
+        assert len(activity.records) == timesteps * 3  # three weighted layers
+        for index in range(4):
+            reference = tiny_network.forward(frames[index], timesteps=timesteps)
+            sliced = activity.frame_activity(index)
+            assert len(sliced.records) == len(reference.records)
+            for got, expected in zip(sliced.records, reference.records):
+                self._assert_frame_equal(got, expected)
+
+    def test_accepts_frame_sequences(self, tiny_network, rng):
+        frames = [rng.random((8, 8, 3)) for _ in range(2)]
+        activity = tiny_network.forward_batch(frames)
+        assert activity.batch_size == 2
+
+    def test_for_name_and_for_layer(self, tiny_network, rng):
+        activity = tiny_network.forward_batch(rng.random((2, 8, 8, 3)), timesteps=2)
+        conv2_records = activity.for_name("conv2")
+        assert [record.timestep for record in conv2_records] == [0, 1]
+        assert activity.for_layer(conv2_records[0].layer_index) == conv2_records
+
+    def test_does_not_disturb_per_frame_state(self, tiny_network, rng):
+        frame = rng.random((8, 8, 3))
+        before = tiny_network.forward(frame, timesteps=1)
+        tiny_network.forward_batch(rng.random((3, 8, 8, 3)))
+        after = tiny_network.forward(frame, timesteps=1)
+        for got, expected in zip(after.records, before.records):
+            self._assert_frame_equal(got, expected)
+
+    def test_predict_batch_matches_predict(self, tiny_network, rng):
+        frames = rng.random((3, 8, 8, 3))
+        batched = tiny_network.predict_batch(frames, timesteps=2)
+        assert list(batched) == [
+            tiny_network.predict(frames[index], timesteps=2) for index in range(3)
+        ]
+
+    def test_validates_inputs(self, tiny_network, rng):
+        with pytest.raises(ValueError):
+            tiny_network.forward_batch(rng.random((2, 8, 8, 3)), timesteps=0)
+        with pytest.raises(ValueError):
+            tiny_network.forward_batch(rng.random((8, 8, 3)))
+        with pytest.raises(ValueError):
+            tiny_network.forward_batch(np.empty((0, 8, 8, 3)))
+
+
+class TestNetworkFingerprint:
+    def test_stable_and_weight_sensitive(self, tiny_network):
+        first = tiny_network.fingerprint()
+        assert first == tiny_network.fingerprint()
+        tiny_network.layers[0].weights[0, 0, 0, 0] += 1.0
+        assert tiny_network.fingerprint() != first
+
+    def test_architecture_sensitive(self, tiny_network, rng):
+        from repro.snn.layers import SpikingLinear
+        from repro.snn.network import SpikingNetwork
+        from repro.types import TensorShape
+
+        other = SpikingNetwork(
+            [SpikingLinear(192, 5, name="fc1")], input_shape=TensorShape(8, 8, 3)
+        )
+        other.initialize(rng)
+        assert other.fingerprint() != tiny_network.fingerprint()

@@ -1,0 +1,169 @@
+"""Session-level tests for functional-mode memoization and store disk bounds.
+
+Covers the ``functional`` scenario registration, ``Session.run_functional``
+being served from the :class:`~repro.session.ResultStore` via the
+network+frames fingerprint, the shared-activity variant runner, and the
+``max_disk_bytes`` oldest-mtime pruning of the persisted store
+(``cache_limit="disk:..."``).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import spikestream_config
+from repro.eval.sweeps import functional_network
+from repro.session import (
+    ResultStore,
+    Session,
+    _parse_cache_limit,
+    frames_fingerprint,
+)
+from repro.snn.datasets import SyntheticCIFAR10
+from repro.types import TensorShape
+
+
+def _workload(batch=2, seed=13):
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(seed=seed, image_shape=TensorShape(16, 16, 3)).sample(batch)
+    return network, frames
+
+
+class TestParseCacheLimit:
+    def test_forms(self):
+        assert _parse_cache_limit(None) == (None, None, None)
+        assert _parse_cache_limit(10) == (10, None, None)
+        assert _parse_cache_limit("25") == (25, None, None)
+        assert _parse_cache_limit("64kb") == (None, 64 * 1024, None)
+        assert _parse_cache_limit("disk:2MB") == (None, None, 2 * 1024 ** 2)
+        assert _parse_cache_limit("100,disk:1gb") == (100, None, 1024 ** 3)
+        assert _parse_cache_limit("16kb, disk:64kb") == (None, 16 * 1024, 64 * 1024)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            _parse_cache_limit("disk:many")
+        with pytest.raises(ValueError):
+            _parse_cache_limit("64 parsecs")
+
+
+class TestFramesFingerprint:
+    def test_sensitive_to_pixels_shape_and_dtype(self, rng):
+        frames = rng.random((2, 4, 4, 3))
+        base = frames_fingerprint(frames)
+        assert base == frames_fingerprint(list(frames))
+        changed = frames.copy()
+        changed[0, 0, 0, 0] += 1e-9
+        assert frames_fingerprint(changed) != base
+        assert frames_fingerprint(frames.reshape(1, 2, 16, 3)) != base
+        assert frames_fingerprint(frames.astype(np.float32)) != base
+
+
+class TestRunFunctionalMemoization:
+    def test_second_run_is_store_served(self):
+        network, frames = _workload()
+        with Session() as session:
+            first = session.run_functional(network, frames)
+            misses = session.store.misses
+            second = session.run_functional(network, frames)
+            assert session.store.misses == misses
+            assert session.store.hits >= 1
+            assert first.identical_to(second)
+
+    def test_fingerprint_covers_network_weights_and_frames(self):
+        network, frames = _workload()
+        with Session() as session:
+            config = session.config
+            base = session.functional_fingerprint(config, network, frames)
+            other_frames = frames + 0.5
+            assert session.functional_fingerprint(config, network, other_frames) != base
+            network.layers[0].weights[0, 0, 0, 0] += 1.0
+            assert session.functional_fingerprint(config, network, frames) != base
+
+    def test_persists_across_sessions(self, tmp_path):
+        network, frames = _workload()
+        with Session(cache_dir=tmp_path) as session:
+            first = session.run_functional(network, frames)
+        with Session(cache_dir=tmp_path) as fresh:
+            second = fresh.run_functional(network, frames)
+            assert fresh.store.hits == 1 and fresh.store.misses == 0
+        assert first.identical_to(second)
+
+    def test_variants_share_one_activity(self):
+        network, frames = _workload(batch=3)
+        with Session() as session:
+            variants = session.run_functional_variants(network, frames, seed=3)
+            assert set(variants) == {"baseline_fp16", "spikestream_fp16", "spikestream_fp8"}
+            engine = session.engine(spikestream_config(batch_size=3, seed=3))
+            reference = engine.run_functional_reference(network, frames)
+            assert variants["spikestream_fp16"].identical_to(reference)
+            # A repeat call is fully store-served.
+            misses = session.store.misses
+            again = session.run_functional_variants(network, frames, seed=3)
+            assert session.store.misses == misses
+            assert all(again[key].identical_to(variants[key]) for key in variants)
+
+
+class TestFunctionalScenarioRegistry:
+    def test_registered_with_parameters(self):
+        with Session() as session:
+            assert "functional" in session.scenarios()
+            info = session.describe("functional")
+            assert info["kind"] == "experiment"
+            assert set(info["params"]) == {"batch_size", "seed", "timesteps"}
+            assert "functional_batch" in session.scenarios()
+
+
+class TestResultStoreDiskBound:
+    def _fill(self, store, count, rng, tag=0):
+        """Persist ``count`` distinct small results and age their mtimes."""
+        from repro.core.pipeline import SpikeStreamInference
+
+        network, frames = _workload(batch=1, seed=17)
+        engine = SpikeStreamInference(spikestream_config(batch_size=1, seed=17))
+        result = engine.run_functional(network, frames)
+        for index in range(count):
+            store.put(f"fingerprint-{tag}-{index:03d}", result)
+            path = store._path(f"fingerprint-{tag}-{index:03d}")
+            stamp = 1_000_000 + tag * 1000 + index
+            os.utime(path, (stamp, stamp))
+        return result
+
+    def test_prunes_oldest_by_mtime(self, tmp_path, rng):
+        store = ResultStore(tmp_path)
+        self._fill(store, 4, rng)
+        one_file = store._path("fingerprint-0-000").stat().st_size
+        bounded = ResultStore(tmp_path, max_disk_bytes=one_file * 2)
+        # Construction prunes an oversized directory down to the bound.
+        remaining = sorted(path.name for path in tmp_path.glob("*.json"))
+        assert remaining == ["fingerprint-0-002.json", "fingerprint-0-003.json"]
+        assert bounded.disk_evictions == 2
+
+    def test_put_prunes_but_keeps_newest(self, tmp_path, rng):
+        one = self._fill(ResultStore(tmp_path), 1, rng)
+        size = next(tmp_path.glob("*.json")).stat().st_size
+        bounded = ResultStore(tmp_path, max_disk_bytes=size + size // 2)
+        bounded.put("fingerprint-new", one)
+        names = {path.name for path in tmp_path.glob("*.json")}
+        # The file just written survives even though the directory was over
+        # the bound before pruning.
+        assert "fingerprint-new.json" in names
+        assert len(names) == 1
+        assert bounded.disk_evictions == 1
+
+    def test_pruned_entries_resimulate_instead_of_failing(self, tmp_path, rng):
+        self._fill(ResultStore(tmp_path), 2, rng)
+        size = next(tmp_path.glob("*.json")).stat().st_size
+        bounded = ResultStore(tmp_path, max_disk_bytes=size)
+        assert bounded.disk_evictions == 1
+        # The pruned (oldest) entry is simply a cold-store miss now; the
+        # surviving one still serves.
+        cold = ResultStore(tmp_path)
+        assert cold.get("fingerprint-0-000") is None
+        assert cold.get("fingerprint-0-001") is not None
+
+    def test_session_wires_disk_clause(self, tmp_path):
+        with Session(cache_dir=tmp_path, cache_limit="disk:3MB") as session:
+            assert session.store.max_disk_bytes == 3 * 1024 ** 2
+        with pytest.raises(ValueError):
+            Session(cache_limit="disk:lots")

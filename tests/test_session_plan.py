@@ -178,12 +178,14 @@ class TestResultStoreEviction:
 
 class TestCacheLimitKnob:
     def test_parse_cache_limit(self):
-        assert _parse_cache_limit(None) == (None, None)
-        assert _parse_cache_limit(100) == (100, None)
-        assert _parse_cache_limit("250") == (250, None)
-        assert _parse_cache_limit("64MB") == (None, 64 * 1024**2)
-        assert _parse_cache_limit("512 kb") == (None, 512 * 1024)
-        assert _parse_cache_limit("1.5gb") == (None, int(1.5 * 1024**3))
+        assert _parse_cache_limit(None) == (None, None, None)
+        assert _parse_cache_limit(100) == (100, None, None)
+        assert _parse_cache_limit("250") == (250, None, None)
+        assert _parse_cache_limit("64MB") == (None, 64 * 1024**2, None)
+        assert _parse_cache_limit("512 kb") == (None, 512 * 1024, None)
+        assert _parse_cache_limit("1.5gb") == (None, int(1.5 * 1024**3), None)
+        assert _parse_cache_limit("disk:64MB") == (None, None, 64 * 1024**2)
+        assert _parse_cache_limit("250,disk:64MB") == (250, None, 64 * 1024**2)
         with pytest.raises(ValueError, match="cache_limit"):
             _parse_cache_limit("lots")
 

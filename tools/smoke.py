@@ -1,22 +1,25 @@
-"""CI smoke check: tier-1 tests, fast sweep, backend matrix, Session store.
+"""CI smoke check: tier-1 tests, fast sweep, backend matrix, engines, store.
 
 Runs the repository's tier-1 pytest suite, exercises the ``repro.cli
 sweep`` path end-to-end (stream-length sweep, two workers, JSON output,
 machine-readable payload), runs one declarative
 :class:`~repro.plan.SweepSpec` through EVERY execution backend
 (serial / thread / process / sharded-2) asserting bit-for-bit row equality,
-and finally runs one scenario through a persistent
-:class:`repro.session.Session` twice, asserting that the second run is
-served from the result store (hit counter > 0) with results equal to the
-cold run.  Exits non-zero on the first failure, so it can gate CI
-directly::
+checks the batched *functional* engine against its per-frame reference loop
+(bit-for-bit, on a small SVGG-style network), and finally runs one scenario
+through a persistent :class:`repro.session.Session` twice, asserting that
+the second run is served from the result store (hit counter > 0) with
+results equal to the cold run.  Exits non-zero on the first failure, so it
+can gate CI directly::
 
     python tools/smoke.py
 
-The backend-matrix step is also wired into the tier-1 pytest flow as a
-fast ``smoke``-marked test (``tests/eval/test_backend_matrix.py`` imports
-:func:`backend_matrix_check`), so every plain ``pytest`` run covers it and
-``pytest -m smoke`` runs it alone.
+The backend-matrix and functional-equivalence steps are also wired into the
+tier-1 pytest flow as fast ``smoke``-marked tests
+(``tests/eval/test_backend_matrix.py`` imports :func:`backend_matrix_check`,
+``tests/core/test_functional_batch.py`` imports
+:func:`functional_equivalence_check`), so every plain ``pytest`` run covers
+them and ``pytest -m smoke`` runs them alone.
 """
 
 from __future__ import annotations
@@ -128,6 +131,53 @@ def run_backend_matrix() -> int:
     return 0
 
 
+def functional_equivalence_check(batch: int = 3, timesteps: int = 2, seed: int = 23) -> None:
+    """Batched functional engine vs per-frame loop on a small SVGG network.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/core/test_functional_batch.py``) and raising ``AssertionError``
+    on divergence.  Runs the SpikeStream FP16 and baseline variants so both
+    kernel flavours are covered, multi-timestep, bit-for-bit.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.config import baseline_config, spikestream_config
+    from repro.core.pipeline import SpikeStreamInference
+    from repro.eval.sweeps import functional_network
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.types import TensorShape
+
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(batch)
+    for config in (
+        spikestream_config(batch_size=batch, timesteps=timesteps, seed=seed),
+        baseline_config(batch_size=batch, timesteps=timesteps, seed=seed),
+    ):
+        engine = SpikeStreamInference(config)
+        vectorized = engine.run_functional(network, frames)
+        reference = engine.run_functional_reference(network, frames)
+        assert vectorized.identical_to(reference), (
+            f"functional batch engine diverges from the per-frame loop "
+            f"(streaming={config.streaming_enabled})"
+        )
+        assert vectorized.layers[0].batch_size == batch * timesteps
+
+
+def run_functional_equivalence() -> int:
+    """The functional-engine check as a smoke step (summary + return code)."""
+    print("== functional engine (batched vs per-frame reference) ==", flush=True)
+    try:
+        functional_equivalence_check()
+    except AssertionError as error:
+        print(f"functional equivalence failed: {error}", file=sys.stderr)
+        return 1
+    print("functional engine ok: bit-for-bit vs reference, "
+          "spikestream + baseline, 2 timesteps")
+    return 0
+
+
 def run_session_store_check() -> int:
     """One scenario through a persistent Session twice; the rerun must hit.
 
@@ -170,7 +220,7 @@ def run_session_store_check() -> int:
 
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
-                 run_session_store_check):
+                 run_functional_equivalence, run_session_store_check):
         code = step()
         if code != 0:
             return code
