@@ -19,7 +19,6 @@ dictionary as machine-readable JSON — the same schema
 trajectories are comparable across PRs.
 """
 
-import json
 import sys
 import time
 
@@ -72,25 +71,26 @@ def test_batch_engine_equivalent_and_faster(benchmark):
     )
 
 
+def _pretty(result) -> str:
+    return (
+        f"S-VGG11 statistical run, batch {result['batch_size']}:\n"
+        f"  per-frame loop : {result['looped_s']:.3f} s\n"
+        f"  batch engine   : {result['vectorized_s']:.3f} s (best of 3)\n"
+        f"  speedup        : {result['speedup']:.2f}x\n"
+        f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
+    )
+
+
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    from pathlib import Path
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from common import emit_result, speedup_gate
+
     result = compare_engines()
-    if "--json" in argv:
-        print(json.dumps(result, sort_keys=True))
-    else:
-        print(
-            f"S-VGG11 statistical run, batch {result['batch_size']}:\n"
-            f"  per-frame loop : {result['looped_s']:.3f} s\n"
-            f"  batch engine   : {result['vectorized_s']:.3f} s (best of 3)\n"
-            f"  speedup        : {result['speedup']:.2f}x\n"
-            f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
-        )
-    if not result["identical"]:
-        return 1
-    if result["speedup"] < 3.0:
-        print("FAIL: speedup below the 3x acceptance bar", file=sys.stderr)
-        return 1
-    return 0
+    emit_result(result, argv, _pretty)
+    return speedup_gate(result, 3.0)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,6 @@ under the pytest-benchmark harness
 (``pytest benchmarks/bench_functional.py``).
 """
 
-import json
 import sys
 import time
 
@@ -101,25 +100,26 @@ def test_functional_engine_equivalent_and_faster(benchmark):
     )
 
 
+def _pretty(result) -> str:
+    return (
+        f"S-VGG11 functional scenario (3 variants), batch {result['batch_size']}:\n"
+        f"  per-frame loop : {result['looped_s']:.3f} s\n"
+        f"  batch engine   : {result['vectorized_s']:.3f} s (best of 2)\n"
+        f"  speedup        : {result['speedup']:.2f}x\n"
+        f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
+    )
+
+
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    from pathlib import Path
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from common import emit_result, speedup_gate
+
     result = compare_engines()
-    if "--json" in argv:
-        print(json.dumps(result, sort_keys=True))
-    else:
-        print(
-            f"S-VGG11 functional scenario (3 variants), batch {result['batch_size']}:\n"
-            f"  per-frame loop : {result['looped_s']:.3f} s\n"
-            f"  batch engine   : {result['vectorized_s']:.3f} s (best of 2)\n"
-            f"  speedup        : {result['speedup']:.2f}x\n"
-            f"  bit-for-bit    : {'yes' if result['identical'] else 'NO'}"
-        )
-    if not result["identical"]:
-        return 1
-    if result["speedup"] < SPEEDUP_BAR:
-        print(f"FAIL: speedup below the {SPEEDUP_BAR}x acceptance bar", file=sys.stderr)
-        return 1
-    return 0
+    emit_result(result, argv, _pretty)
+    return speedup_gate(result, SPEEDUP_BAR)
 
 
 if __name__ == "__main__":

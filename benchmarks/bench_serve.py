@@ -1,0 +1,141 @@
+"""Micro-batched serving vs batch-size-1 serving under concurrent load.
+
+The acceptance scenario of the ``repro.serve`` subsystem: **64 concurrent
+single-frame functional requests** (the worst case for the batched engines —
+every caller holds one frame, nobody brings a batch) fired open-loop at an
+in-process :class:`~repro.serve.server.InferenceServer`, twice:
+
+* **batched** — ``max_batch`` (default 16) lets the
+  :class:`~repro.serve.batcher.MicroBatcher` coalesce queued requests into
+  shared ``forward_batch`` + batched-kernel passes;
+* **solo** — ``--max-batch 1`` forces one engine pass per request, i.e.
+  what a server without micro-batching would do.
+
+Both arms run the same workload on fresh sessions (no result-store
+cross-talk), the per-request responses are asserted **bit-for-bit
+identical** across arms, and the headline is the throughput ratio —
+``>= 2x`` at batch 16 is the acceptance bar (~2.5x is typical: the batched
+arm streams fc1/fc2's weight panels once per micro-batch instead of once
+per request).
+
+Emits the same result schema as ``bench_batch_engine.py`` /
+``bench_functional.py`` through ``benchmarks/common.py`` (``--json`` for
+the machine-readable form).  Runs standalone::
+
+    python benchmarks/bench_serve.py [--json] [--requests N] [--max-batch B]
+"""
+
+import argparse
+import sys
+
+from repro.serve import InferenceServer, LoadGenerator
+from repro.session import Session, functional_svgg11_setup
+
+REQUESTS = 64
+MAX_BATCH = 16
+SEED = 2025
+SPEEDUP_BAR = 2.0
+
+
+def serve_arm(network, frames, max_batch, workers=1, max_wait_ms=50.0,
+              arrival_rate_hz=None, requests=REQUESTS):
+    """One serving run; returns (LoadReport, per-request results)."""
+    futures = []
+
+    session = Session()
+    with InferenceServer(
+        session=session, workers=workers, max_batch=max_batch,
+        max_wait_ms=max_wait_ms, max_queue=max(requests, 256),
+    ) as server:
+
+        def submit(index):
+            future = server.submit_functional(network, frames[index:index + 1])
+            futures.append(future)
+            return future
+
+        generator = LoadGenerator(
+            submit, requests=requests, arrival_rate_hz=arrival_rate_hz
+        )
+        report = generator.run()
+    return report, [future.result(timeout=0) for future in futures]
+
+
+def compare_serving(requests=REQUESTS, max_batch=MAX_BATCH, workers=1,
+                    max_wait_ms=50.0, arrival_rate_hz=None, seed=SEED):
+    """Both arms on one workload; returns the shared bench result schema."""
+    network, frames = functional_svgg11_setup(batch_size=requests, seed=seed)
+    network.fingerprint()  # hash the weights once, outside both timings
+
+    batched_report, batched_results = serve_arm(
+        network, frames, max_batch, workers=workers, max_wait_ms=max_wait_ms,
+        arrival_rate_hz=arrival_rate_hz, requests=requests,
+    )
+    solo_report, solo_results = serve_arm(
+        network, frames, 1, workers=workers, max_wait_ms=max_wait_ms,
+        arrival_rate_hz=arrival_rate_hz, requests=requests,
+    )
+    identical = len(batched_results) == len(solo_results) and all(
+        batched.identical_to(solo)
+        for batched, solo in zip(batched_results, solo_results)
+    )
+    return {
+        "benchmark": "serve",
+        "batch_size": max_batch,
+        "requests": requests,
+        "workers": workers,
+        # vectorized/looped naming matches the other engine benches, so one
+        # dashboard parser tracks all three speedup trajectories.
+        "vectorized_s": batched_report.wall_s,
+        "looped_s": solo_report.wall_s,
+        "vectorized_rps": batched_report.throughput_rps,
+        "looped_rps": solo_report.throughput_rps,
+        "latency_p50_ms": batched_report.to_dict()["latency_p50_ms"],
+        "latency_p95_ms": batched_report.to_dict()["latency_p95_ms"],
+        "speedup": (
+            batched_report.throughput_rps / solo_report.throughput_rps
+            if solo_report.throughput_rps > 0 else float("inf")
+        ),
+        "identical": identical,
+    }
+
+
+def _pretty(result) -> str:
+    return (
+        f"{result['requests']} concurrent single-frame functional requests:\n"
+        f"  solo serving (max_batch=1)   : {result['looped_s']:.2f} s "
+        f"({result['looped_rps']:.1f} req/s)\n"
+        f"  micro-batched (max_batch={result['batch_size']}) : "
+        f"{result['vectorized_s']:.2f} s ({result['vectorized_rps']:.1f} req/s)\n"
+        f"  throughput gain              : {result['speedup']:.2f}x\n"
+        f"  bit-for-bit across arms      : "
+        f"{'yes' if result['identical'] else 'NO'}"
+    )
+
+
+def main(argv=None) -> int:
+    from pathlib import Path
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from common import emit_result, speedup_gate
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--max-batch", type=int, default=MAX_BATCH)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--max-wait-ms", type=float, default=50.0)
+    parser.add_argument("--arrival-rate", type=float, default=None,
+                        help="open-loop arrival rate in req/s (default: burst)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    result = compare_serving(
+        requests=args.requests, max_batch=args.max_batch, workers=args.workers,
+        max_wait_ms=args.max_wait_ms, arrival_rate_hz=args.arrival_rate,
+    )
+    emit_result(result, ["--json"] if args.json else [], _pretty)
+    return speedup_gate(result, SPEEDUP_BAR)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared emission helpers for the standalone benchmark entry points.
+
+Every ``benchmarks/bench_*.py`` that runs standalone reports one flat result
+dictionary in the same machine-readable schema; this module is the single
+writer.  ``--json`` prints exactly ``json.dumps(result, sort_keys=True)`` on
+stdout (the contract perf dashboards and ``tools/smoke.py`` parse), anything
+else prints the benchmark's human-readable text.  Keeping the emission in
+one place means the schema cannot drift between benchmarks — the
+duplication this replaces had each bench re-implementing the same
+``"--json" in argv`` branch.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+__all__ = ["emit_result", "speedup_gate"]
+
+# Import recipe for the bench scripts (each repeats this guard before
+# `from common import ...`, because this module must be importable both
+# script-style — python benchmarks/bench_X.py, where the script dir is on
+# sys.path — and from a process that imported the bench module by path):
+#
+#     if str(Path(__file__).resolve().parent) not in sys.path:
+#         sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def emit_result(
+    result: Dict[str, object],
+    argv: Optional[Sequence[str]] = None,
+    pretty: Optional[Callable[[Dict[str, object]], str]] = None,
+) -> None:
+    """Print one benchmark result: canonical JSON under ``--json``, else text.
+
+    ``argv`` defaults to ``sys.argv[1:]``; ``pretty`` renders the
+    human-readable form (omitted: the JSON document is printed either way).
+    """
+    argv = sys.argv[1:] if argv is None else argv
+    if "--json" in argv or pretty is None:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(pretty(result))
+
+
+def speedup_gate(result: Dict[str, object], bar: float,
+                 identical_key: Optional[str] = "identical") -> int:
+    """Shared pass/fail policy of the engine benchmarks; returns an exit code.
+
+    Fails (non-zero) when the result's ``identical`` flag is false or its
+    ``speedup`` is below ``bar``, printing the reason on stderr — the exact
+    behavior every bench's ``main`` previously hand-rolled.
+    """
+    if identical_key is not None and not result.get(identical_key, False):
+        print("FAIL: results diverge from the reference", file=sys.stderr)
+        return 1
+    if float(result["speedup"]) < bar:
+        print(f"FAIL: speedup below the {bar}x acceptance bar", file=sys.stderr)
+        return 1
+    return 0

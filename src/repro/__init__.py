@@ -46,9 +46,25 @@ from .backends import (
 from .plan import ParameterSpace, PlanRow, ResultsCache, SweepSpec, collect_plan, iter_plan
 from .session import ResultStore, Scenario, Session, default_session, register_sweep
 
-__version__ = "1.1.0"
+#: Serving entry points re-exported lazily (``repro.InferenceServer`` works
+#: without paying the :mod:`repro.serve` import on every ``import repro``).
+_SERVE_EXPORTS = ("InferenceServer", "ServeClient", "LoadGenerator", "MetricsRegistry")
+
+
+def __getattr__(name: str):
+    if name in _SERVE_EXPORTS:
+        from . import serve
+
+        return getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__version__ = "1.2.0"
 
 __all__ = [
+    "InferenceServer",
+    "LoadGenerator",
+    "MetricsRegistry",
+    "ServeClient",
     "RunConfig",
     "baseline_config",
     "spikestream_config",

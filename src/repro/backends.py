@@ -86,16 +86,26 @@ def _stream_futures(executor: Executor, fn: PointFn,
     """Submit all tasks, then yield ``(index, row)`` in completion order.
 
     On an infrastructure failure — whether raised while *submitting* (a pool
-    that broke between creation and dispatch) or while collecting results —
-    the not-yet-yielded points re-run serially (their futures' results, if
-    any, are discarded — re-running a pure point function is always safe); a
-    point's own exception propagates.
+    that broke between creation and dispatch, or a caller-owned pool shut
+    down under us, e.g. ``Session.close()`` racing an in-flight dispatch) or
+    while collecting results — the not-yet-yielded points re-run serially
+    (their futures' results, if any, are discarded — re-running a pure point
+    function is always safe); a point's own exception propagates.
     """
     futures: Dict[object, int] = {}
     remaining = set(range(len(tasks)))
     try:
-        for index, task in enumerate(tasks):
-            futures[executor.submit(fn, task)] = index
+        try:
+            for index, task in enumerate(tasks):
+                futures[executor.submit(fn, task)] = index
+        except RuntimeError as error:
+            # Executor.submit raises a bare RuntimeError("cannot schedule
+            # new futures after [interpreter] shutdown").  That is pool
+            # infrastructure dying, never the point's fault — but an
+            # arbitrary RuntimeError would be, so match narrowly.
+            if "shutdown" not in str(error).lower():
+                raise
+            _warn_fallback(backend, error)
         for future in as_completed(futures):
             index = futures[future]
             row = future.result()
@@ -103,8 +113,10 @@ def _stream_futures(executor: Executor, fn: PointFn,
             yield index, row
     except DISPATCH_ERRORS as error:
         _warn_fallback(backend, error)
-        for index in sorted(remaining):
-            yield index, fn(tasks[index])
+    # Anything not delivered by a future (failed dispatch, shutdown race)
+    # runs serially; on a clean pass ``remaining`` is already empty.
+    for index in sorted(remaining):
+        yield index, fn(tasks[index])
 
 
 class ExecutionBackend:

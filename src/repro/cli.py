@@ -12,6 +12,7 @@ Six subcommands cover the common workflows, all built on the unified
     python -m repro.cli sweep      --sweep firing_rate --jobs 4      # parallel parameter sweep
     python -m repro.cli sweep      --sweep firing_rate --backend sharded --shards 4
     python -m repro.cli plan       --list                            # declarative sweep specs
+    python -m repro.cli serve      --workers 2 --max-batch 16        # micro-batching service demo
 
 Every command prints an aligned text table (the same rows the corresponding
 paper figure reports); ``run`` and ``sweep`` can also emit machine-readable
@@ -111,6 +112,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "instead of plain inference")
     run.add_argument("--list-scenarios", action="store_true",
                      help="list every registered scenario and exit")
+    run.add_argument("--verbose", action="store_true",
+                     help="print session diagnostics (result-store hit/miss/"
+                          "eviction counters) to stderr after the run")
     _add_export_arguments(run)
     _add_session_arguments(run)
 
@@ -148,6 +152,50 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="list every registered sweep spec (default action)")
     plan.add_argument("--describe", default=None, metavar="NAME",
                       help="show one spec's axes, columns and parameters")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the micro-batching inference service under synthetic load",
+        description="Start an in-process repro.serve.InferenceServer, drive it "
+                    "with an open-loop synthetic load and report the service "
+                    "telemetry (throughput, latency percentiles, batch sizes, "
+                    "store hit rate).",
+    )
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="server worker threads")
+    serve.add_argument("--max-batch", type=_positive_int, default=16,
+                       help="micro-batch flush bound in coalesced frames")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="micro-batch flush bound in milliseconds")
+    serve.add_argument("--queue-depth", type=_positive_int, default=256,
+                       help="admission bound of the request queue")
+    serve.add_argument("--requests", type=_positive_int, default=64,
+                       help="synthetic requests to fire")
+    serve.add_argument("--arrival-rate", type=float, default=None, metavar="HZ",
+                       help="open-loop arrival rate in requests/s "
+                            "(default: one concurrent burst)")
+    serve.add_argument("--mode", choices=("statistical", "functional"),
+                       default="statistical",
+                       help="workload of the synthetic requests")
+    serve.add_argument("--batch", type=_positive_int, default=1,
+                       help="frames per request (micro-batching coalesces "
+                            "across requests)")
+    serve.add_argument("--timesteps", type=_positive_int, default=1)
+    serve.add_argument("--seed", type=int, default=2025)
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline; queued requests expire "
+                            "past it")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="directory persisting the serving session's "
+                            "result store")
+    serve.add_argument("--cache-limit", default=None, metavar="LIMIT",
+                       help="bound the serving session's result store "
+                            "(see `run --cache-limit`)")
+    serve.add_argument("--format", choices=("table", "json"), default="table",
+                       dest="output_format",
+                       help="telemetry output format")
+    serve.add_argument("--output", default=None, metavar="PATH",
+                       help="write the rendered output to a file instead of stdout")
     return parser
 
 
@@ -197,6 +245,22 @@ def _list_scenarios(session: Session) -> str:
                                        "description"])
 
 
+def _print_session_diagnostics(session: Session, args: argparse.Namespace) -> None:
+    """`run --verbose`: result-store counters on stderr, one line."""
+    if not getattr(args, "verbose", False):
+        return
+    stats = session.store.stats()
+    print(
+        "result store: "
+        + " ".join(
+            f"{key}={stats[key]:.3g}" if key == "hit_rate" else f"{key}={stats[key]}"
+            for key in ("hits", "misses", "hit_rate", "entries",
+                        "evictions", "disk_evictions")
+        ),
+        file=sys.stderr,
+    )
+
+
 def _command_run(args: argparse.Namespace) -> str:
     with _session_from_args(args) as session:
         if args.list_scenarios:
@@ -234,6 +298,7 @@ def _command_run(args: argparse.Namespace) -> str:
                     file=sys.stderr,
                 )
             result = session.run(args.scenario, **params)
+            _print_session_diagnostics(session, args)
             rendered = export_experiment(
                 result, args.output_format,
                 title=f"scenario {args.scenario} ({info['figure']})",
@@ -255,6 +320,7 @@ def _command_run(args: argparse.Namespace) -> str:
             result = session.run_functional(network, frames, config=config)
         else:
             result = session.run_inference(config, batch_size=batch, seed=args.seed)
+        _print_session_diagnostics(session, args)
         variant = "baseline" if args.baseline else "SpikeStream"
         if args.output_format != "table":
             # Machine-readable runs go through the same reporting path as
@@ -355,6 +421,81 @@ def _command_plan(args: argparse.Namespace) -> str:
                                        "description"])
 
 
+def _flatten_telemetry(snapshot) -> List[dict]:
+    """Nested snapshot -> sorted (metric, value) rows for the text table."""
+    rows = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            for key, inner in sorted(value.items()):
+                rows.append({"metric": f"{name}.{key}", "value": inner})
+        else:
+            rows.append({"metric": name, "value": value})
+    return rows
+
+
+def _command_serve(args: argparse.Namespace) -> str:
+    import json as json_module
+
+    from .config import spikestream_config as make_config
+    from .serve import InferenceServer, LoadGenerator
+
+    session = Session(
+        cache_dir=args.cache_dir, seed=args.seed, cache_limit=args.cache_limit
+    )
+    config = make_config(
+        batch_size=args.batch, timesteps=args.timesteps, seed=args.seed
+    )
+    deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    with session, InferenceServer(
+        session=session,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.queue_depth,
+        default_deadline_s=deadline_s,
+    ) as server:
+        if args.mode == "functional":
+            from .session import functional_svgg11_setup
+
+            network, frames = functional_svgg11_setup(
+                batch_size=args.requests * args.batch, seed=args.seed
+            )
+
+            def submit(index: int):
+                chunk = frames[index * args.batch:(index + 1) * args.batch]
+                return server.submit_functional(network, chunk, config=config)
+
+        else:
+
+            def submit(index: int):
+                # Distinct seeds keep every request distinct work (no
+                # store short-circuit) while staying coalescible.
+                return server.submit_statistical(
+                    config=config, batch_size=args.batch,
+                    seed=args.seed + index, timesteps=args.timesteps,
+                )
+
+        generator = LoadGenerator(
+            submit, requests=args.requests, arrival_rate_hz=args.arrival_rate
+        )
+        report = generator.run()
+        snapshot = server.stats()
+    if args.output_format == "json":
+        rendered = json_module.dumps(
+            {"load": report.to_dict(), "telemetry": snapshot}, sort_keys=True
+        )
+        return _emit(rendered, args)
+    lines = [
+        f"== repro.serve demo ({args.mode}, {args.requests} requests x "
+        f"{args.batch} frame(s), workers={args.workers}, "
+        f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms) ==",
+        format_table([report.to_dict()]),
+        "",
+        format_table(_flatten_telemetry(snapshot), columns=["metric", "value"]),
+    ]
+    return _emit("\n".join(lines), args)
+
+
 def _command_spva(args: argparse.Namespace) -> str:
     with Session() as session:
         result = session.run("spva_microbenchmark", stream_lengths=tuple(args.lengths))
@@ -372,6 +513,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "spva": _command_spva,
         "sweep": _command_sweep,
         "plan": _command_plan,
+        "serve": _command_serve,
     }
     output = handlers[args.command](args)
     print(output)

@@ -251,6 +251,44 @@ class SpikeStreamInference:
             clock_hz=self.cluster.clock_hz,
         )
 
+    # -- public workload API (used by repro.serve's micro-batcher) --------- #
+    def statistical_workloads(
+        self,
+        plans: Sequence[LayerPlan],
+        batch_size: int,
+        seed: SeedLike,
+    ) -> List[_LayerBatch]:
+        """Build one statistical run's whole-batch layer workloads.
+
+        Public entry point of :meth:`_statistical_workloads` for callers
+        that coalesce several runs into one engine pass (the serving
+        micro-batcher): build each run's workloads under its own seed,
+        concatenate them with :func:`concat_workloads` and cost the union
+        through :meth:`run_workloads`.
+        """
+        return self._statistical_workloads(plans, batch_size, seed)
+
+    def functional_workloads(
+        self,
+        plans: Sequence[LayerPlan],
+        activity: BatchNetworkActivity,
+    ) -> List[_LayerBatch]:
+        """Build one recorded activity's whole-batch layer workloads (public)."""
+        return self._functional_workloads(plans, activity)
+
+    def run_workloads(
+        self, workloads: Sequence[_LayerBatch], timesteps: int = 1
+    ) -> InferenceResult:
+        """Cost pre-built layer workloads through the internal batch engine.
+
+        Each per-layer metric array of the returned result has one entry per
+        workload frame, in workload order — so per-frame rows of a
+        concatenated workload are bit-for-bit what each constituent run
+        would have produced alone (the invariant the serving micro-batcher's
+        scatter step relies on, gated by ``tests/serve/``).
+        """
+        return self._run_layer_batches(workloads, timesteps=timesteps)
+
     # ------------------------------------------------------------------ #
     # Statistical batch execution
     # ------------------------------------------------------------------ #
@@ -561,6 +599,46 @@ class SpikeStreamInference:
                 stats = self.run_layer(plan, nnz=nnz)
             energy = self.layer_energy(plan, stats)
             accumulators[record.name].add(stats, energy, self.cluster.clock_hz)
+
+
+def concat_workloads(
+    workload_lists: Sequence[Sequence[_LayerBatch]],
+) -> List[_LayerBatch]:
+    """Concatenate several runs' layer workloads along the batch axis.
+
+    Every list must describe the same layer sequence (same plans in the same
+    order — the micro-batcher guarantees this by only coalescing requests
+    with identical configuration fingerprints).  Conv count stacks are
+    concatenated, FC nnz lists chained, encode frame counts summed; the
+    resulting per-layer batch axis is run-major, matching the scatter
+    offsets of :meth:`repro.core.results.InferenceResult.frame_slice`.
+    """
+    if not workload_lists:
+        return []
+    first = workload_lists[0]
+    if len(workload_lists) == 1:
+        return list(first)
+    for other in workload_lists[1:]:
+        if len(other) != len(first) or any(
+            a.plan.name != b.plan.name or a.plan.kernel is not b.plan.kernel
+            for a, b in zip(first, other)
+        ):
+            raise ValueError("cannot concatenate workloads of different layer plans")
+    combined: List[_LayerBatch] = []
+    for layer_index, head in enumerate(first):
+        parts = [workloads[layer_index] for workloads in workload_lists]
+        if head.counts is not None:
+            combined.append(
+                _LayerBatch(head.plan, counts=np.concatenate([p.counts for p in parts]))
+            )
+        elif head.nnz is not None:
+            nnz: List[int] = []
+            for part in parts:
+                nnz.extend(part.nnz)
+            combined.append(_LayerBatch(head.plan, nnz=nnz))
+        else:
+            combined.append(_LayerBatch(head.plan, batch=sum(p.batch for p in parts)))
+    return combined
 
 
 def _scale_stats(stats: ClusterStats, timesteps: int) -> ClusterStats:

@@ -96,6 +96,31 @@ class LayerResult:
         """Standard deviation of energy over the batch."""
         return float(np.std(self.energy_j))
 
+    def frame_slice(self, start: int, stop: int) -> "LayerResult":
+        """A new layer result covering frames ``start:stop`` of this one.
+
+        Per-frame metric arrays are copied (never views), so slicing a
+        shared batch result can hand independent per-request results to
+        concurrent callers — the scatter step of the serving micro-batcher.
+        """
+        if not 0 <= start < stop <= self.batch_size:
+            raise ValueError(
+                f"frame slice [{start}:{stop}] out of range for batch size "
+                f"{self.batch_size}"
+            )
+        metrics = {
+            metric: np.array(getattr(self, metric)[start:stop])
+            for metric in PER_FRAME_METRICS
+        }
+        return LayerResult(
+            name=self.name,
+            kernel=self.kernel,
+            precision=self.precision,
+            streaming=self.streaming,
+            clock_hz=self.clock_hz,
+            **metrics,
+        )
+
     def identical_to(self, other: "LayerResult") -> bool:
         """Bit-for-bit equality of every per-frame metric array.
 
@@ -235,6 +260,23 @@ class InferenceResult:
         if runtime <= 0:
             return 0.0
         return self.total_energy_j / runtime
+
+    def frame_slice(self, start: int, stop: int) -> "InferenceResult":
+        """A new result covering frames ``start:stop`` of every layer.
+
+        The slice is indexed in *metric rows* — for functional runs the
+        per-layer arrays carry one row per (frame, timestep) pair
+        frame-major, so a request of ``b`` frames over ``T`` timesteps spans
+        ``b * T`` rows.  Because per-frame rows are invariant to what else
+        shared the batch (the batched kernels' bit-for-bit M-invariance),
+        a slice of a coalesced run equals the result of running that
+        request alone — the guarantee ``tests/serve`` pins down.
+        """
+        return InferenceResult(
+            config=self.config,
+            layers=[layer.frame_slice(start, stop) for layer in self.layers],
+            clock_hz=self.clock_hz,
+        )
 
     def identical_to(self, other: "InferenceResult") -> bool:
         """Bit-for-bit equality with another result (same layers, same arrays)."""

@@ -47,6 +47,7 @@ import hashlib
 import json
 import re
 import sys
+import threading
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import asdict, dataclass
@@ -174,6 +175,10 @@ class ResultStore:
         self.max_disk_bytes = max_disk_bytes
         self._memory: "OrderedDict[str, InferenceResult]" = OrderedDict()
         self._sizes: Dict[str, int] = {}
+        # One store is shared by every server worker thread in repro.serve;
+        # the reentrant lock makes get/put/merge atomic without changing
+        # single-threaded behavior.
+        self._lock = threading.RLock()
         self.total_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -221,29 +226,41 @@ class ResultStore:
         editing its per-frame arrays in place) can never poison what later
         callers are served.
         """
-        result = self._memory.get(fingerprint)
+        with self._lock:
+            result = self._memory.get(fingerprint)
+            if result is not None:
+                self._memory.move_to_end(fingerprint)
+                self.hits += 1
         if result is not None:
-            self._memory.move_to_end(fingerprint)
-        elif self.cache_dir is not None:
+            # The deep copy happens OUTSIDE the lock: stored results are
+            # immutable (only ever replaced wholesale), so copying an
+            # unlocked reference is safe, and a multi-MB copy must not
+            # stall every other admission/lookup thread.
+            return copy.deepcopy(result)
+        if self.cache_dir is not None:
+            # Disk fallback also outside the lock — one slow read must not
+            # serialize the serving hot path.
             path = self._path(fingerprint)
             if path.exists():
                 try:
                     text = path.read_text()
                     result = InferenceResult.from_dict(json.loads(text))
                 except (KeyError, TypeError, ValueError, OSError) as error:
-                    # A store is disposable: unreadable entries re-simulate,
-                    # they never crash the run.
+                    # A store is disposable: unreadable entries
+                    # re-simulate, they never crash the run.
                     print(
                         f"warning: ignoring unreadable stored result {path}: {error}",
                         file=sys.stderr,
                     )
+                    result = None
                 else:
-                    self._admit(fingerprint, result, encoded_size=len(text.encode()))
-        if result is None:
+                    with self._lock:
+                        self._admit(fingerprint, result, encoded_size=len(text.encode()))
+                        self.hits += 1
+                    return copy.deepcopy(result)
+        with self._lock:
             self.misses += 1
-            return None
-        self.hits += 1
-        return copy.deepcopy(result)
+        return None
 
     def put(self, fingerprint: str, result: InferenceResult) -> None:
         """Store one result, persisting it when the store is disk-backed.
@@ -255,11 +272,17 @@ class ResultStore:
         encoded: Optional[str] = None
         if self.cache_dir is not None or self.bounded:
             encoded = canonical_json(result.to_dict())
-        self._admit(
-            fingerprint,
-            copy.deepcopy(result),
-            encoded_size=len(encoded.encode()) if encoded is not None else None,
-        )
+        # Encode, copy and persist OUTSIDE the lock; only the map update is
+        # locked.  Concurrent same-fingerprint writes are safe because
+        # atomic_write_text is temp-file + os.replace, and _prune_disk
+        # already tolerates racing file removals.
+        stored = copy.deepcopy(result)
+        with self._lock:
+            self._admit(
+                fingerprint,
+                stored,
+                encoded_size=len(encoded.encode()) if encoded is not None else None,
+            )
         if self.cache_dir is None:
             return
         try:
@@ -305,7 +328,8 @@ class ResultStore:
             except OSError:
                 continue
             total -= size
-            self.disk_evictions += 1
+            with self._lock:
+                self.disk_evictions += 1
 
     def merge_from(self, other: "ResultStore") -> int:
         """Adopt every in-memory result of ``other`` this store lacks.
@@ -316,19 +340,50 @@ class ResultStore:
         number of newly adopted results.
         """
         added = 0
-        for fingerprint, result in list(other._memory.items()):
-            if fingerprint not in self._memory:
+        with other._lock:
+            pending = list(other._memory.items())
+        for fingerprint, result in pending:
+            # Only the membership check runs under the lock: put() encodes,
+            # copies and persists outside it by design, and a long merge
+            # must not stall every serving admission for its full duration.
+            with self._lock:
+                known = fingerprint in self._memory
+            if not known:
                 self.put(fingerprint, result)
                 added += 1
         return added
 
+    def stats(self) -> Dict[str, float]:
+        """One flat snapshot of the store's counters and occupancy.
+
+        The supported way to observe a store (callers used to poke at the
+        individual attributes): hit/miss/eviction counters, current entry
+        count and canonical-JSON footprint, and the derived ``hit_rate``
+        (0.0 on an untouched store).  Surfaced by ``repro.cli run
+        --verbose`` and, as a live probe, by the ``repro.serve`` telemetry
+        registry.
+        """
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "disk_evictions": self.disk_evictions,
+                "entries": len(self._memory),
+                "total_bytes": self.total_bytes,
+            }
+
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
     def __contains__(self, fingerprint: str) -> bool:
-        if fingerprint in self._memory:
-            return True
-        return self.cache_dir is not None and self._path(fingerprint).exists()
+        with self._lock:
+            if fingerprint in self._memory:
+                return True
+            return self.cache_dir is not None and self._path(fingerprint).exists()
 
 
 # --------------------------------------------------------------------------- #
@@ -676,6 +731,10 @@ class Session:
             self.sweep_cache = ResultsCache()
         self._executor: Optional[Executor] = None
         self._executor_failed = False
+        # Guards pool creation/teardown: close() may race shared_executor()
+        # when a server thread is dispatching while another thread shuts
+        # the session down.
+        self._lifecycle_lock = threading.RLock()
         #: number of pools created over the session's lifetime; stays at 1
         #: however many sweeps/experiments run (asserted by the tests).
         self.pool_launches = 0
@@ -695,36 +754,50 @@ class Session:
         # on top of them would only add idle threads.
         if self.jobs <= 1 or self.backend in ("serial", "sharded") or self._executor_failed:
             return None
-        if self._executor is not None and getattr(self._executor, "_broken", False):
-            self._executor.shutdown(wait=False)
-            self._executor = None
-            self._executor_failed = True
-            print(
-                f"warning: shared {self.backend} pool is broken; "
-                "session falls back to serial execution",
-                file=sys.stderr,
-            )
-            return None
-        if self._executor is None:
-            pool_cls = ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
-            try:
-                self._executor = pool_cls(max_workers=self.jobs)
-                self.pool_launches += 1
-            except (OSError, BrokenExecutor) as error:
+        with self._lifecycle_lock:
+            if self._executor is not None and getattr(self._executor, "_broken", False):
+                self._executor.shutdown(wait=False)
+                self._executor = None
+                self._executor_failed = True
                 print(
-                    f"warning: could not start {self.backend} pool ({error!r}); "
+                    f"warning: shared {self.backend} pool is broken; "
                     "session falls back to serial execution",
                     file=sys.stderr,
                 )
-                self._executor_failed = True
                 return None
-        return self._executor
+            if self._executor is None:
+                pool_cls = ProcessPoolExecutor if self.backend == "process" else ThreadPoolExecutor
+                try:
+                    self._executor = pool_cls(max_workers=self.jobs)
+                    self.pool_launches += 1
+                except (OSError, BrokenExecutor) as error:
+                    print(
+                        f"warning: could not start {self.backend} pool ({error!r}); "
+                        "session falls back to serial execution",
+                        file=sys.stderr,
+                    )
+                    self._executor_failed = True
+                    return None
+            return self._executor
 
     def close(self) -> None:
-        """Shut down the shared pool (idempotent); caches stay usable."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        """Drain the shared pool and flush caches (idempotent, thread-safe).
+
+        Safe to call twice, from several threads at once, and while work is
+        in flight: the executor is detached under the lifecycle lock (so a
+        concurrent :meth:`shared_executor` can never hand out a half-closed
+        pool), then shut down with ``wait=True`` so already-dispatched work
+        drains rather than being dropped.  The sweep row cache is flushed
+        once per close (its dirty tracking makes redundant flushes free);
+        caches stay usable afterwards — a closed session can still serve
+        store hits and even lazily re-create a pool if new parallel work
+        arrives.
+        """
+        with self._lifecycle_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        self.sweep_cache.save()
 
     def __enter__(self) -> "Session":
         return self

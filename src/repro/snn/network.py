@@ -433,17 +433,64 @@ class SpikingNetwork:
         geometry, neuron parameters and weight bytes match — which is what
         lets :class:`repro.session.Session` key functional-mode results on
         the network without storing it.
+
+        Hashing S-VGG11's several-hundred-MB of FP64 weights costs real
+        time, and the serving path (:mod:`repro.serve`) fingerprints the
+        network on *every* request admission, so the *weight-bytes* digest
+        is memoized against the identity of the layers' weight arrays: any
+        rebinding — :meth:`initialize`, a training step — invalidates it.
+        The cheap metadata digest (architecture, every non-weight layer
+        field) is recomputed on every call, so mutating e.g. a layer's LIF
+        parameters is never masked by the memo.  To keep the weight memo
+        sound, every hashed weight array is frozen with
+        ``writeable=False``: an in-place mutation after fingerprinting
+        raises instead of silently serving a stale digest (which would
+        poison the result store).  A weight array that does not own its
+        data (a view into some larger buffer) is first replaced by an
+        owning copy bound back onto the layer — freezing a shared base
+        buffer would make *unrelated* data read-only, and leaving the base
+        writable would let mutations dodge the freeze.  Changing weights
+        means rebinding (``layer.weights = new_array``), exactly what the
+        training loop does.
         """
-        digest = hashlib.sha256()
-        digest.update(repr((self.name, self.input_shape.as_tuple())).encode())
+        meta = hashlib.sha256()
+        meta.update(repr((self.name, self.input_shape.as_tuple())).encode())
+        weight_arrays = []
         for layer in self.layers:
             described = []
             for field_info in dataclass_fields(layer):
                 if field_info.name == "weights":
                     continue
                 described.append((field_info.name, repr(getattr(layer, field_info.name))))
-            digest.update(repr((type(layer).__name__, sorted(described))).encode())
+            meta.update(repr((type(layer).__name__, sorted(described))).encode())
             weights = getattr(layer, "weights", None)
             if weights is not None:
-                digest.update(np.ascontiguousarray(weights).tobytes())
+                if weights.base is not None:
+                    # Detach views onto their own copy so the freeze below
+                    # can never make a caller's shared buffer read-only.
+                    weights = np.array(weights)
+                    layer.weights = weights
+                weight_arrays.append(weights)
+        digest = hashlib.sha256()
+        digest.update(meta.hexdigest().encode())
+        digest.update(self._weights_digest(tuple(weight_arrays)).encode())
         return digest.hexdigest()
+
+    def _weights_digest(self, weight_arrays) -> str:
+        """Memoized digest of the stacked weight bytes (the expensive part)."""
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None:
+            cached_arrays, cached_digest = cached
+            if len(cached_arrays) == len(weight_arrays) and all(
+                previous is current
+                for previous, current in zip(cached_arrays, weight_arrays)
+            ):
+                return cached_digest
+        digest = hashlib.sha256()
+        for weights in weight_arrays:
+            digest.update(np.ascontiguousarray(weights).tobytes())
+            weights.flags.writeable = False
+        # The cache holds strong references to the hashed arrays, so the
+        # `is` checks above can never be confused by id reuse.
+        self._fingerprint_cache = (weight_arrays, digest.hexdigest())
+        return self._fingerprint_cache[1]

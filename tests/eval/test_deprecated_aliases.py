@@ -1,0 +1,71 @@
+"""The deprecated ``_conv6_spec``/``_counts_for_rate`` module aliases.
+
+PR 3 made the two helpers public; the underscore names remain as
+module-level ``__getattr__`` aliases that must (a) emit a
+``DeprecationWarning`` naming the replacement on *every* access and
+(b) forward to the public functions themselves — not copies — so behavior
+cannot drift between the two names before the aliases are removed.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.eval import sweeps
+
+
+class TestConv6SpecAlias:
+    def test_warns_and_forwards_to_the_public_function(self):
+        with pytest.warns(DeprecationWarning, match=r"_conv6_spec is deprecated"):
+            alias = sweeps._conv6_spec
+        # The alias IS the public function, not a reimplementation.
+        assert alias is sweeps.conv6_spec
+
+    def test_warning_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning) as captured:
+            sweeps._conv6_spec
+        assert "use conv6_spec" in str(captured[0].message)
+
+    def test_result_matches_public_call(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            deprecated = sweeps._conv6_spec()
+        assert deprecated == sweeps.conv6_spec()
+
+
+class TestCountsForRateAlias:
+    def test_warns_and_forwards_to_the_public_function(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"_counts_for_rate is deprecated"):
+            alias = sweeps._counts_for_rate
+        assert alias is sweeps.counts_for_rate
+
+    def test_result_matches_public_call(self):
+        spec = sweeps.conv6_spec()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            deprecated = sweeps._counts_for_rate(
+                spec, 0.2, np.random.default_rng(3)
+            )
+        expected = sweeps.counts_for_rate(spec, 0.2, np.random.default_rng(3))
+        assert np.array_equal(deprecated, expected)
+
+
+class TestModuleGetattrContract:
+    def test_every_access_warns_not_just_the_first(self):
+        for _ in range(2):
+            with pytest.warns(DeprecationWarning):
+                sweeps._conv6_spec
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            sweeps._no_such_helper
+
+    def test_public_names_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sweeps.conv6_spec()
+            sweeps.counts_for_rate(
+                sweeps.conv6_spec(), 0.1, np.random.default_rng(0)
+            )

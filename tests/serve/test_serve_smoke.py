@@ -1,0 +1,31 @@
+"""Tier-1 wiring of the tools/smoke.py serving equivalence check.
+
+An in-process :class:`repro.serve.InferenceServer` takes 32 concurrent
+mixed-mode requests (statistical and functional alternating) and every
+response must be bit-for-bit identical to the corresponding direct
+:class:`repro.session.Session` call.  The check itself lives in
+``tools/smoke.py`` so the standalone smoke script and this ``smoke``-marked
+test can never drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SMOKE_PATH = Path(__file__).resolve().parents[2] / "tools" / "smoke.py"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("repro_tools_smoke", _SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("repro_tools_smoke", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.smoke
+def test_concurrent_mixed_mode_serving_matches_direct_session_calls():
+    smoke = _load_smoke()
+    smoke.serve_equivalence_check(requests=32)

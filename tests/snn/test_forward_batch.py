@@ -200,7 +200,51 @@ class TestNetworkFingerprint:
     def test_stable_and_weight_sensitive(self, tiny_network):
         first = tiny_network.fingerprint()
         assert first == tiny_network.fingerprint()
-        tiny_network.layers[0].weights[0, 0, 0, 0] += 1.0
+        updated = tiny_network.layers[0].weights.copy()
+        updated[0, 0, 0, 0] += 1.0
+        # Rebinding (what initialize() and the training loop do) both
+        # changes the weights and invalidates the fingerprint memo.
+        tiny_network.layers[0].weights = updated
+        assert tiny_network.fingerprint() != first
+
+    def test_memoized_until_weights_rebound(self, tiny_network):
+        first = tiny_network.fingerprint()
+        cached = tiny_network._fingerprint_cache
+        assert tiny_network.fingerprint() == first
+        assert tiny_network._fingerprint_cache is cached  # served from memo
+        tiny_network.initialize(np.random.default_rng(99))
+        assert tiny_network.fingerprint() != first
+
+    def test_hashed_weights_are_frozen_against_silent_mutation(self, tiny_network):
+        # A stale memoized fingerprint would poison the result store, so
+        # hashing freezes the arrays: in-place edits fail loudly instead.
+        tiny_network.fingerprint()
+        with pytest.raises(ValueError):
+            tiny_network.layers[0].weights[0, 0, 0, 0] += 1.0
+
+    def test_view_weights_are_detached_before_freezing(self, tiny_network):
+        # A frozen view over a writable base would let mutations dodge the
+        # memo, while freezing the base would make the caller's unrelated
+        # buffer read-only; fingerprint() sidesteps both by detaching the
+        # view onto an owning copy bound back to the layer.
+        base = np.array(tiny_network.layers[0].weights)
+        tiny_network.layers[0].weights = base[:]
+        first = tiny_network.fingerprint()
+        assert tiny_network.layers[0].weights.base is None
+        original = base[0, 0, 0, 0]
+        base[0, 0, 0, 0] = original + 1.0  # caller's buffer stays writable
+        # ...and can no longer silently alter what was hashed.
+        assert tiny_network.layers[0].weights[0, 0, 0, 0] == original
+        assert tiny_network.fingerprint() == first
+
+    def test_non_weight_mutation_invalidates_despite_memo(self, tiny_network):
+        # Only the weight-bytes digest is memoized; layer metadata (e.g.
+        # LIF parameters) is rehashed every call and must never go stale.
+        from dataclasses import replace
+
+        first = tiny_network.fingerprint()
+        layer = tiny_network.layers[0]
+        layer.lif = replace(layer.lif, v_threshold=layer.lif.v_threshold + 0.1)
         assert tiny_network.fingerprint() != first
 
     def test_architecture_sensitive(self, tiny_network, rng):

@@ -77,7 +77,11 @@ class TestRunFunctionalMemoization:
             base = session.functional_fingerprint(config, network, frames)
             other_frames = frames + 0.5
             assert session.functional_fingerprint(config, network, other_frames) != base
-            network.layers[0].weights[0, 0, 0, 0] += 1.0
+            # Weight changes happen by rebinding (hashed arrays are frozen
+            # so the network's memoized fingerprint can never go stale).
+            updated = network.layers[0].weights.copy()
+            updated[0, 0, 0, 0] += 1.0
+            network.layers[0].weights = updated
             assert session.functional_fingerprint(config, network, frames) != base
 
     def test_persists_across_sessions(self, tmp_path):

@@ -1,4 +1,4 @@
-"""CI smoke check: tier-1 tests, fast sweep, backend matrix, engines, store.
+"""CI smoke check: tier-1 tests, sweep, backends, engines, serving, store.
 
 Runs the repository's tier-1 pytest suite, exercises the ``repro.cli
 sweep`` path end-to-end (stream-length sweep, two workers, JSON output,
@@ -6,20 +6,23 @@ machine-readable payload), runs one declarative
 :class:`~repro.plan.SweepSpec` through EVERY execution backend
 (serial / thread / process / sharded-2) asserting bit-for-bit row equality,
 checks the batched *functional* engine against its per-frame reference loop
-(bit-for-bit, on a small SVGG-style network), and finally runs one scenario
-through a persistent :class:`repro.session.Session` twice, asserting that
-the second run is served from the result store (hit counter > 0) with
-results equal to the cold run.  Exits non-zero on the first failure, so it
-can gate CI directly::
+(bit-for-bit, on a small SVGG-style network), drives the ``repro.serve``
+inference service with 32 concurrent mixed-mode requests asserting every
+response equals the corresponding direct Session call, and finally runs one
+scenario through a persistent :class:`repro.session.Session` twice,
+asserting that the second run is served from the result store (hit counter
+> 0) with results equal to the cold run.  Exits non-zero on the first
+failure, so it can gate CI directly::
 
     python tools/smoke.py
 
-The backend-matrix and functional-equivalence steps are also wired into the
-tier-1 pytest flow as fast ``smoke``-marked tests
+The backend-matrix, functional-equivalence and serving steps are also wired
+into the tier-1 pytest flow as fast ``smoke``-marked tests
 (``tests/eval/test_backend_matrix.py`` imports :func:`backend_matrix_check`,
 ``tests/core/test_functional_batch.py`` imports
-:func:`functional_equivalence_check`), so every plain ``pytest`` run covers
-them and ``pytest -m smoke`` runs them alone.
+:func:`functional_equivalence_check`, ``tests/serve/test_serve_smoke.py``
+imports :func:`serve_equivalence_check`), so every plain ``pytest`` run
+covers them and ``pytest -m smoke`` runs them alone.
 """
 
 from __future__ import annotations
@@ -178,6 +181,80 @@ def run_functional_equivalence() -> int:
     return 0
 
 
+def serve_equivalence_check(requests: int = 32, seed: int = 31) -> None:
+    """Concurrent mixed-mode serving vs direct Session calls, bit-for-bit.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/serve/test_serve_smoke.py``) and raising ``AssertionError`` on
+    divergence.  Starts an in-process
+    :class:`~repro.serve.server.InferenceServer`, fires ``requests``
+    concurrent requests alternating statistical and functional mode (small
+    SVGG-style network, so the whole check stays fast), and asserts every
+    response equals what a direct :meth:`Session.run_inference` /
+    :meth:`Session.run_functional` call produces for the same parameters —
+    the micro-batcher must be invisible to callers.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.config import spikestream_config
+    from repro.eval.sweeps import functional_network
+    from repro.serve import InferenceServer
+    from repro.session import Session
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.types import TensorShape
+
+    config = spikestream_config(batch_size=1, timesteps=2, seed=seed)
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(requests)
+
+    with InferenceServer(workers=2, max_batch=8, max_wait_ms=20) as server:
+        futures = []
+        for index in range(requests):
+            if index % 2 == 0:
+                futures.append(("statistical", index, server.submit_statistical(
+                    config=config, batch_size=1, seed=seed + index,
+                )))
+            else:
+                futures.append(("functional", index, server.submit_functional(
+                    network, frames[index:index + 1], config=config,
+                )))
+        served = [(mode, index, future.result(timeout=120))
+                  for mode, index, future in futures]
+        queued_depth_after = server.queue.depth()
+
+    assert queued_depth_after == 0, "drained server left requests queued"
+    # An independent session (no shared store) recomputes every request solo.
+    reference_session = Session()
+    for mode, index, result in served:
+        if mode == "statistical":
+            expected = reference_session.run_inference(
+                config, batch_size=1, seed=seed + index
+            )
+        else:
+            expected = reference_session.run_functional(
+                network, frames[index:index + 1], config=config
+            )
+        assert result.identical_to(expected), (
+            f"served {mode} request {index} diverges from the direct Session call"
+        )
+
+
+def run_serve_smoke() -> int:
+    """The serving check as a smoke step (summary + return code)."""
+    print("== serve (32 concurrent mixed-mode requests vs direct Session) ==",
+          flush=True)
+    try:
+        serve_equivalence_check()
+    except AssertionError as error:
+        print(f"serve equivalence failed: {error}", file=sys.stderr)
+        return 1
+    print("serve ok: 32 mixed statistical/functional requests, "
+          "micro-batched, bit-for-bit vs direct calls")
+    return 0
+
+
 def run_session_store_check() -> int:
     """One scenario through a persistent Session twice; the rerun must hit.
 
@@ -220,7 +297,8 @@ def run_session_store_check() -> int:
 
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
-                 run_functional_equivalence, run_session_store_check):
+                 run_functional_equivalence, run_serve_smoke,
+                 run_session_store_check):
         code = step()
         if code != 0:
             return code
