@@ -44,6 +44,7 @@ from .backends import (
     ThreadBackend,
 )
 from .plan import ParameterSpace, PlanRow, ResultsCache, SweepSpec, collect_plan, iter_plan
+from .snn.numerics import NumericsPolicy
 from .session import ResultStore, Scenario, Session, default_session, register_sweep
 
 #: Serving entry points re-exported lazily (``repro.InferenceServer`` works
@@ -85,6 +86,7 @@ __all__ = [
     "Scenario",
     "Session",
     "default_session",
+    "NumericsPolicy",
     "OptimizationFlag",
     "Precision",
     "TensorShape",

@@ -36,6 +36,9 @@ from .eval.experiments import ExperimentResult
 from .eval.reporting import EXPORT_FORMATS, export_experiment, format_table
 from .eval.runner import ResultsCache, SWEEPS, available_sweeps, get_sweep
 from .session import Session
+from .snn.numerics import FORWARD_PATHS as NUMERICS_FORWARD_PATHS
+from .snn.numerics import PRECISIONS as NUMERICS_PRECISIONS
+from .snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from .types import Precision
 
 _FIGURES = ("fig3a", "fig3b", "fig3c", "fig4", "fig5", "listing1")
@@ -97,6 +100,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="statistical (firing-rate profile, default) or functional "
                           "(a real S-VGG11 forward pass supplies the spike activity "
                           "through the batched functional engine)")
+    # --precision above selects the simulated HARDWARE precision (the cost
+    # model); these two select the GOLDEN MODEL's own numerics
+    # (repro.snn.numerics.NumericsPolicy), functional mode only.
+    run.add_argument("--golden-precision", choices=NUMERICS_PRECISIONS, default=None,
+                     help="golden-model dtype of the functional forward pass "
+                          "(default: fp64, the bit-for-bit reference; distinct "
+                          "from --precision, which is the simulated hardware "
+                          "precision)")
+    run.add_argument("--forward-path", choices=NUMERICS_FORWARD_PATHS, default=None,
+                     help="golden-model forward path of the functional pass: "
+                          "dense im2row GEMMs (default) or event_sparse "
+                          "(gather active spike rows; cost scales with nnz)")
     # None sentinels: plain inference resolves them to 8 frames / 1 timestep,
     # while --scenario keeps each scenario's own defaults unless the user
     # explicitly overrides them.
@@ -177,6 +192,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mode", choices=("statistical", "functional"),
                        default="statistical",
                        help="workload of the synthetic requests")
+    serve.add_argument("--precision", choices=NUMERICS_PRECISIONS, default="fp64",
+                       help="golden-model dtype of functional requests "
+                            "(server default_numerics; fp64 is the "
+                            "bit-for-bit reference)")
+    serve.add_argument("--forward-path", choices=NUMERICS_FORWARD_PATHS,
+                       default="dense",
+                       help="golden-model forward path of functional "
+                            "requests: dense GEMMs or event_sparse "
+                            "(cost scales with active spikes)")
     serve.add_argument("--batch", type=_positive_int, default=1,
                        help="frames per request (micro-batching coalesces "
                             "across requests)")
@@ -245,6 +269,17 @@ def _list_scenarios(session: Session) -> str:
                                        "description"])
 
 
+def _numerics_from_args(args: argparse.Namespace) -> Optional[NumericsPolicy]:
+    """`run`'s golden-model policy, or ``None`` when neither flag was given."""
+    precision = getattr(args, "golden_precision", None)
+    forward_path = getattr(args, "forward_path", None)
+    if precision is None and forward_path is None:
+        return None
+    return NumericsPolicy(
+        precision=precision or "fp64", forward_path=forward_path or "dense"
+    )
+
+
 def _print_session_diagnostics(session: Session, args: argparse.Namespace) -> None:
     """`run --verbose`: result-store counters on stderr, one line."""
     if not getattr(args, "verbose", False):
@@ -259,6 +294,13 @@ def _print_session_diagnostics(session: Session, args: argparse.Namespace) -> No
         ),
         file=sys.stderr,
     )
+    if getattr(args, "mode", None) == "functional":
+        policy = resolve_numerics(_numerics_from_args(args))
+        print(
+            f"numerics: policy={policy.key()} precision={policy.precision} "
+            f"forward_path={policy.forward_path} reference={policy.is_reference}",
+            file=sys.stderr,
+        )
 
 
 def _command_run(args: argparse.Namespace) -> str:
@@ -287,6 +329,10 @@ def _command_run(args: argparse.Namespace) -> str:
                 ignored.append("--precision")
             if args.mode != "statistical":
                 ignored.append("--mode")
+            if args.golden_precision is not None:
+                ignored.append("--golden-precision")
+            if args.forward_path is not None:
+                ignored.append("--forward-path")
             if args.timesteps is not None and "timesteps" not in info["params"]:
                 ignored.append("--timesteps")
             if args.batch is not None and "batch_size" not in info["params"]:
@@ -310,6 +356,7 @@ def _command_run(args: argparse.Namespace) -> str:
         precision = Precision.from_name(args.precision)
         factory = baseline_config if args.baseline else spikestream_config
         config = factory(precision, batch_size=batch, timesteps=timesteps, seed=args.seed)
+        numerics = _numerics_from_args(args)
         if args.mode == "functional":
             # A real S-VGG11 forward pass supplies the spike activity; the
             # batched functional engine costs it (store-backed, so repeated
@@ -317,8 +364,17 @@ def _command_run(args: argparse.Namespace) -> str:
             from .session import functional_svgg11_setup
 
             network, frames = functional_svgg11_setup(batch_size=batch, seed=args.seed)
-            result = session.run_functional(network, frames, config=config)
+            result = session.run_functional(
+                network, frames, config=config, numerics=numerics
+            )
         else:
+            if numerics is not None:
+                print(
+                    "warning: --golden-precision/--forward-path select the "
+                    "functional golden model's numerics; ignored in "
+                    "statistical mode",
+                    file=sys.stderr,
+                )
             result = session.run_inference(config, batch_size=batch, seed=args.seed)
         _print_session_diagnostics(session, args)
         variant = "baseline" if args.baseline else "SpikeStream"
@@ -333,9 +389,14 @@ def _command_run(args: argparse.Namespace) -> str:
                           if isinstance(value, (int, float))},
             )
             return _emit(export_experiment(table, args.output_format), args)
+        golden = (
+            f", golden {resolve_numerics(numerics).key()}"
+            if args.mode == "functional" else ""
+        )
         lines = [
             f"== S-VGG11 on the Snitch cluster model ({variant}, {args.mode}, "
-            f"{precision.value}, batch {batch}, {timesteps} timestep(s)) ==",
+            f"{precision.value}, batch {batch}, {timesteps} timestep(s)"
+            f"{golden}) ==",
             format_table(result.per_layer_table(), columns=[
                 "layer", "kernel", "mean_runtime_ms", "mean_fpu_utilization", "mean_ipc",
                 "mean_energy_mj", "mean_power_w",
@@ -446,6 +507,15 @@ def _command_serve(args: argparse.Namespace) -> str:
         batch_size=args.batch, timesteps=args.timesteps, seed=args.seed
     )
     deadline_s = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    numerics = NumericsPolicy(
+        precision=args.precision, forward_path=args.forward_path
+    )
+    if args.mode != "functional" and not numerics.is_reference:
+        print(
+            "warning: --precision/--forward-path shape functional requests "
+            "only; the statistical workload ignores them",
+            file=sys.stderr,
+        )
     with session, InferenceServer(
         session=session,
         workers=args.workers,
@@ -453,6 +523,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_depth,
         default_deadline_s=deadline_s,
+        default_numerics=numerics,
     ) as server:
         if args.mode == "functional":
             from .session import functional_svgg11_setup
@@ -485,10 +556,12 @@ def _command_serve(args: argparse.Namespace) -> str:
             {"load": report.to_dict(), "telemetry": snapshot}, sort_keys=True
         )
         return _emit(rendered, args)
+    golden = f", golden {numerics.key()}" if args.mode == "functional" else ""
     lines = [
         f"== repro.serve demo ({args.mode}, {args.requests} requests x "
         f"{args.batch} frame(s), workers={args.workers}, "
-        f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms) ==",
+        f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms"
+        f"{golden}) ==",
         format_table([report.to_dict()]),
         "",
         format_table(_flatten_telemetry(snapshot), columns=["metric", "value"]),

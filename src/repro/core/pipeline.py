@@ -57,6 +57,7 @@ from ..kernels.conv import conv_layer_perf, conv_layer_perf_batch, pad_counts
 from ..kernels.encode import encode_layer_perf, encode_layer_perf_batch
 from ..kernels.fc import fc_layer_perf, fc_layer_perf_batch
 from ..snn.network import BatchNetworkActivity, NetworkActivity, SpikingNetwork
+from ..snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from ..types import LayerKind
 from ..utils.rng import SeedLike, make_rng, spawn_rngs
 from .layer_mapping import KernelKind, LayerPlan
@@ -127,10 +128,16 @@ class SpikeStreamInference:
         cluster: ClusterParams = DEFAULT_CLUSTER,
         costs: CostModelParams = DEFAULT_COSTS,
         energy: EnergyParams = DEFAULT_ENERGY,
+        numerics: Optional[NumericsPolicy] = None,
     ):
         self.config = config
         self.cluster = cluster
         self.costs = costs
+        #: Default golden-model numerics of this engine's functional passes
+        #: (``None`` -> the FP64 dense reference).  Per-call ``numerics=``
+        #: arguments override it; the statistical mode never consults it
+        #: (spike counts are drawn, not computed).
+        self.numerics = resolve_numerics(numerics)
         self.optimizer = SpikeStreamOptimizer(config, cluster)
         self.energy_model = EnergyModel(params=energy, cluster=cluster)
 
@@ -434,7 +441,10 @@ class SpikeStreamInference:
     # Functional batch execution
     # ------------------------------------------------------------------ #
     def record_activity(
-        self, network: SpikingNetwork, frames: Sequence[np.ndarray]
+        self,
+        network: SpikingNetwork,
+        frames: Sequence[np.ndarray],
+        numerics: Optional[NumericsPolicy] = None,
     ) -> BatchNetworkActivity:
         """Record the network's batched activity under this engine's timesteps.
 
@@ -442,9 +452,14 @@ class SpikeStreamInference:
         pass over all frames.  The returned activity is reusable: costing
         several hardware variants (baseline vs SpikeStream, FP16 vs FP8) on
         the same recorded activity only pays the forward pass once — pass it
-        to :meth:`run_functional` via ``activity=``.
+        to :meth:`run_functional` via ``activity=``.  ``numerics`` selects
+        the golden-model policy of the pass (default: the engine's own
+        :attr:`numerics`).
         """
-        return network.forward_batch(frames, timesteps=self.config.timesteps)
+        policy = self.numerics if numerics is None else numerics
+        return network.forward_batch(
+            frames, timesteps=self.config.timesteps, policy=policy
+        )
 
     def _check_activity(
         self, activity: BatchNetworkActivity, frames: Sequence[np.ndarray]
@@ -520,6 +535,7 @@ class SpikeStreamInference:
         frames: Sequence[np.ndarray],
         firing_rates: Optional[Dict[str, float]] = None,
         activity: Optional[BatchNetworkActivity] = None,
+        numerics: Optional[NumericsPolicy] = None,
     ) -> InferenceResult:
         """Run the performance model on the *actual* activity of a network.
 
@@ -535,10 +551,17 @@ class SpikeStreamInference:
         Pass a pre-recorded ``activity`` (see :meth:`record_activity`) to
         skip the forward pass — e.g. when costing several hardware variants
         on the same recorded spike activity.
+
+        ``numerics`` selects the golden-model
+        :class:`~repro.snn.numerics.NumericsPolicy` of the forward pass
+        (default: the engine's own :attr:`numerics`, itself the FP64 dense
+        reference unless constructed otherwise).  The performance model is
+        policy-independent — it reads spike counts — so only the recorded
+        spike maps (and thus the costed counts) can differ between policies.
         """
         plans = self.optimizer.plan_network(network, firing_rates)
         if activity is None:
-            activity = self.record_activity(network, frames)
+            activity = self.record_activity(network, frames, numerics=numerics)
         else:
             self._check_activity(activity, frames)
         workloads = self._functional_workloads(plans, activity)

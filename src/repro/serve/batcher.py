@@ -77,17 +77,23 @@ def functional_group_key(
     network,
     frames,
     firing_rates,
+    numerics=None,
 ) -> str:
     """Compatibility fingerprint of a functional request.
 
     :meth:`Session.functional_fingerprint` with the frames pinned to a
     placeholder (the key must NOT cover the pixels), extended with the
-    per-frame geometry and dtype so only stackable frames coalesce.
+    per-frame geometry and dtype so only stackable frames coalesce.  The
+    golden-model :class:`~repro.snn.numerics.NumericsPolicy` enters via the
+    base fingerprint, so requests under different policies never share a
+    batch (a coalesced batch runs one forward pass under one policy).
     """
     stacked = frames if isinstance(frames, np.ndarray) else np.stack(
         [np.asarray(frame) for frame in frames]
     )
-    base = session.functional_fingerprint(config, network, _NO_FRAMES, firing_rates)
+    base = session.functional_fingerprint(
+        config, network, _NO_FRAMES, firing_rates, numerics=numerics
+    )
     return f"func:{base}:{tuple(stacked.shape[1:])}:{stacked.dtype}"
 
 
@@ -171,7 +177,8 @@ class MicroBatcher:
                     [np.asarray(r.frames) for r in requests], axis=0
                 )
             batch_result = engine.run_functional(
-                first.network, stacked, firing_rates=first.firing_rates
+                first.network, stacked, firing_rates=first.firing_rates,
+                numerics=first.policy,
             )
             # Functional metric rows enumerate (frame, timestep) frame-major.
             rows_per_request = [

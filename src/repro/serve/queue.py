@@ -92,7 +92,11 @@ class InferenceRequest:
     this request with its neighbours; ``fingerprint`` is the request's full
     result-store key.  ``frames_count`` is the number of frames the request
     contributes to a micro-batch (statistical: ``batch_size``; functional:
-    ``len(frames)``).
+    ``len(frames)``).  ``policy`` is the functional request's golden-model
+    :class:`~repro.snn.numerics.NumericsPolicy` (``None`` -> the FP64 dense
+    reference); it is already baked into ``group_key`` and ``fingerprint``,
+    so requests with different policies never coalesce or share store
+    entries.
     """
 
     mode: str
@@ -106,6 +110,7 @@ class InferenceRequest:
     firing_rates: Optional[Dict[str, float]] = None
     network: object = None
     frames: object = None
+    policy: object = None
     deadline: Optional[float] = None
     future: Future = field(default_factory=Future)
     id: int = field(default_factory=lambda: next(_REQUEST_IDS))

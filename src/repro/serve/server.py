@@ -39,6 +39,7 @@ from typing import Dict, List, Optional
 
 from ..config import RunConfig
 from ..session import Session
+from ..snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from .batcher import MicroBatcher, functional_group_key, statistical_group_key
 from .metrics import MetricsRegistry
 from .queue import (
@@ -74,6 +75,11 @@ class InferenceServer:
     default_deadline_s:
         Deadline applied to requests that do not bring their own; ``None``
         means queued requests never expire.
+    default_numerics:
+        Golden-model :class:`~repro.snn.numerics.NumericsPolicy` applied to
+        functional requests that do not bring their own (``None`` -> the
+        FP64 dense reference).  Per-request ``numerics=`` on
+        :meth:`submit_functional` overrides it.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class InferenceServer:
         max_queue: int = 256,
         default_deadline_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        default_numerics: Optional[NumericsPolicy] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -92,6 +99,7 @@ class InferenceServer:
         self.session = session if session is not None else Session()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.default_deadline_s = default_deadline_s
+        self.default_numerics = resolve_numerics(default_numerics)
         self.queue = RequestQueue(max_queue, on_expired=self._on_expired)
         self.batcher = MicroBatcher(
             self.session, max_batch=max_batch, max_wait_ms=max_wait_ms,
@@ -99,7 +107,14 @@ class InferenceServer:
         )
         self.metrics.add_probe("serve.store", self.session.store.stats)
         self.metrics.add_probe("serve.queue", self._queue_stats)
+        self.metrics.add_probe("serve.numerics", self._numerics_stats)
         self.metrics.gauge("serve.workers").set(workers)
+        # Mixed-precision observability: a 0/1 gauge flags a non-reference
+        # default policy, and per-policy request counters
+        # (serve.numerics.requests.<key>) appear as traffic arrives.
+        self.metrics.gauge("serve.numerics.non_reference").set(
+            0.0 if self.default_numerics.is_reference else 1.0
+        )
         # Declare the whole telemetry surface up front so every snapshot has
         # the same keys, zeroed, whether or not an event happened yet.
         for counter in ("serve.requests", "serve.completed", "serve.rejected",
@@ -126,6 +141,15 @@ class InferenceServer:
 
     def _on_expired(self, request: InferenceRequest) -> None:
         self.metrics.counter("serve.expired").inc()
+
+    def _numerics_stats(self) -> Dict[str, object]:
+        """The active default policy, flattened into every stats snapshot."""
+        policy = self.default_numerics
+        return {
+            "default": policy.key(),
+            "precision": policy.precision,
+            "forward_path": policy.forward_path,
+        }
 
     def _deadline(self, deadline_s: Optional[float]) -> Optional[float]:
         effective = deadline_s if deadline_s is not None else self.default_deadline_s
@@ -196,33 +220,40 @@ class InferenceServer:
         config: Optional[RunConfig] = None,
         firing_rates: Optional[Dict[str, float]] = None,
         deadline_s: Optional[float] = None,
+        numerics: Optional[NumericsPolicy] = None,
     ) -> Future:
         """Queue one functional run; resolves to an ``InferenceResult``.
 
         Mirrors :meth:`Session.run_functional`: the network's real recorded
         activity is costed under ``config`` (the session's default when
         omitted), and compatible concurrent requests share one batched
-        forward pass.
+        forward pass.  ``numerics`` selects the request's golden-model
+        policy (default: the server's :attr:`default_numerics`); requests
+        under different policies never share a batch or a store entry.
         """
         import numpy as np
 
         config = config if config is not None else self.session.config
+        policy = self.default_numerics if numerics is None else numerics
         stacked = frames if isinstance(frames, np.ndarray) else np.stack(
             [np.asarray(frame) for frame in frames]
         )
+        self.metrics.counter(f"serve.numerics.requests.{policy.key()}").inc()
         request = InferenceRequest(
             mode="functional",
             config=config,
             group_key=functional_group_key(
-                self.session, config, network, stacked, firing_rates
+                self.session, config, network, stacked, firing_rates,
+                numerics=policy,
             ),
             fingerprint=self.session.functional_fingerprint(
-                config, network, stacked, firing_rates
+                config, network, stacked, firing_rates, numerics=policy
             ),
             frames_count=int(stacked.shape[0]),
             firing_rates=firing_rates,
             network=network,
             frames=stacked,
+            policy=policy,
             deadline=self._deadline(deadline_s),
         )
         return self._admit(request)

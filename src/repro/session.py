@@ -76,6 +76,7 @@ from .eval.metrics import ratio
 from .eval.runner import ResultsCache, SWEEPS, _execute, get_sweep, run_sweep
 from .eval.runner import register_sweep as _register_sweep_spec
 from .plan import PlanRow, SweepSpec, collect_plan, iter_plan
+from .snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from .utils.serialization import atomic_write_text, canonical_json
 
 _BACKENDS = ("process", "thread", "serial", "sharded")
@@ -874,14 +875,18 @@ class Session:
         network,
         frames,
         firing_rates: Optional[Mapping[str, float]] = None,
+        numerics: Optional[NumericsPolicy] = None,
     ) -> str:
         """Canonical fingerprint of one functional run under this session.
 
         Covers the configuration, the session's hardware models, the
         network's architecture-and-weights digest
-        (:meth:`repro.snn.network.SpikingNetwork.fingerprint`) and the exact
-        frame bytes (:func:`frames_fingerprint`), so a stored functional
-        result is only ever served for the identical workload.
+        (:meth:`repro.snn.network.SpikingNetwork.fingerprint`), the exact
+        frame bytes (:func:`frames_fingerprint`) and the golden-model
+        :class:`~repro.snn.numerics.NumericsPolicy` (``None`` -> the FP64
+        dense reference), so a stored functional result is only ever served
+        for the identical workload — an fp32 or event-sparse run can never
+        poison (or be served from) an fp64 reference entry.
         """
         payload = {
             "mode": "functional",
@@ -892,6 +897,7 @@ class Session:
             "network": network.fingerprint(),
             "frames": frames_fingerprint(frames),
             "firing_rates": sorted(firing_rates.items()) if firing_rates else None,
+            "numerics": resolve_numerics(numerics).key(),
         }
         return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
 
@@ -902,6 +908,7 @@ class Session:
         config: Optional[RunConfig] = None,
         firing_rates: Optional[Dict[str, float]] = None,
         activity=None,
+        numerics: Optional[NumericsPolicy] = None,
     ) -> InferenceResult:
         """One functional (real-activity) run, memoized in the result store.
 
@@ -913,15 +920,20 @@ class Session:
         :class:`~repro.snn.network.BatchNetworkActivity` of exactly these
         frames under ``config``'s timesteps (the store key does not cover
         it), letting several variant configs share one forward pass — see
-        :meth:`run_functional_variants`.
+        :meth:`run_functional_variants`.  ``numerics`` selects the
+        golden-model policy of the pass and is part of the store key, so
+        each policy memoizes under its own entry.
         """
         config = config if config is not None else self.config
-        key = self.functional_fingerprint(config, network, frames, firing_rates)
+        key = self.functional_fingerprint(
+            config, network, frames, firing_rates, numerics=numerics
+        )
         hit = self.store.get(key)
         if hit is not None:
             return hit
         result = self.engine(config).run_functional(
-            network, frames, firing_rates=firing_rates, activity=activity
+            network, frames, firing_rates=firing_rates, activity=activity,
+            numerics=numerics,
         )
         self.store.put(key, result)
         return result
@@ -935,6 +947,7 @@ class Session:
         firing_rates: Optional[Dict[str, float]] = None,
         timesteps: int = 1,
         activity=None,
+        numerics: Optional[NumericsPolicy] = None,
     ) -> Dict[str, InferenceResult]:
         """The three evaluated variants costed on one shared recorded activity.
 
@@ -943,22 +956,29 @@ class Session:
         or one recorded on the first miss), so regenerating the
         three-variant comparison costs at most one forward plus three
         batched engine passes — the workload
-        ``benchmarks/bench_functional.py`` measures.
+        ``benchmarks/bench_functional.py`` measures.  ``numerics`` selects
+        the golden-model policy of that shared pass (and of each variant's
+        store key).
         """
         if batch_size is None:
             batch_size = len(frames)
         configs = svgg11_variant_configs(batch_size=batch_size, seed=seed, timesteps=timesteps)
         results: Dict[str, InferenceResult] = {}
         for key, config in configs.items():
-            fingerprint = self.functional_fingerprint(config, network, frames, firing_rates)
+            fingerprint = self.functional_fingerprint(
+                config, network, frames, firing_rates, numerics=numerics
+            )
             hit = self.store.get(fingerprint)
             if hit is not None:
                 results[key] = hit
                 continue
             if activity is None:
-                activity = self.engine(config).record_activity(network, frames)
+                activity = self.engine(config).record_activity(
+                    network, frames, numerics=numerics
+                )
             result = self.engine(config).run_functional(
-                network, frames, firing_rates=firing_rates, activity=activity
+                network, frames, firing_rates=firing_rates, activity=activity,
+                numerics=numerics,
             )
             self.store.put(fingerprint, result)
             results[key] = result

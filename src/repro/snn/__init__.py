@@ -8,6 +8,13 @@ implementation, synthetic CIFAR-10-like data and firing-rate statistics.
 """
 
 from .neuron import IzhikevichParameters, LIFParameters, LIFState, lif_step, lif_step_batch
+from .numerics import (
+    CLASSIFICATION_AGREEMENT_BOUND,
+    FORWARD_PATHS,
+    PRECISIONS,
+    SPIKE_COUNT_TOLERANCE,
+    NumericsPolicy,
+)
 from .layers import (
     Flatten,
     SpikingAvgPool2d,
@@ -50,6 +57,11 @@ __all__ = [
     "LIFState",
     "lif_step",
     "lif_step_batch",
+    "CLASSIFICATION_AGREEMENT_BOUND",
+    "FORWARD_PATHS",
+    "PRECISIONS",
+    "SPIKE_COUNT_TOLERANCE",
+    "NumericsPolicy",
     "Flatten",
     "SpikingAvgPool2d",
     "SpikingConv2d",

@@ -26,15 +26,20 @@ import numpy as np
 from ..types import LayerKind, TensorShape
 from .layers import Flatten, SpikingAvgPool2d, SpikingConv2d, SpikingLinear, SpikingMaxPool2d
 from .neuron import LIFState, lif_step, lif_step_batch
+from .numerics import NumericsPolicy, resolve
 from .reference import (
+    SPARSE_DENSITY_CROSSOVER,
     avgpool2d_hwc,
     avgpool2d_hwc_batch,
     conv2d_hwc,
     conv2d_hwc_batch,
+    conv2d_hwc_batch_sparse,
     linear,
     linear_batch,
+    linear_batch_sparse,
     maxpool2d_hwc,
     maxpool2d_hwc_batch,
+    spike_density,
 )
 
 Layer = Union[SpikingConv2d, SpikingLinear, SpikingMaxPool2d, SpikingAvgPool2d, Flatten]
@@ -303,7 +308,7 @@ class SpikingNetwork:
     # ------------------------------------------------------------------ #
     # Batched execution
     # ------------------------------------------------------------------ #
-    def _batch_states(self, batch_size: int) -> Dict[int, LIFState]:
+    def _batch_states(self, batch_size: int, dtype=np.float64) -> Dict[int, LIFState]:
         """Fresh zero membrane states with a leading batch axis."""
         states: Dict[int, LIFState] = {}
         for index, layer in enumerate(self.layers):
@@ -313,10 +318,39 @@ class SpikingNetwork:
                     state_shape = (batch_size,) + out_shape.as_tuple()
                 else:
                     state_shape = (batch_size, out_shape.channels)
-                states[index] = LIFState.zeros(state_shape)
+                states[index] = LIFState.zeros(state_shape, dtype=dtype)
         return states
 
-    def forward_batch(self, frames: Sequence[np.ndarray], timesteps: int = 1) -> BatchNetworkActivity:
+    def _cast_weights(self, index: int, weights: np.ndarray, dtype: np.dtype) -> np.ndarray:
+        """Weights of layer ``index`` at ``dtype``, cached by array identity.
+
+        FP32 forward passes would otherwise re-cast S-VGG11's several
+        hundred MB of FP64 weights on every call.  The cache key mirrors the
+        fingerprint memo: an entry is only reused while the layer still
+        binds the *same* weight array (`is`), so :meth:`initialize` or a
+        training rebind invalidates it naturally.  Cast copies are frozen so
+        a caller can never mutate the cache behind the layer's back.
+        """
+        if weights.dtype == dtype:
+            return weights
+        cache = getattr(self, "_weight_cast_cache", None)
+        if cache is None:
+            cache = self._weight_cast_cache = {}
+        key = (index, dtype.str)
+        entry = cache.get(key)
+        if entry is not None and entry[0] is weights:
+            return entry[1]
+        cast = weights.astype(dtype)
+        cast.flags.writeable = False
+        cache[key] = (weights, cast)
+        return cast
+
+    def forward_batch(
+        self,
+        frames: Sequence[np.ndarray],
+        timesteps: int = 1,
+        policy: Optional[NumericsPolicy] = None,
+    ) -> BatchNetworkActivity:
         """Run the network on a whole batch of frames in one vectorized pass.
 
         ``frames`` is a ``(B, H, W, C)`` array (or a sequence of HWC frames,
@@ -332,9 +366,19 @@ class SpikingNetwork:
         (``benchmarks/bench_functional.py``).  Every frame's slice of the
         returned records is bit-for-bit identical to the per-frame loop
         (gated by ``tests/snn/test_forward_batch.py``).
+
+        ``policy`` selects the numerics of the pass
+        (:class:`~repro.snn.numerics.NumericsPolicy`); ``None`` means the
+        FP64 dense reference, which keeps that bit-for-bit guarantee.  Under
+        ``event_sparse`` each non-encoding layer compares its measured input
+        spike density against :data:`~repro.snn.reference.SPARSE_DENSITY_CROSSOVER`
+        and routes sparse maps through the CSR event kernels, dense maps
+        through the GEMM at the policy's dtype — cost follows nnz where that
+        actually wins.
         """
         if timesteps <= 0:
             raise ValueError(f"timesteps must be positive, got {timesteps}")
+        policy = resolve(policy)
         stacked = np.stack([np.asarray(frame) for frame in frames]) if not isinstance(
             frames, np.ndarray
         ) else np.asarray(frames)
@@ -344,10 +388,10 @@ class SpikingNetwork:
             )
         if stacked.shape[0] == 0:
             raise ValueError("frames must contain at least one frame")
-        states = self._batch_states(stacked.shape[0])
+        states = self._batch_states(stacked.shape[0], dtype=policy.dtype)
         activity = BatchNetworkActivity()
         for t in range(timesteps):
-            self._forward_timestep_batch(stacked, states, t, activity)
+            self._forward_timestep_batch(stacked, states, t, activity, policy)
         return activity
 
     def _forward_timestep_batch(
@@ -356,14 +400,33 @@ class SpikingNetwork:
         states: Dict[int, LIFState],
         timestep: int,
         activity: BatchNetworkActivity,
+        policy: Optional[NumericsPolicy] = None,
     ) -> None:
         """One batched timestep; appends records to ``activity`` in layer order."""
+        policy = resolve(policy)
+        dtype = policy.dtype
+        event_sparse = policy.forward_path == "event_sparse"
         current: np.ndarray = frames
         for index, layer in enumerate(self.layers):
             if layer.kind is LayerKind.CONV:
-                currents = conv2d_hwc_batch(
-                    current, layer.require_weights(), stride=layer.stride, padding=layer.padding
-                )
+                weights = self._cast_weights(index, layer.require_weights(), dtype)
+                # The encoding layer consumes the real-valued frame (density
+                # 1.0 by definition); only spike inputs can ride the event
+                # kernels, and only when sparse enough to win.
+                if (
+                    event_sparse
+                    and not layer.encodes_input
+                    and spike_density(current) < SPARSE_DENSITY_CROSSOVER
+                ):
+                    currents = conv2d_hwc_batch_sparse(
+                        current, weights, stride=layer.stride,
+                        padding=layer.padding, dtype=dtype,
+                    )
+                else:
+                    currents = conv2d_hwc_batch(
+                        current, weights, stride=layer.stride,
+                        padding=layer.padding, dtype=dtype,
+                    )
                 state, spikes = lif_step_batch(states[index], currents, layer.lif)
                 states[index] = state
                 activity.records.append(
@@ -384,7 +447,11 @@ class SpikingNetwork:
                 current = spikes
             elif layer.kind is LayerKind.LINEAR:
                 flat = np.asarray(current, dtype=bool).reshape(current.shape[0], -1)
-                currents = linear_batch(current, layer.require_weights())
+                weights = self._cast_weights(index, layer.require_weights(), dtype)
+                if event_sparse and spike_density(flat) < SPARSE_DENSITY_CROSSOVER:
+                    currents = linear_batch_sparse(flat, weights, dtype=dtype)
+                else:
+                    currents = linear_batch(current, weights, dtype=dtype)
                 state, spikes = lif_step_batch(states[index], currents, layer.lif)
                 states[index] = state
                 activity.records.append(
@@ -410,9 +477,14 @@ class SpikingNetwork:
             else:  # pragma: no cover - defensive
                 raise NotImplementedError(f"unsupported layer kind {layer.kind}")
 
-    def predict_batch(self, frames: Sequence[np.ndarray], timesteps: int = 1) -> np.ndarray:
+    def predict_batch(
+        self,
+        frames: Sequence[np.ndarray],
+        timesteps: int = 1,
+        policy: Optional[NumericsPolicy] = None,
+    ) -> np.ndarray:
         """Classify a batch of frames (``(B,)`` class indices) in one pass."""
-        activity = self.forward_batch(frames, timesteps=timesteps)
+        activity = self.forward_batch(frames, timesteps=timesteps, policy=policy)
         output_index = self.weighted_layers[-1]
         records = activity.for_layer(output_index)
         counts = np.zeros(

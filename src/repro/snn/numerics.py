@@ -1,0 +1,136 @@
+"""Numerics policy of the golden functional model.
+
+The golden model historically had exactly one numerical identity: FP64
+dense im2row GEMMs, bit-for-bit reproducible, used both as the correctness
+reference for the cluster kernels and as the functional engine behind
+``repro.serve``.  That exactness is worth keeping — but it makes every
+functional request pay ~full dense FP64 BLAS cost even though the paper's
+core observation is that spike activations are mostly zeros.
+
+:class:`NumericsPolicy` makes the trade-off explicit and selectable:
+
+* ``precision`` — ``"fp64"`` (the bit-for-bit reference) or ``"fp32"``
+  (half the bytes through every GEMM, im2row buffer and membrane array);
+* ``forward_path`` — ``"dense"`` (im2row GEMM over the full spike map) or
+  ``"event_sparse"`` (gather only the *active* input rows before the GEMM,
+  the software analogue of the paper's sparse vector-product streaming, so
+  arithmetic cost scales with nnz instead of dense size).
+
+The default policy (:data:`REFERENCE`, ``fp64-dense``) is what every
+existing caller gets when it passes ``policy=None`` anywhere: all
+bit-for-bit equality gates of the batched engines are unchanged by
+construction.  Non-reference policies trade exactness for speed inside the
+accuracy bound documented in :data:`CLASSIFICATION_AGREEMENT_BOUND` /
+:data:`SPIKE_COUNT_TOLERANCE` (gated by ``tests/core/test_precision_paths.py``
+and measured by ``benchmarks/bench_precision.py``).
+
+The policy is part of a run's identity: :meth:`Session.functional_fingerprint
+<repro.session.Session.functional_fingerprint>` hashes :meth:`NumericsPolicy.key`
+into every functional store key, so fp32 results can never be served where
+fp64 results were requested (or vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "CLASSIFICATION_AGREEMENT_BOUND",
+    "FORWARD_PATHS",
+    "NumericsPolicy",
+    "PRECISIONS",
+    "REFERENCE",
+    "SPIKE_COUNT_TOLERANCE",
+    "resolve",
+]
+
+PRECISIONS = ("fp64", "fp32")
+"""Accepted ``precision`` values (golden-model dtype, not the hardware
+cost-model :class:`~repro.types.Precision`)."""
+
+FORWARD_PATHS = ("dense", "event_sparse")
+"""Accepted ``forward_path`` values."""
+
+_DTYPES = {"fp64": np.float64, "fp32": np.float32}
+
+#: Documented accuracy bound of the non-reference policies versus the FP64
+#: dense reference: fraction of frames whose predicted class matches the
+#: reference prediction on the paper's S-VGG11 shapes.
+CLASSIFICATION_AGREEMENT_BOUND = 0.99
+
+#: Documented accuracy bound on per-layer spike counts: the maximum absolute
+#: deviation of any layer's total spike count under a non-reference policy,
+#: as a fraction of that layer's FP64 dense reference spike count (floor 1).
+#: FP32 only reorders/rounds the membrane current in the last ulps, so
+#: spikes flip only at near-threshold coincidences; the bound is
+#: deliberately loose versus the near-zero deviations measured in practice.
+SPIKE_COUNT_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class NumericsPolicy:
+    """Selectable precision and forward path of the golden functional model."""
+
+    precision: str = "fp64"
+    forward_path: str = "dense"
+
+    def __post_init__(self) -> None:
+        if self.precision not in PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {PRECISIONS}, got {self.precision!r}"
+            )
+        if self.forward_path not in FORWARD_PATHS:
+            raise ValueError(
+                f"forward_path must be one of {FORWARD_PATHS}, got {self.forward_path!r}"
+            )
+
+    @property
+    def dtype(self) -> np.dtype:
+        """The NumPy dtype of membrane currents, potentials and weights."""
+        return np.dtype(_DTYPES[self.precision])
+
+    @property
+    def is_reference(self) -> bool:
+        """Whether this is the bit-for-bit FP64 dense reference policy."""
+        return self.precision == "fp64" and self.forward_path == "dense"
+
+    def key(self) -> str:
+        """Canonical string identity, e.g. ``"fp32-event_sparse"``.
+
+        This exact string enters functional result-store fingerprints and
+        serve compatibility group keys, and names the per-policy serve
+        telemetry counters.
+        """
+        return f"{self.precision}-{self.forward_path}"
+
+    @classmethod
+    def from_key(cls, key: str) -> "NumericsPolicy":
+        """Parse a :meth:`key`-formatted string (CLI flags use the parts)."""
+        precision, _, forward_path = key.partition("-")
+        return cls(precision=precision, forward_path=forward_path)
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-friendly form (benchmark snapshots, telemetry)."""
+        return {"precision": self.precision, "forward_path": self.forward_path}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "NumericsPolicy":
+        return cls(
+            precision=data["precision"], forward_path=data["forward_path"]
+        )
+
+
+REFERENCE = NumericsPolicy()
+"""The bit-for-bit FP64 dense reference policy (the default everywhere)."""
+
+
+def resolve(policy: Optional[NumericsPolicy]) -> NumericsPolicy:
+    """``None`` -> :data:`REFERENCE`; anything else passes through.
+
+    The single place that defines what "no policy" means, used by every
+    layer that threads a policy (network, engine, session, serve).
+    """
+    return REFERENCE if policy is None else policy

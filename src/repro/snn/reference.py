@@ -13,6 +13,11 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+try:  # pragma: no cover - exercised indirectly by the sparse-path tests
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - the image bakes scipy in
+    _scipy_sparse = None
+
 
 def pad_hwc(x: np.ndarray, padding: int) -> np.ndarray:
     """Zero-pad the two spatial dimensions of an HWC tensor."""
@@ -146,6 +151,7 @@ def conv2d_hwc_batch(
     stride: int = 1,
     padding: int = 0,
     chunk_frames: Optional[int] = None,
+    dtype: np.dtype = np.float64,
 ) -> np.ndarray:
     """Batched :func:`conv2d_hwc`: BHWC input -> ``(B, out_h, out_w, C_out)``.
 
@@ -159,8 +165,14 @@ def conv2d_hwc_batch(
     im2row buffer stays cache-friendly (:data:`_IM2ROW_CHUNK_BYTES`) while
     the weight panels are reused across all frames of a chunk instead of
     re-streamed per frame; ``chunk_frames`` overrides the automatic size.
+
+    ``dtype`` selects the GEMM precision (the
+    :class:`~repro.snn.numerics.NumericsPolicy` knob).  The default
+    ``float64`` is the bit-for-bit reference path; ``float32`` halves every
+    buffer and weight panel, trading the last ulps of the membrane current.
     """
-    weights = np.asarray(weights, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    weights = np.asarray(weights, dtype=dtype)
     if weights.ndim != 4:
         raise ValueError(f"weights must be (kh, kw, C_in, C_out), got shape {weights.shape}")
     kh, kw, c_in, c_out = weights.shape
@@ -176,19 +188,19 @@ def conv2d_hwc_batch(
     out_w = conv_output_size(x.shape[2], kw, stride, padding)
     positions, k = out_h * out_w, kh * kw * c_in
     if chunk_frames is None:
-        chunk_frames = max(1, _IM2ROW_CHUNK_BYTES // (positions * k * 8))
+        chunk_frames = max(1, _IM2ROW_CHUNK_BYTES // (positions * k * dtype.itemsize))
     flat_weights = weights.reshape(k, c_out)
-    # Pad while the spike map is still 1-byte bools; the float64 conversion
+    # Pad while the spike map is still 1-byte bools; the float conversion
     # happens per chunk, so the kh*kw-fold overlapping reads of the patch
-    # walk hit a cache-resident float64 chunk instead of re-streaming a
-    # batch-sized float64 tensor from memory.
+    # walk hit a cache-resident float chunk instead of re-streaming a
+    # batch-sized float tensor from memory.
     padded = pad_bhwc(x, padding)
-    out = np.empty((batch, out_h, out_w, c_out), dtype=np.float64)
+    out = np.empty((batch, out_h, out_w, c_out), dtype=dtype)
     for start in range(0, batch, chunk_frames):
         stop = min(start + chunk_frames, batch)
         chunk = padded[start:stop]
-        if chunk.dtype != np.float64:
-            chunk = chunk.astype(np.float64)
+        if chunk.dtype != dtype:
+            chunk = chunk.astype(dtype)
         rows = im2row_batch(chunk, (kh, kw), stride, 0)
         flat = rows.reshape((stop - start) * positions, k) @ flat_weights
         out[start:stop] = flat.reshape(stop - start, out_h, out_w, c_out)
@@ -211,7 +223,9 @@ def linear(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return x @ weights
 
 
-def linear_batch(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
+def linear_batch(
+    x: np.ndarray, weights: np.ndarray, dtype: np.dtype = np.float64
+) -> np.ndarray:
     """Batched :func:`linear`: ``(B, in_features)`` input -> ``(B, out_features)``.
 
     The whole batch goes through one ``(B, F) @ (F, C)`` GEMM, so the weight
@@ -225,9 +239,14 @@ def linear_batch(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
     bit-for-bit against the per-frame loop by ``tests/snn`` — an ulp-level
     current difference cannot flip a LIF threshold comparison except at an
     exact-threshold coincidence, which the equivalence tests would surface.
+
+    ``dtype`` selects the GEMM precision (the
+    :class:`~repro.snn.numerics.NumericsPolicy` knob); the default
+    ``float64`` is the bit-for-bit reference path.
     """
-    x = np.asarray(x, dtype=np.float64)
-    weights = np.asarray(weights, dtype=np.float64)
+    dtype = np.dtype(dtype)
+    x = np.asarray(x, dtype=dtype)
+    weights = np.asarray(weights, dtype=dtype)
     if weights.ndim != 2:
         raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
     x = x.reshape(x.shape[0], -1)
@@ -236,6 +255,106 @@ def linear_batch(x: np.ndarray, weights: np.ndarray) -> np.ndarray:
             f"input has {x.shape[1]} features but weights expect {weights.shape[0]}"
         )
     return x @ weights
+
+
+#: Spike-map density below which the event-sparse CSR route beats the dense
+#: GEMM on this reference stack.  Measured on the paper's S-VGG11 shapes:
+#: ``scipy.sparse.csr_matrix(rows) @ W`` wins below ~10-12% active inputs
+#: (deep convs and all FC layers at the paper's firing rates, Figure 3a) and
+#: loses above (the early convs), so the adaptive ``event_sparse`` forward
+#: in :mod:`repro.snn.network` compares each layer's measured input density
+#: against this crossover before choosing a route.
+SPARSE_DENSITY_CROSSOVER = 0.125
+
+
+def spike_density(x: np.ndarray) -> float:
+    """Fraction of non-zero elements of a spike map (0.0 for empty maps)."""
+    x = np.asarray(x)
+    if x.size == 0:
+        return 0.0
+    return np.count_nonzero(x) / x.size
+
+
+def conv2d_hwc_batch_sparse(
+    x: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    dtype: np.dtype = np.float32,
+) -> np.ndarray:
+    """Event-sparse batched convolution: CSR spike rows against dense weights.
+
+    The software analogue of the paper's sparse vector-product streaming:
+    instead of densifying the boolean spike map into a float im2row buffer,
+    the im2row rows stay boolean and are compressed into a CSR matrix whose
+    stored entries are exactly the *active* inputs — the GEMM then touches
+    one weight row per event, so arithmetic cost scales with nnz instead of
+    the dense ``B*P*K`` volume.  Profitable below
+    :data:`SPARSE_DENSITY_CROSSOVER`; callers (the adaptive dispatch in
+    :meth:`SpikingNetwork._forward_timestep_batch
+    <repro.snn.network.SpikingNetwork>`) are expected to check density first.
+
+    Unlike the dense route this sums float products in CSR traversal order,
+    so results agree with :func:`conv2d_hwc_batch` only to rounding — the
+    accuracy bound lives in :mod:`repro.snn.numerics`.  Falls back to the
+    dense route when scipy is unavailable.
+    """
+    if _scipy_sparse is None:  # pragma: no cover - scipy is baked into the image
+        return conv2d_hwc_batch(x, weights, stride, padding, dtype=dtype)
+    dtype = np.dtype(dtype)
+    weights = np.asarray(weights, dtype=dtype)
+    if weights.ndim != 4:
+        raise ValueError(f"weights must be (kh, kw, C_in, C_out), got shape {weights.shape}")
+    kh, kw, c_in, c_out = weights.shape
+    x = np.asarray(x)
+    if x.ndim != 4:
+        raise ValueError(f"expected a BHWC tensor, got shape {x.shape}")
+    if x.shape[-1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[-1]} channels but weights expect {c_in}"
+        )
+    batch = x.shape[0]
+    out_h = conv_output_size(x.shape[1], kh, stride, padding)
+    out_w = conv_output_size(x.shape[2], kw, stride, padding)
+    positions, k = out_h * out_w, kh * kw * c_in
+    # im2row on the 1-byte boolean map: patch extraction copies bits, no
+    # float conversion ever materializes the dense buffer.
+    rows = im2row_batch(pad_bhwc(x != 0, padding), (kh, kw), stride, 0)
+    events = _scipy_sparse.csr_matrix(rows.reshape(batch * positions, k), dtype=dtype)
+    flat = events @ weights.reshape(k, c_out)
+    return np.asarray(flat).reshape(batch, out_h, out_w, c_out)
+
+
+def linear_batch_sparse(
+    x: np.ndarray, weights: np.ndarray, dtype: np.dtype = np.float32
+) -> np.ndarray:
+    """Event-sparse batched fully connected layer.
+
+    Gathers only the weight rows of *active* inputs: for the paper's FC
+    layers at 3-6% firing rates this reads a few hundred rows of a 4096-row
+    weight matrix instead of streaming all of it through a dense GEMM.
+    Same rounding caveat as :func:`conv2d_hwc_batch_sparse`; without scipy a
+    per-frame ``w[active].sum`` gather provides the same event scaling.
+    """
+    dtype = np.dtype(dtype)
+    weights = np.asarray(weights, dtype=dtype)
+    if weights.ndim != 2:
+        raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+    x = np.asarray(x)
+    flat = (x != 0).reshape(x.shape[0], -1)
+    if flat.shape[1] != weights.shape[0]:
+        raise ValueError(
+            f"input has {flat.shape[1]} features but weights expect {weights.shape[0]}"
+        )
+    if _scipy_sparse is not None:
+        events = _scipy_sparse.csr_matrix(flat, dtype=dtype)
+        return np.asarray(events @ weights)
+    out = np.zeros((flat.shape[0], weights.shape[1]), dtype=dtype)
+    for b in range(flat.shape[0]):
+        active = np.flatnonzero(flat[b])
+        if active.size:
+            out[b] = weights[active].sum(axis=0, dtype=dtype)
+    return out
 
 
 def maxpool2d_hwc(x: np.ndarray, kernel: int = 2, stride: int = 2) -> np.ndarray:

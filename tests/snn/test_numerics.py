@@ -1,0 +1,89 @@
+"""Unit tests of the golden-model :class:`~repro.snn.numerics.NumericsPolicy`."""
+
+import numpy as np
+import pytest
+
+from repro.snn.numerics import (
+    CLASSIFICATION_AGREEMENT_BOUND,
+    FORWARD_PATHS,
+    PRECISIONS,
+    REFERENCE,
+    SPIKE_COUNT_TOLERANCE,
+    NumericsPolicy,
+    resolve,
+)
+
+
+class TestNumericsPolicy:
+    def test_default_is_the_fp64_dense_reference(self):
+        policy = NumericsPolicy()
+        assert policy.precision == "fp64"
+        assert policy.forward_path == "dense"
+        assert policy.is_reference
+        assert policy == REFERENCE
+
+    def test_dtype_maps_precision(self):
+        assert NumericsPolicy("fp64", "dense").dtype == np.dtype(np.float64)
+        assert NumericsPolicy("fp32", "dense").dtype == np.dtype(np.float32)
+        assert NumericsPolicy("fp32", "event_sparse").dtype == np.dtype(np.float32)
+
+    def test_only_fp64_dense_is_reference(self):
+        for precision in PRECISIONS:
+            for forward_path in FORWARD_PATHS:
+                policy = NumericsPolicy(precision, forward_path)
+                assert policy.is_reference == (
+                    precision == "fp64" and forward_path == "dense"
+                )
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            NumericsPolicy(precision="fp16")
+
+    def test_invalid_forward_path_rejected(self):
+        with pytest.raises(ValueError, match="forward_path"):
+            NumericsPolicy(forward_path="sparse")
+
+    def test_key_roundtrip_every_policy(self):
+        for precision in PRECISIONS:
+            for forward_path in FORWARD_PATHS:
+                policy = NumericsPolicy(precision, forward_path)
+                assert NumericsPolicy.from_key(policy.key()) == policy
+
+    def test_key_format(self):
+        assert NumericsPolicy("fp32", "event_sparse").key() == "fp32-event_sparse"
+        assert REFERENCE.key() == "fp64-dense"
+
+    def test_from_key_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            NumericsPolicy.from_key("fp64")  # no forward path
+        with pytest.raises(ValueError):
+            NumericsPolicy.from_key("bf16-dense")
+
+    def test_dict_roundtrip(self):
+        policy = NumericsPolicy("fp32", "event_sparse")
+        assert NumericsPolicy.from_dict(policy.to_dict()) == policy
+        assert policy.to_dict() == {
+            "precision": "fp32",
+            "forward_path": "event_sparse",
+        }
+
+    def test_frozen_and_hashable(self):
+        policy = NumericsPolicy("fp32", "dense")
+        with pytest.raises(Exception):
+            policy.precision = "fp64"
+        assert len({policy, NumericsPolicy("fp32", "dense"), REFERENCE}) == 2
+
+
+class TestResolve:
+    def test_none_resolves_to_reference(self):
+        assert resolve(None) is REFERENCE
+
+    def test_policy_passes_through(self):
+        policy = NumericsPolicy("fp32", "event_sparse")
+        assert resolve(policy) is policy
+
+
+def test_documented_accuracy_bounds_are_sane():
+    """The bounds the docs and tests share must stay meaningful fractions."""
+    assert 0.9 <= CLASSIFICATION_AGREEMENT_BOUND < 1.0
+    assert 0.0 < SPIKE_COUNT_TOLERANCE <= 0.1

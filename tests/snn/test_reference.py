@@ -102,3 +102,48 @@ class TestLinearAndPooling:
         x = np.arange(16, dtype=float).reshape(4, 4, 1)
         pooled = avgpool2d_hwc(x, 2, 2)
         assert pooled[0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+
+class TestEventSparseOps:
+    """The event-sparse kernels vs their dense counterparts, both dtypes."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sparse_conv_matches_dense_on_spike_input(self, rng, dtype):
+        from repro.snn.reference import conv2d_hwc_batch, conv2d_hwc_batch_sparse
+
+        spikes = (rng.random((3, 8, 8, 4)) < 0.1).astype(dtype)
+        weights = rng.standard_normal((3, 3, 4, 6)).astype(dtype)
+        dense = conv2d_hwc_batch(spikes, weights, 1, 1, dtype=dtype)
+        sparse = conv2d_hwc_batch_sparse(spikes, weights, 1, 1, dtype=dtype)
+        assert sparse.shape == dense.shape
+        assert sparse.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sparse_linear_matches_dense_on_spike_input(self, rng, dtype):
+        from repro.snn.reference import linear_batch, linear_batch_sparse
+
+        spikes = (rng.random((4, 64)) < 0.05).astype(dtype)
+        weights = rng.standard_normal((64, 10)).astype(dtype)
+        dense = linear_batch(spikes, weights, dtype=dtype)
+        sparse = linear_batch_sparse(spikes, weights, dtype=dtype)
+        assert sparse.shape == dense.shape
+        assert sparse.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-5, atol=1e-5)
+
+    def test_sparse_conv_empty_input_is_all_zero(self, rng):
+        from repro.snn.reference import conv2d_hwc_batch_sparse
+
+        spikes = np.zeros((2, 6, 6, 3), dtype=np.float32)
+        weights = rng.standard_normal((3, 3, 3, 5)).astype(np.float32)
+        out = conv2d_hwc_batch_sparse(spikes, weights, 1, 1, dtype=np.float32)
+        assert out.shape == (2, 6, 6, 5)
+        assert not out.any()
+
+    def test_spike_density(self):
+        from repro.snn.reference import spike_density
+
+        x = np.zeros((4, 4))
+        x[0, 0] = 1.0
+        assert spike_density(x) == pytest.approx(1 / 16)
+        assert spike_density(np.zeros((0, 3))) == 0.0

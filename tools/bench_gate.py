@@ -1,0 +1,163 @@
+"""Performance regression gate: fresh benchmark runs vs committed baselines.
+
+Every ``BENCH_<name>.json`` at the repository root is a committed baseline:
+the ``--json`` output of ``benchmarks/bench_<name>.py`` recorded when the
+benchmark was introduced (or last re-baselined).  This gate re-runs each
+baselined benchmark and compares the machine-independent ``speedup`` field
+— the ratio of the benchmark's reference path to its optimized path —
+rather than raw wall-clock seconds, so the gate is stable across machines
+while still catching real regressions (an optimized path getting slower
+relative to its own reference *on the same host, in the same run*).
+
+A benchmark fails the gate when:
+
+* its fresh ``identical`` flag is false (the optimized path no longer
+  matches its reference bit-for-bit), or
+* its fresh ``speedup`` dropped more than ``--tolerance`` (default 15%)
+  below the committed baseline's ``speedup``.
+
+Speedups *above* the baseline always pass (and are worth re-baselining:
+re-run the bench with ``--json`` and commit the new ``BENCH_<name>.json``).
+
+Usage::
+
+    python tools/bench_gate.py                    # gate every committed baseline
+    python tools/bench_gate.py precision          # gate one benchmark by name
+    python tools/bench_gate.py --tolerance 0.25   # loosen the regression bound
+
+Exits non-zero on the first failing benchmark, so it can gate CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Default fractional regression allowed before the gate fails: a fresh
+#: speedup below ``baseline * (1 - TOLERANCE)`` is a regression.
+TOLERANCE = 0.15
+
+
+def _env_with_src() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def discover_baselines(names: Optional[List[str]] = None) -> Dict[str, Path]:
+    """Map benchmark name -> committed ``BENCH_<name>.json`` baseline path.
+
+    ``names`` restricts the gate to the given benchmarks; unknown names (no
+    committed baseline) raise ``SystemExit`` so a typo cannot silently gate
+    nothing.
+    """
+    baselines = {
+        path.stem[len("BENCH_"):]: path
+        for path in sorted(REPO_ROOT.glob("BENCH_*.json"))
+    }
+    if not names:
+        return baselines
+    missing = [name for name in names if name not in baselines]
+    if missing:
+        raise SystemExit(
+            f"no committed baseline for: {', '.join(missing)} "
+            f"(expected BENCH_<name>.json at the repo root)"
+        )
+    return {name: baselines[name] for name in names}
+
+
+def run_bench(name: str) -> Dict[str, object]:
+    """One fresh ``--json`` run of ``benchmarks/bench_<name>.py``; parsed."""
+    script = REPO_ROOT / "benchmarks" / f"bench_{name}.py"
+    if not script.exists():
+        raise SystemExit(f"baseline BENCH_{name}.json has no {script}")
+    proc = subprocess.run(
+        [sys.executable, str(script), "--json"],
+        cwd=REPO_ROOT,
+        env=_env_with_src(),
+        capture_output=True,
+        text=True,
+    )
+    # The bench's own acceptance gate may fail (non-zero exit) while still
+    # printing its result; the comparison below reports the sharper message,
+    # so only an unparseable run is fatal here.
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(
+            f"bench_{name}.py produced no parseable --json output "
+            f"(exit {proc.returncode})"
+        )
+
+
+def gate_one(name: str, baseline_path: Path, tolerance: float) -> int:
+    """Gate one benchmark against its committed baseline; returns exit code."""
+    baseline = json.loads(baseline_path.read_text())
+    fresh = run_bench(name)
+    committed = float(baseline["speedup"])
+    measured = float(fresh["speedup"])
+    floor = committed * (1.0 - tolerance)
+    if "identical" in fresh and not fresh["identical"]:
+        print(
+            f"FAIL {name}: optimized path no longer matches its reference "
+            f"bit-for-bit",
+            file=sys.stderr,
+        )
+        return 1
+    if measured < floor:
+        print(
+            f"FAIL {name}: speedup regressed to {measured:.2f}x "
+            f"(baseline {committed:.2f}x, floor {floor:.2f}x at "
+            f"{tolerance:.0%} tolerance)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok {name}: speedup {measured:.2f}x vs baseline {committed:.2f}x "
+        f"(floor {floor:.2f}x)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate fresh benchmark runs against committed BENCH_*.json baselines."
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names to gate (default: every committed baseline)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=TOLERANCE,
+        help=f"allowed fractional speedup regression (default {TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    baselines = discover_baselines(args.names)
+    if not baselines:
+        print("no committed BENCH_*.json baselines to gate", file=sys.stderr)
+        return 1
+    for name, path in baselines.items():
+        code = gate_one(name, path, args.tolerance)
+        if code != 0:
+            return code
+    print(f"bench gate passed ({len(baselines)} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,10 @@ machine-readable payload), runs one declarative
 checks the batched *functional* engine against its per-frame reference loop
 (bit-for-bit, on a small SVGG-style network), drives the ``repro.serve``
 inference service with 32 concurrent mixed-mode requests asserting every
-response equals the corresponding direct Session call, and finally runs one
+response equals the corresponding direct Session call, serves the same
+frames under the FP64-dense reference and FP32 event-sparse golden-model
+policies asserting store isolation, telemetry and the documented accuracy
+bounds (the *precision matrix*), and finally runs one
 scenario through a persistent :class:`repro.session.Session` twice,
 asserting that the second run is served from the result store (hit counter
 > 0) with results equal to the cold run.  Exits non-zero on the first
@@ -16,12 +19,14 @@ failure, so it can gate CI directly::
 
     python tools/smoke.py
 
-The backend-matrix, functional-equivalence and serving steps are also wired
-into the tier-1 pytest flow as fast ``smoke``-marked tests
-(``tests/eval/test_backend_matrix.py`` imports :func:`backend_matrix_check`,
-``tests/core/test_functional_batch.py`` imports
-:func:`functional_equivalence_check`, ``tests/serve/test_serve_smoke.py``
-imports :func:`serve_equivalence_check`), so every plain ``pytest`` run
+The backend-matrix, functional-equivalence, serving and precision-matrix
+steps are also wired into the tier-1 pytest flow as fast ``smoke``-marked
+tests (``tests/eval/test_backend_matrix.py`` imports
+:func:`backend_matrix_check`, ``tests/core/test_functional_batch.py``
+imports :func:`functional_equivalence_check`,
+``tests/serve/test_serve_smoke.py`` imports
+:func:`serve_equivalence_check`, ``tests/serve/test_precision_serve.py``
+imports :func:`precision_matrix_check`), so every plain ``pytest`` run
 covers them and ``pytest -m smoke`` runs them alone.
 """
 
@@ -255,6 +260,104 @@ def run_serve_smoke() -> int:
     return 0
 
 
+def precision_matrix_check(frames_count: int = 8, seed: int = 41) -> None:
+    """FP64-dense vs FP32 event-sparse served through ``repro.serve``.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/serve/test_precision_serve.py``) and raising ``AssertionError``
+    on the first violation.  Submits the same frames to one
+    :class:`~repro.serve.server.InferenceServer` under the FP64-dense
+    reference policy and the FP32 event-sparse fast policy, then asserts
+    the serving-layer contract (the two policies never share a result-store
+    entry; both per-policy request counters appear in the telemetry
+    snapshot) and the documented golden-model accuracy bound (classification
+    agreement >=
+    :data:`~repro.snn.numerics.CLASSIFICATION_AGREEMENT_BOUND`, per-layer
+    spike-count deviation <=
+    :data:`~repro.snn.numerics.SPIKE_COUNT_TOLERANCE`).
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import numpy as np
+
+    from repro.config import spikestream_config
+    from repro.eval.sweeps import functional_network
+    from repro.serve import InferenceServer
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.snn.numerics import (
+        CLASSIFICATION_AGREEMENT_BOUND,
+        REFERENCE,
+        SPIKE_COUNT_TOLERANCE,
+        NumericsPolicy,
+    )
+    from repro.types import TensorShape
+
+    config = spikestream_config(batch_size=1, timesteps=1, seed=seed)
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(frames_count)
+    fast = NumericsPolicy("fp32", "event_sparse")
+
+    with InferenceServer(workers=2, max_batch=8, max_wait_ms=20) as server:
+        reference_future = server.submit_functional(network, frames, config=config)
+        fast_future = server.submit_functional(
+            network, frames, config=config, numerics=fast
+        )
+        reference_future.result(timeout=120)
+        fast_future.result(timeout=120)
+        stats = server.stats()
+        entries = server.session.store.stats()["entries"]
+
+    assert entries >= 2, (
+        "fp64-dense and fp32-event_sparse requests shared one store entry"
+    )
+    for policy_key in (REFERENCE.key(), fast.key()):
+        counter = f"serve.numerics.requests.{policy_key}"
+        assert stats.get(counter, 0) >= 1, f"telemetry is missing {counter}"
+
+    # Accuracy bound of the fast policy vs the golden reference, on the same
+    # frames the server just costed.
+    reference_activity = network.forward_batch(frames, policy=REFERENCE)
+    fast_activity = network.forward_batch(frames, policy=fast)
+    for index in network.weighted_layers:
+        reference_count = sum(
+            float(record.output_spikes.sum())
+            for record in reference_activity.for_layer(index)
+        )
+        fast_count = sum(
+            float(record.output_spikes.sum())
+            for record in fast_activity.for_layer(index)
+        )
+        deviation = abs(fast_count - reference_count) / max(reference_count, 1.0)
+        assert deviation <= SPIKE_COUNT_TOLERANCE, (
+            f"layer {index} spike count deviates {deviation:.3f} "
+            f"(> {SPIKE_COUNT_TOLERANCE}) under fp32-event_sparse"
+        )
+    agreement = float(np.mean(
+        network.predict_batch(frames, policy=REFERENCE)
+        == network.predict_batch(frames, policy=fast)
+    ))
+    assert agreement >= CLASSIFICATION_AGREEMENT_BOUND, (
+        f"classification agreement {agreement:.3f} below "
+        f"{CLASSIFICATION_AGREEMENT_BOUND} under fp32-event_sparse"
+    )
+
+
+def run_precision_matrix() -> int:
+    """The precision matrix as a smoke step (summary + return code)."""
+    print("== precision matrix (fp64-dense vs fp32-event_sparse via serve) ==",
+          flush=True)
+    try:
+        precision_matrix_check()
+    except AssertionError as error:
+        print(f"precision matrix failed: {error}", file=sys.stderr)
+        return 1
+    print("precision matrix ok: distinct store entries per policy, "
+          "telemetry counters present, agreement/spike-count bounds met")
+    return 0
+
+
 def run_session_store_check() -> int:
     """One scenario through a persistent Session twice; the rerun must hit.
 
@@ -298,7 +401,7 @@ def run_session_store_check() -> int:
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
                  run_functional_equivalence, run_serve_smoke,
-                 run_session_store_check):
+                 run_precision_matrix, run_session_store_check):
         code = step()
         if code != 0:
             return code
