@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["emit_result", "speedup_gate"]
+__all__ = [
+    "emit_result",
+    "gate_check",
+    "gate_report",
+    "merge_gate_reports",
+    "render_gate_report",
+    "speedup_gate",
+]
 
 # Import recipe for the bench scripts (each repeats this guard before
 # `from common import ...`, because this module must be importable both
@@ -59,3 +66,82 @@ def speedup_gate(result: Dict[str, object], bar: float,
         print(f"FAIL: speedup below the {bar}x acceptance bar", file=sys.stderr)
         return 1
     return 0
+
+
+# --------------------------------------------------------------------------- #
+# Shared gate-report schema
+# --------------------------------------------------------------------------- #
+# One JSON document shape for every repository gate — the bench-regression
+# gate (tools/bench_gate.py), the lint gate (`repro.cli check --format json`)
+# and the combined runner (tools/gate.py) all emit it, so one consumer can
+# parse any of them:
+#
+#     {"gate": "<name>", "passed": bool,
+#      "summary": {"checks": N, "failed": M},
+#      "checks": [{"name": ..., "passed": bool, "detail": "...",
+#                  "data": {...}}, ...]}
+#
+# A combined report (merge_gate_reports) nests the per-gate reports under
+# "gates" and aggregates the summary.
+
+def gate_check(
+    name: str,
+    passed: bool,
+    detail: str = "",
+    data: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """One named pass/fail entry of a gate report."""
+    return {
+        "name": name,
+        "passed": bool(passed),
+        "detail": detail,
+        "data": dict(data) if data else {},
+    }
+
+
+def gate_report(gate: str, checks: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Assemble one gate's canonical report from its checks."""
+    checks = [dict(check) for check in checks]
+    failed = sum(1 for check in checks if not check["passed"])
+    return {
+        "gate": gate,
+        "passed": failed == 0,
+        "summary": {"checks": len(checks), "failed": failed},
+        "checks": checks,
+    }
+
+
+def merge_gate_reports(reports: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Combine per-gate reports into one top-level document (tools/gate.py)."""
+    reports = [dict(report) for report in reports]
+    checks = sum(report["summary"]["checks"] for report in reports)
+    failed = sum(report["summary"]["failed"] for report in reports)
+    return {
+        "gate": "all",
+        "passed": failed == 0,
+        "summary": {"checks": checks, "failed": failed},
+        "gates": reports,
+    }
+
+
+def render_gate_report(report: Dict[str, object]) -> str:
+    """Human-readable rendering of a (possibly combined) gate report."""
+    lines: List[str] = []
+    for sub in report.get("gates", [report]):
+        for check in sub["checks"]:
+            status = "ok  " if check["passed"] else "FAIL"
+            detail = f": {check['detail']}" if check.get("detail") else ""
+            lines.append(f"{status} [{sub['gate']}] {check['name']}{detail}")
+        summary = sub["summary"]
+        verdict = "passed" if sub["passed"] else "FAILED"
+        lines.append(
+            f"{sub['gate']} gate {verdict} "
+            f"({summary['checks']} check(s), {summary['failed']} failed)"
+        )
+    if "gates" in report:
+        verdict = "passed" if report["passed"] else "FAILED"
+        lines.append(
+            f"all gates {verdict} ({report['summary']['checks']} check(s), "
+            f"{report['summary']['failed']} failed)"
+        )
+    return "\n".join(lines)

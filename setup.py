@@ -1,5 +1,15 @@
-"""Setuptools shim for environments without PEP 517 wheel support."""
+"""Setuptools shim for environments without PEP 517 wheel support.
 
-from setuptools import setup
+Carries just enough metadata for ``pip install .`` from a bare checkout:
+the src/ layout and the ``py.typed`` marker (PEP 561), so downstream type
+checkers see the package's inline annotations.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+)

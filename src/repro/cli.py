@@ -13,6 +13,7 @@ Six subcommands cover the common workflows, all built on the unified
     python -m repro.cli sweep      --sweep firing_rate --backend sharded --shards 4
     python -m repro.cli plan       --list                            # declarative sweep specs
     python -m repro.cli serve      --workers 2 --max-batch 16        # micro-batching service demo
+    python -m repro.cli check      --format json                     # repo lint rules (repro.lint)
 
 Every command prints an aligned text table (the same rows the corresponding
 paper figure reports); ``run`` and ``sweep`` can also emit machine-readable
@@ -220,6 +221,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="telemetry output format")
     serve.add_argument("--output", default=None, metavar="PATH",
                        help="write the rendered output to a file instead of stdout")
+
+    from .lint import RULES
+
+    check = subparsers.add_parser(
+        "check",
+        help="run the repository's static-analysis rules (repro.lint)",
+        description="Run the registered AST lint rules over the repository "
+                    "sources and report findings in the shared gate-report "
+                    "schema (benchmarks/common.py). Exits non-zero on any "
+                    "finding, so it can gate CI directly.",
+    )
+    check.add_argument("--rule", action="append", choices=sorted(RULES),
+                       default=None, metavar="NAME", dest="rules",
+                       help="run only this rule (repeatable; default: all, "
+                            "plus the unused-suppression check)")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       dest="output_format",
+                       help="text findings or the shared JSON gate report")
+    check.add_argument("--fix-suppressions", action="store_true",
+                       help="rewrite source files removing suppression "
+                            "comments that suppress nothing")
+    check.add_argument("--root", default=None, metavar="DIR",
+                       help="project root to lint (default: this checkout)")
     return parser
 
 
@@ -569,6 +593,93 @@ def _command_serve(args: argparse.Namespace) -> str:
     return _emit("\n".join(lines), args)
 
 
+def _load_gate_schema():
+    """The shared gate-report schema module (``benchmarks/common.py``).
+
+    The schema has exactly one definition, shared with ``tools/bench_gate.py``
+    and ``tools/gate.py``; it is loaded by path because ``benchmarks/`` is a
+    scripts directory, not an installed package.
+    """
+    import importlib.util
+
+    from .lint.engine import REPO_ROOT
+
+    path = REPO_ROOT / "benchmarks" / "common.py"
+    if not path.exists():
+        raise SystemExit(
+            f"error: shared gate schema not found at {path} "
+            f"(`repro.cli check` lints a full repository checkout)"
+        )
+    spec = importlib.util.spec_from_file_location("repro_benchmarks_common", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _command_check(args: argparse.Namespace) -> str:
+    from pathlib import Path
+
+    from .lint import RULES, check_project, fix_suppressions
+    from .lint.engine import REPO_ROOT
+
+    schema = _load_gate_schema()
+    root = Path(args.root) if args.root else REPO_ROOT
+    result = check_project(root=root, rule_names=args.rules)
+    fixed: List[str] = []
+    if args.fix_suppressions and result.unused:
+        fixed = [str(path) for path in fix_suppressions(root, result.unused)]
+        result = check_project(root=root, rule_names=args.rules)
+
+    checks = []
+    by_rule = {}
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding)
+    for rule_name in result.rules:
+        findings = by_rule.get(rule_name, [])
+        checks.append(schema.gate_check(
+            name=rule_name,
+            passed=not findings,
+            detail=(f"{len(findings)} finding(s)" if findings
+                    else RULES[rule_name].description),
+            data={"findings": [finding.to_dict() for finding in findings]},
+        ))
+    unused_findings = by_rule.get("unused-suppression", [])
+    if not args.rules:  # the unused-suppression check only runs on full runs
+        checks.append(schema.gate_check(
+            name="unused-suppression",
+            passed=not unused_findings,
+            detail=(f"{len(unused_findings)} stale suppression(s)"
+                    if unused_findings else
+                    "every `# lint: disable=` comment suppresses something"),
+            data={"findings": [finding.to_dict() for finding in unused_findings]},
+        ))
+    report = schema.gate_report("lint", checks)
+    report["summary"]["files"] = result.files
+    report["summary"]["suppressed"] = result.suppressed
+    if fixed:
+        report["summary"]["fixed_files"] = fixed
+
+    if args.output_format == "json":
+        import json as json_module
+
+        rendered = json_module.dumps(report, sort_keys=True)
+    else:
+        lines = [finding.format() for finding in result.findings]
+        if fixed:
+            lines.append(f"rewrote {len(fixed)} file(s) removing stale suppressions")
+        verdict = "passed" if report["passed"] else "FAILED"
+        lines.append(
+            f"lint {verdict}: {result.files} file(s), "
+            f"{len(result.rules)} rule(s), {len(result.findings)} finding(s), "
+            f"{result.suppressed} suppressed"
+        )
+        rendered = "\n".join(lines)
+    if report["passed"]:
+        return rendered
+    print(rendered)
+    raise SystemExit(1)
+
+
 def _command_spva(args: argparse.Namespace) -> str:
     with Session() as session:
         result = session.run("spva_microbenchmark", stream_lengths=tuple(args.lengths))
@@ -587,6 +698,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _command_sweep,
         "plan": _command_plan,
         "serve": _command_serve,
+        "check": _command_check,
     }
     output = handlers[args.command](args)
     print(output)

@@ -1,0 +1,376 @@
+"""Runtime lock-order and shared-state tracing for the concurrency tests.
+
+The static :mod:`repro.lint.rules` catch unguarded *writes the AST can
+see*; this module catches what only execution reveals:
+
+* **lock-order cycles** — :class:`LockTracer` wraps the locks of a live
+  component in :class:`TracedLock` proxies, records per-thread acquisition
+  order, and maintains the directed lock-order graph (edge ``a -> b``: some
+  thread acquired ``b`` while holding ``a``).  A new edge that closes a
+  cycle is a potential deadlock — two threads have taken the same pair of
+  locks in opposite orders, even if the interleaving that would actually
+  deadlock has not happened yet — and raises :class:`LockOrderError`
+  immediately (or is recorded, with ``raise_on_cycle=False``).
+* **unguarded shared-state access** — :meth:`LockTracer.guard_mapping`
+  wraps a dict-like shared structure in a :class:`GuardedMapping` proxy
+  that fails any access made by a thread not currently holding the
+  structure's declared lock, turning "we always take the store lock" from
+  convention into an assertion that runs under real concurrent load.
+
+:func:`instrument_server` wires a whole
+:class:`~repro.serve.server.InferenceServer` (request queue + condition,
+metrics registry, result store and its LRU map, close lock) onto one
+tracer; the serve tests enable it through a fixture and drive 32 concurrent
+mixed-mode requests through it (``tools/smoke.py``'s ``check`` step runs
+the same scenario).
+
+:class:`TracedLock` implements the private ``_is_owned`` /
+``_release_save`` / ``_acquire_restore`` hooks, so a
+``threading.Condition`` built on a traced lock (the request queue's
+``_not_empty``) works unchanged, including ``wait()``'s full release of a
+reentrant hold.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = [
+    "GuardedMapping",
+    "LockOrderError",
+    "LockTracer",
+    "TracedLock",
+    "UnguardedAccessError",
+    "instrument_metrics",
+    "instrument_queue",
+    "instrument_server",
+    "instrument_store",
+]
+
+
+class LockOrderError(AssertionError):
+    """Two locks were acquired in opposite orders: a potential deadlock."""
+
+
+class UnguardedAccessError(AssertionError):
+    """A guarded shared structure was accessed without its declared lock."""
+
+
+class TracedLock:
+    """A Lock/RLock proxy reporting acquisitions/releases to a tracer.
+
+    Reentrant acquisitions are tracked but only the *first* acquisition of
+    a lock per thread records lock-order edges (re-entering a lock you hold
+    cannot invert an order).  Condition compatibility is preserved via the
+    ``_is_owned``/``_release_save``/``_acquire_restore`` protocol.
+    """
+
+    def __init__(self, tracer: "LockTracer", name: str, inner):
+        self._tracer = tracer
+        self.name = name
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            try:
+                self._tracer._note_acquire(self.name)
+            except LockOrderError:
+                # The caller's `with` block will not run, so nothing will
+                # release the inner lock; release it before propagating.
+                self._inner.release()
+                raise
+        return acquired
+
+    def release(self) -> None:
+        self._tracer._note_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- threading.Condition compatibility -----------------------------------
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        # Plain Lock: "owned" means this thread recorded an unreleased acquire.
+        return self._tracer.held_count(self.name) > 0
+
+    def _release_save(self):
+        depth = self._tracer._note_release_all(self.name)
+        if hasattr(self._inner, "_release_save"):
+            return (self._inner._release_save(), depth)
+        self._inner.release()
+        return (None, depth)
+
+    def _acquire_restore(self, state) -> None:
+        saved, depth = state
+        if saved is not None and hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(saved)
+        else:
+            self._inner.acquire()
+        self._tracer._note_acquire(self.name, count=depth)
+
+    def locked(self) -> bool:
+        if hasattr(self._inner, "locked"):
+            return self._inner.locked()
+        return False
+
+    def __repr__(self) -> str:
+        return f"TracedLock({self.name!r}, held={self._tracer.held()})"
+
+
+class LockTracer:
+    """Per-thread acquisition stacks plus the global lock-order graph."""
+
+    def __init__(self, raise_on_cycle: bool = True):
+        self.raise_on_cycle = raise_on_cycle
+        self._meta = threading.Lock()
+        self._graph: Dict[str, Set[str]] = {}
+        self._local = threading.local()
+        self._violations: List[str] = []
+        self._acquires = 0
+
+    # -- wrapping ------------------------------------------------------------
+    def wrap(self, inner, name: str) -> TracedLock:
+        """Wrap an existing (unheld) lock object under ``name``."""
+        return TracedLock(self, name, inner)
+
+    def rlock(self, name: str) -> TracedLock:
+        return self.wrap(threading.RLock(), name)
+
+    def lock(self, name: str) -> TracedLock:
+        return self.wrap(threading.Lock(), name)
+
+    def guard_mapping(self, mapping, lock: TracedLock, name: str) -> "GuardedMapping":
+        """A proxy failing any access without ``lock`` held by the accessor."""
+        return GuardedMapping(mapping, lock, name, self)
+
+    # -- per-thread state ----------------------------------------------------
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def held(self) -> Tuple[str, ...]:
+        """Lock names the calling thread holds, outermost first."""
+        ordered: List[str] = []
+        for name in self._stack():
+            if name not in ordered:
+                ordered.append(name)
+        return tuple(ordered)
+
+    def held_count(self, name: str) -> int:
+        return self._stack().count(name)
+
+    # -- event recording -----------------------------------------------------
+    def _note_acquire(self, name: str, count: int = 1) -> None:
+        stack = self._stack()
+        if name not in stack:
+            holders = list(dict.fromkeys(stack))
+            with self._meta:
+                self._acquires += 1
+                for held in holders:
+                    if name not in self._graph.setdefault(held, set()):
+                        self._graph[held].add(name)
+                        cycle = self._cycle_path(name, held)
+                        if cycle:
+                            message = (
+                                f"lock-order cycle: acquired {name!r} while "
+                                f"holding {held!r}, but the reverse order "
+                                f"{' -> '.join(cycle)} was also observed"
+                            )
+                            self._violations.append(message)
+                            if self.raise_on_cycle:
+                                raise LockOrderError(message)
+        stack.extend([name] * count)
+
+    def _note_release(self, name: str) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    def _note_release_all(self, name: str) -> int:
+        """Drop every hold of ``name`` (Condition.wait); returns the depth."""
+        stack = self._stack()
+        depth = stack.count(name)
+        self._local.stack = [held for held in stack if held != name]
+        return depth
+
+    def _cycle_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A path ``src -> ... -> dst`` in the graph (closing edge dst->src).
+
+        Must be called with ``self._meta`` held.
+        """
+        seen: Set[str] = set()
+
+        def walk(node: str, path: List[str]) -> Optional[List[str]]:
+            if node == dst:
+                return path + [node]
+            if node in seen:
+                return None
+            seen.add(node)
+            for successor in sorted(self._graph.get(node, ())):
+                found = walk(successor, path + [node])
+                if found:
+                    return found
+            return None
+
+        return walk(src, [])
+
+    def _record_violation(self, message: str) -> None:
+        self._violations.append(message)
+
+    # -- inspection ----------------------------------------------------------
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """The observed lock-order graph (copy)."""
+        with self._meta:
+            return {src: tuple(sorted(dsts)) for src, dsts in self._graph.items()}
+
+    @property
+    def acquire_count(self) -> int:
+        """Total first-acquisitions observed (proof the wiring took effect).
+
+        Only outermost acquisitions count — the same quantity the order
+        graph is built from — so a zero here means the instrumented locks
+        were never actually taken.
+        """
+        with self._meta:
+            return self._acquires
+
+    @property
+    def violations(self) -> Tuple[str, ...]:
+        return tuple(self._violations)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`AssertionError` listing any recorded violation."""
+        if self._violations:
+            raise AssertionError(
+                "lock tracing recorded violation(s):\n  "
+                + "\n  ".join(self._violations)
+            )
+
+
+_GUARDED_METHODS = (
+    "get", "items", "keys", "values", "pop", "popitem", "setdefault",
+    "clear", "update", "move_to_end", "copy",
+)
+
+
+class GuardedMapping:
+    """A dict-like proxy asserting its declared lock is held on every access.
+
+    Wraps the real mapping; the wrapping component keeps working unchanged
+    (every dict/OrderedDict operation it performs is forwarded), but any
+    access from a thread that does not currently own ``lock`` raises
+    :class:`UnguardedAccessError` — and is recorded on the tracer either
+    way, so a swallowed exception still fails ``assert_clean()``.
+    """
+
+    def __init__(self, inner, lock: TracedLock, name: str, tracer: LockTracer):
+        self._inner = inner
+        self._lock = lock
+        self._name = name
+        self._tracer = tracer
+
+    def _check(self) -> None:
+        if not self._lock._is_owned():
+            message = (
+                f"{self._name} accessed without holding {self._lock.name!r} "
+                f"(thread {threading.current_thread().name})"
+            )
+            self._tracer._record_violation(message)
+            raise UnguardedAccessError(message)
+
+    def __getattr__(self, attr: str):
+        if attr in _GUARDED_METHODS:
+            self._check()
+        return getattr(self._inner, attr)
+
+    def __getitem__(self, key):
+        self._check()
+        return self._inner[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._check()
+        self._inner[key] = value
+
+    def __delitem__(self, key) -> None:
+        self._check()
+        del self._inner[key]
+
+    def __contains__(self, key) -> bool:
+        self._check()
+        return key in self._inner
+
+    def __len__(self) -> int:
+        self._check()
+        return len(self._inner)
+
+    def __bool__(self) -> bool:
+        self._check()
+        return bool(self._inner)
+
+    def __iter__(self) -> Iterator:
+        self._check()
+        return iter(self._inner)
+
+
+# --------------------------------------------------------------------------- #
+# Component instrumentation
+# --------------------------------------------------------------------------- #
+def instrument_store(store, tracer: LockTracer, name: str = "store") -> None:
+    """Trace a :class:`~repro.session.ResultStore`'s lock and LRU map."""
+    traced = tracer.wrap(threading.RLock(), name)
+    store._lock = traced
+    store._memory = tracer.guard_mapping(store._memory, traced, f"{name}._memory")
+
+
+def instrument_metrics(registry, tracer: LockTracer, name: str = "metrics") -> None:
+    """Trace a :class:`~repro.serve.metrics.MetricsRegistry`'s shared lock.
+
+    Every existing instrument shares the registry lock, so all of them are
+    re-pointed at the traced replacement.
+    """
+    traced = tracer.wrap(threading.RLock(), name)
+    registry._lock = traced
+    for instrument in registry._instruments.values():
+        instrument._lock = traced
+
+
+def instrument_queue(queue, tracer: LockTracer, name: str = "queue") -> None:
+    """Trace a :class:`~repro.serve.queue.RequestQueue`'s lock + condition."""
+    traced = tracer.wrap(threading.Lock(), name)
+    queue._lock = traced
+    queue._not_empty = threading.Condition(traced)
+
+
+def instrument_server(server, tracer: Optional[LockTracer] = None) -> LockTracer:
+    """Wire one :class:`~repro.serve.server.InferenceServer` onto a tracer.
+
+    Instruments the request queue (lock + condition), the metrics registry,
+    the close lock, and the session's result store (lock + guarded LRU
+    map).  Call right after constructing the server, **before submitting
+    load**: idle workers re-read the queue's condition on every pop timeout
+    (50 ms), so the swap settles before the first request arrives.
+    """
+    import time
+
+    tracer = tracer if tracer is not None else LockTracer()
+    instrument_queue(server.queue, tracer, name="serve.queue")
+    instrument_metrics(server.metrics, tracer, name="serve.metrics")
+    instrument_store(server.session.store, tracer, name="session.store")
+    server._close_lock = tracer.wrap(threading.Lock(), "serve.close")
+    # Idle workers wait on the queue's previous condition for up to one pop
+    # timeout (50 ms); give every worker one cycle to re-read the traced
+    # replacement before the caller starts submitting.
+    time.sleep(0.12)
+    return tracer

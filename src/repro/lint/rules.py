@@ -1,0 +1,705 @@
+"""The repository's registered lint rules.
+
+Each rule encodes one invariant the test suite cannot watch everywhere at
+once; see the class docstrings for what each catches and why it matters.
+Rules self-register into :data:`repro.lint.engine.RULES` at import time,
+so adding a rule is: subclass :class:`~repro.lint.engine.Rule`, decorate
+with :func:`~repro.lint.engine.register`, done — ``repro.cli check`` and
+the smoke step pick it up automatically.
+
+Every rule is exercised by a seeded-violation fixture under
+``tests/lint/fixtures/`` proving it fires, and the repository itself must
+pass the full set clean (``python -m repro.cli check``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .engine import Finding, ParsedModule, Project, Rule, register
+
+__all__ = [
+    "AllExportsRule",
+    "DtypeDisciplineRule",
+    "FrozenMutationRule",
+    "LockDisciplineRule",
+    "MutableDefaultRule",
+    "RegistryDocsRule",
+    "UnpicklablePointRule",
+    "UnseededRngRule",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Shared AST helpers
+# --------------------------------------------------------------------------- #
+def _dotted(node: ast.AST) -> str:
+    """Dotted name of a Name/Attribute chain (``np.random.rand``), or ''."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _functions(tree: ast.AST) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` when ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+_LOCK_CONSTRUCTORS = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+}
+
+
+# --------------------------------------------------------------------------- #
+# R1 — lock discipline
+# --------------------------------------------------------------------------- #
+@register
+class LockDisciplineRule(Rule):
+    """An attribute guarded by a lock somewhere must be guarded everywhere.
+
+    For every class owning a lock attribute (``self._lock = threading.Lock()``
+    and friends), any instance attribute that is assigned under ``with
+    self._lock:`` in one method must not be assigned outside such a block in
+    any other method — the classic torn-counter/teared-map race in
+    ``repro.serve`` and :class:`~repro.session.ResultStore`.
+
+    Conventions honored: ``__init__`` publishes before sharing, so its
+    writes are exempt; methods named ``*_locked`` document that their caller
+    already holds the lock; nested callback functions are skipped (their
+    execution context is not the enclosing method's).  Container-element
+    mutation (``self._map[k] = v``) is the runtime tracer's job
+    (:class:`repro.lint.locktrace.GuardedMapping`), not this rule's.
+    """
+
+    name = "lock-discipline"
+    description = (
+        "attributes assigned under a lock in one method must not be "
+        "assigned unguarded elsewhere in the class"
+    )
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _lock_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        locks: Set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                ctor = _dotted(node.value.func).rsplit(".", 1)[-1]
+                if ctor in _LOCK_CONSTRUCTORS:
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            locks.add(attr)
+        return locks
+
+    def _collect_writes(
+        self,
+        body: Iterable[ast.stmt],
+        locks: Set[str],
+        held: Tuple[str, ...],
+        out: List[Tuple[str, int, Tuple[str, ...]]],
+    ) -> None:
+        """Record every ``self.<attr>`` assignment with the locks held there."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested definitions run in another context
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        out.append((attr, stmt.lineno, held))
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                attr = _self_attr(stmt.target)
+                if attr is not None:
+                    out.append((attr, stmt.lineno, held))
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                acquired = tuple(
+                    attr
+                    for item in stmt.items
+                    for attr in [_self_attr(item.context_expr)]
+                    if attr is not None and attr in locks
+                )
+                self._collect_writes(stmt.body, locks, held + acquired, out)
+                continue
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, field, None)
+                if children:
+                    blocks = [
+                        child.body if isinstance(child, ast.ExceptHandler) else [child]
+                        for child in children
+                    ]
+                    for block in blocks:
+                        self._collect_writes(block, locks, held, out)
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = self._lock_attrs(cls)
+        if not locks:
+            return
+        writes: Dict[str, List[Tuple[str, int, Tuple[str, ...]]]] = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            collected: List[Tuple[str, int, Tuple[str, ...]]] = []
+            self._collect_writes(method.body, locks, (), collected)
+            for attr, lineno, held in collected:
+                writes.setdefault(attr, []).append((method.name, lineno, held))
+        guarded: Dict[str, Tuple[str, str]] = {}
+        for attr, sites in writes.items():
+            for method_name, _, held in sites:
+                if held:
+                    guarded[attr] = (held[-1], method_name)
+                    break
+        for attr, sites in writes.items():
+            if attr not in guarded or attr in locks:
+                continue
+            lock, guarded_in = guarded[attr]
+            for method_name, lineno, held in sites:
+                if held or method_name == "__init__" or method_name.endswith("_locked"):
+                    continue
+                yield module.finding(
+                    self.name,
+                    lineno,
+                    f"{cls.name}.{attr} is written under self.{lock} in "
+                    f"{guarded_in}() but unguarded here in {method_name}()",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# R2 — no unseeded RNG on golden-model paths
+# --------------------------------------------------------------------------- #
+@register
+class UnseededRngRule(Rule):
+    """No global-state RNG draws where bit-for-bit reproducibility is law.
+
+    On the golden-model paths (``snn/``, ``kernels/``, engine modules) every
+    random draw must come from an explicitly seeded generator object
+    (``np.random.default_rng(seed)``, ``random.Random(seed)``): a single
+    ``np.random.rand()`` or ``random.random()`` makes results depend on
+    global interpreter state and silently breaks every equality gate.
+    """
+
+    name = "unseeded-rng"
+    description = (
+        "no np.random.<fn> / bare random.<fn> global-state draws in "
+        "snn/, kernels/ or engine modules"
+    )
+
+    _NUMPY_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+    _STDLIB_ALLOWED = {"Random", "SystemRandom"}
+
+    def _in_scope(self, module: ParsedModule) -> bool:
+        parts = module.rel_path.split("/")
+        return "snn" in parts or "kernels" in parts or "engine" in parts[-1]
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        if not self._in_scope(module):
+            return ()
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = _dotted(node.func)
+            head, _, fn = chain.rpartition(".")
+            if head in ("np.random", "numpy.random") and fn not in self._NUMPY_ALLOWED:
+                findings.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        f"{chain}() draws from the global NumPy RNG; use a "
+                        f"seeded np.random.default_rng(...) generator",
+                    )
+                )
+            elif head == "random" and fn not in self._STDLIB_ALLOWED:
+                findings.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        f"{chain}() uses global random-module state; use a "
+                        f"seeded random.Random(...) instance",
+                    )
+                )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R3 — dtype discipline
+# --------------------------------------------------------------------------- #
+@register
+class DtypeDisciplineRule(Rule):
+    """Functions taking a numerics policy must not hardcode a dtype.
+
+    A function parameterized on :class:`~repro.snn.numerics.NumericsPolicy`
+    (or a ``dtype`` argument) exists so callers choose the precision; a
+    literal ``np.float64``/``np.float32``/``dtype=float`` inside its body
+    silently pins one branch of the policy and breaks fp32 paths in ways
+    only an accuracy sweep would notice.
+    """
+
+    name = "dtype-discipline"
+    description = (
+        "no literal np.float64/np.float32/dtype=float in functions that "
+        "take a NumericsPolicy or dtype parameter"
+    )
+
+    _PARAM_NAMES = {"policy", "numerics", "dtype"}
+    _PINNED = {"np.float64", "numpy.float64", "np.float32", "numpy.float32"}
+
+    def _takes_policy(self, func: ast.AST) -> bool:
+        args = func.args
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        for arg in every:
+            if arg.arg in self._PARAM_NAMES:
+                return True
+            if arg.annotation is not None and "NumericsPolicy" in ast.dump(
+                arg.annotation
+            ):
+                return True
+        return False
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for func in _functions(module.tree):
+            if not self._takes_policy(func):
+                continue
+            # Only the body: the signature legitimately states the reference
+            # default (``dtype: np.dtype = np.float64``) — the invariant is
+            # that the *body* derives everything from the parameter.
+            for node in (n for stmt in func.body for n in ast.walk(stmt)):
+                if isinstance(node, ast.Attribute) and _dotted(node) in self._PINNED:
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            node,
+                            f"{func.name}() takes a numerics/dtype parameter "
+                            f"but hardcodes {_dotted(node)}; derive the dtype "
+                            f"from the parameter",
+                        )
+                    )
+                elif (
+                    isinstance(node, ast.keyword)
+                    and node.arg == "dtype"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "float"
+                ):
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            node.value,
+                            f"{func.name}() takes a numerics/dtype parameter "
+                            f"but passes dtype=float; derive the dtype from "
+                            f"the parameter",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R4 — picklable sweep point functions
+# --------------------------------------------------------------------------- #
+@register
+class UnpicklablePointRule(Rule):
+    """``SweepSpec.point`` must be a module-level function.
+
+    Process pools and shard workers pickle the point function; a lambda or
+    a closure pickles on no platform and fails only when someone first runs
+    the sweep with ``--backend process`` — far from where it was written.
+    (``finalize=`` may stay a lambda: only ``point`` crosses processes.)
+    """
+
+    name = "unpicklable-point"
+    description = (
+        "SweepSpec point functions must be module-level (picklable), "
+        "not lambdas or closures"
+    )
+
+    def _nested_function_names(self, tree: ast.AST) -> Set[str]:
+        nested: Set[str] = set()
+        for outer in _functions(tree):
+            for inner in ast.walk(outer):
+                if inner is not outer and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+        return nested
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        nested = self._nested_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            is_spec = _dotted(node.func).rsplit(".", 1)[-1] == "SweepSpec"
+            candidates: List[ast.expr] = []
+            for keyword in node.keywords:
+                if keyword.arg == "point":
+                    candidates.append(keyword.value)
+            if is_spec and len(node.args) >= 3:
+                candidates.append(node.args[2])  # SweepSpec(name, space, point)
+            for value in candidates:
+                if isinstance(value, ast.Lambda):
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            value,
+                            "sweep point function is a lambda; process/shard "
+                            "backends cannot pickle it — use a module-level "
+                            "function",
+                        )
+                    )
+                elif isinstance(value, ast.Name) and value.id in nested:
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            value,
+                            f"sweep point function {value.id!r} is defined "
+                            f"inside another function (a closure); process/"
+                            f"shard backends cannot pickle it",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R5 — no mutation of hashed frozen arrays
+# --------------------------------------------------------------------------- #
+@register
+class FrozenMutationRule(Rule):
+    """Frozen, fingerprint-hashed arrays must never be thawed or written.
+
+    Weight arrays are frozen (``array.flags.writeable = False``) once their
+    fingerprint enters the result-store keys; re-enabling writes
+    (``.flags.writeable = True``) or mutating a name bound to a network's
+    ``.weights`` in place silently invalidates every cached result hashed
+    from the old bytes.
+    """
+
+    name = "frozen-mutation"
+    description = (
+        "no .flags.writeable = True, and no in-place writes to names "
+        "bound from .weights arrays"
+    )
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        _dotted(target).endswith(".flags.writeable")
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value is True
+                    ):
+                        findings.append(
+                            module.finding(
+                                self.name,
+                                node,
+                                "re-enables writes on a frozen array; its "
+                                "fingerprint was hashed from the frozen bytes",
+                            )
+                        )
+        for func in _functions(module.tree):
+            frozen: Set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign):
+                    if (
+                        len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Name)
+                        and isinstance(node.value, ast.Attribute)
+                        and node.value.attr == "weights"
+                    ):
+                        frozen.add(node.targets[0].id)
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in frozen
+                        ):
+                            findings.append(
+                                module.finding(
+                                    self.name,
+                                    node,
+                                    f"element write to {target.value.id!r}, "
+                                    f"bound from a .weights array that may be "
+                                    f"frozen and fingerprint-hashed; copy it "
+                                    f"first",
+                                )
+                            )
+                elif isinstance(node, ast.AugAssign):
+                    name = node.target.id if isinstance(node.target, ast.Name) else None
+                    if name in frozen:
+                        findings.append(
+                            module.finding(
+                                self.name,
+                                node,
+                                f"in-place write to {name!r}, bound from a "
+                                f".weights array that may be frozen and "
+                                f"fingerprint-hashed; copy it first",
+                            )
+                        )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R6 — registry/doc consistency
+# --------------------------------------------------------------------------- #
+@register
+class RegistryDocsRule(Rule):
+    """Every registered scenario/sweep name stays documented.
+
+    Names enter the registries via ``add("name", kind, figure, description,
+    ...)`` inside ``_build_scenarios`` and via
+    ``register_sweep(SweepSpec(name=..., description=...))``.  Each must
+    appear in ``README.md`` (users discover scenarios there) and carry a
+    non-empty description (``Session.describe`` and ``--list-scenarios``
+    render it).
+    """
+
+    name = "registry-docs"
+    description = (
+        "registered scenario/sweep names must appear in README.md and "
+        "carry a non-empty description"
+    )
+
+    def _registrations(
+        self, module: ParsedModule
+    ) -> Iterator[Tuple[str, int, bool]]:
+        """Yield (name, line, has_description) per registration call."""
+        builders = [
+            func
+            for func in _functions(module.tree)
+            if func.name == "_build_scenarios"
+        ]
+        for builder in builders:
+            for node in ast.walk(builder):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "add"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    described = (
+                        len(node.args) > 3
+                        and isinstance(node.args[3], ast.Constant)
+                        and bool(node.args[3].value)
+                    )
+                    yield node.args[0].value, node.lineno, described
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _dotted(node.func).rsplit(".", 1)[-1] == "register_sweep"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+                and _dotted(node.args[0].func).rsplit(".", 1)[-1] == "SweepSpec"
+            ):
+                continue
+            spec = node.args[0]
+            name = described = None
+            for keyword in spec.keywords:
+                if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+                    name = keyword.value.value
+                if keyword.arg == "description":
+                    described = bool(
+                        not isinstance(keyword.value, ast.Constant)
+                        or keyword.value.value
+                    )
+            if isinstance(name, str):
+                yield name, node.lineno, bool(described)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            for name, line, described in self._registrations(module):
+                if name not in project.readme:
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            line,
+                            f"registered name {name!r} is not documented in "
+                            f"README.md",
+                        )
+                    )
+                if not described:
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            line,
+                            f"registered name {name!r} has no description; "
+                            f"describe()/--list-scenarios would render it "
+                            f"blank",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R7 — mutable default arguments
+# --------------------------------------------------------------------------- #
+@register
+class MutableDefaultRule(Rule):
+    """No mutable default argument values.
+
+    A ``def f(rows=[])`` default is created once and shared by every call;
+    the first caller that appends poisons all later calls.  Sweeps and
+    scenarios pass row lists and parameter dicts around constantly, so this
+    classic stays registered rather than remembered.
+    """
+
+    name = "mutable-default"
+    description = "no list/dict/set literals (or constructors) as argument defaults"
+
+    _CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict"}
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(default, ast.Call)
+            and _dotted(default.func).rsplit(".", 1)[-1] in self._CONSTRUCTORS
+        )
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for func in _functions(module.tree):
+            defaults = list(func.args.defaults) + [
+                default for default in func.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            default,
+                            f"{func.name}() has a mutable default argument; "
+                            f"use None and create it inside the function",
+                        )
+                    )
+        return findings
+
+
+# --------------------------------------------------------------------------- #
+# R8 — __all__ matches what the module actually binds
+# --------------------------------------------------------------------------- #
+@register
+class AllExportsRule(Rule):
+    """``__all__`` and the module's bindings must agree.
+
+    Two directions: every ``__all__`` name must be bound at module level
+    (or resolvable through a module ``__getattr__`` — a name counts as
+    dynamically resolvable when the module defines ``__getattr__`` and the
+    name appears as a string literal, e.g. in a lazy-export tuple), and
+    every public ``def``/``class`` written directly in a package
+    ``__init__.py`` must appear in ``__all__`` (otherwise ``import *`` and
+    the documented surface silently diverge).
+    """
+
+    name = "all-exports"
+    description = (
+        "__all__ names must be bound (or lazily resolvable) and public "
+        "__init__ definitions must be exported"
+    )
+
+    def _assigned_names(self, target: ast.expr) -> Iterator[str]:
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._assigned_names(element)
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        all_node: Optional[ast.Assign] = None
+        bound: Set[str] = set()
+        has_getattr = False
+        star_import = False
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+                if stmt.name == "__getattr__":
+                    has_getattr = True
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in self._assigned_names(target):
+                        bound.add(name)
+                        if name == "__all__":
+                            all_node = stmt
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+        if all_node is None or star_import:
+            return ()
+        if not isinstance(all_node.value, (ast.List, ast.Tuple)):
+            return ()
+        exported = [
+            element.value
+            for element in all_node.value.elts
+            if isinstance(element, ast.Constant) and isinstance(element.value, str)
+        ]
+        dynamic: Set[str] = set()
+        if has_getattr:
+            dynamic = {
+                node.value
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.Constant) and isinstance(node.value, str)
+            }
+        findings: List[Finding] = []
+        for name in exported:
+            if name not in bound and name not in dynamic:
+                findings.append(
+                    module.finding(
+                        self.name,
+                        all_node,
+                        f"__all__ exports {name!r} but the module never binds "
+                        f"it (no matching def/class/import/assignment, and no "
+                        f"__getattr__ naming it)",
+                    )
+                )
+        if module.path.name == "__init__.py":
+            for stmt in module.tree.body:
+                if (
+                    isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                    and not stmt.name.startswith("_")
+                    and stmt.name not in exported
+                ):
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            stmt,
+                            f"public {stmt.name!r} is defined in this package "
+                            f"__init__ but missing from __all__",
+                        )
+                    )
+        return findings

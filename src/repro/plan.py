@@ -45,6 +45,7 @@ import hashlib
 import itertools
 import json
 import sys
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -60,6 +61,16 @@ from typing import (
 )
 
 from .utils.serialization import atomic_write_text, canonical_json
+
+__all__ = [
+    "ParameterSpace",
+    "PlanRow",
+    "ResultsCache",
+    "SweepSpec",
+    "collect_plan",
+    "iter_plan",
+    "point_seed",
+]
 
 _SEED_SPACE = 2**63 - 1
 
@@ -85,10 +96,18 @@ class ResultsCache:
     The cache is an in-memory dictionary, optionally backed by a JSON file:
     pass ``path`` to load previously persisted rows on construction and call
     :meth:`save` (the plan executor does) to persist new ones.
+
+    Thread safety: one cache is shared by every worker of a threaded
+    backend and by concurrent serve requests resolving against the same
+    session, so every access to the row dict, the dirty flag and the
+    hit/miss counters holds ``_lock``.  ``merge_from`` snapshots the other
+    cache under *its* lock before touching this one — the two locks are
+    never held together, so opposite-direction merges cannot deadlock.
     """
 
     def __init__(self, path: Optional[Path] = None):
         self.path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
         self._rows: Dict[str, Dict[str, object]] = {}
         self._dirty = False
         self.hits = 0
@@ -138,17 +157,19 @@ class ResultsCache:
 
     def get(self, key: str) -> Optional[Dict[str, object]]:
         """Cached row for ``key``, or None (updates hit/miss counters)."""
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return dict(row)
+        with self._lock:
+            row = self._rows.get(key)
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(row)
 
     def put(self, key: str, row: Mapping[str, object]) -> None:
         """Store one row under ``key``."""
-        self._rows[key] = dict(row)
-        self._dirty = True
+        with self._lock:
+            self._rows[key] = dict(row)
+            self._dirty = True
 
     def merge_from(self, other: "ResultsCache") -> int:
         """Adopt every row of ``other`` this cache does not hold yet.
@@ -159,18 +180,23 @@ class ResultsCache:
         same key, so they are interchangeable); returns the number of newly
         adopted rows.
         """
+        # Snapshot under the *other* cache's lock, merge under ours —
+        # sequential acquisition, so two caches merging from each other on
+        # different threads cannot deadlock on lock order.
+        with other._lock:
+            snapshot = list(other._rows.items())
         added = 0
-        # list() snapshots the items so a merge can never trip over a cache
-        # that another thread is still writing to.
-        for key, row in list(other._rows.items()):
-            if key not in self._rows:
-                self._rows[key] = dict(row)
-                self._dirty = True
-                added += 1
+        with self._lock:
+            for key, row in snapshot:
+                if key not in self._rows:
+                    self._rows[key] = dict(row)
+                    self._dirty = True
+                    added += 1
         return added
 
     def __len__(self) -> int:
-        return len(self._rows)
+        with self._lock:
+            return len(self._rows)
 
     def save(self) -> None:
         """Persist the cache to its JSON file (no-op for in-memory caches).
@@ -182,11 +208,14 @@ class ResultsCache:
         sweep's results have already been computed and must still reach the
         caller.
         """
-        if self.path is None or not self._dirty:
-            return
+        with self._lock:
+            if self.path is None or not self._dirty:
+                return
+            payload = canonical_json(self._rows)
         try:
-            atomic_write_text(self.path, canonical_json(self._rows))
-            self._dirty = False
+            atomic_write_text(self.path, payload)
+            with self._lock:
+                self._dirty = False
         except OSError as error:
             print(
                 f"warning: could not persist results cache {self.path}: {error}",
@@ -615,9 +644,19 @@ def collect_plan(
             cache=cache, point_kwargs=point_kwargs,
         ):
             rows[plan_row.index] = plan_row.row
-        headline = spec.finalize(rows, tasks, run_cached)
+        # Narrow List[Optional[...]] -> List[...]: iter_plan yields every
+        # index exactly once, so a leftover None here is a backend bug worth
+        # a loud error rather than a downstream TypeError.
+        unfilled = [index for index, row in enumerate(rows) if row is None]
+        if unfilled:
+            raise RuntimeError(
+                f"sweep {spec.name!r}: backend yielded no row for point "
+                f"index(es) {unfilled}"
+            )
+        filled: List[Dict[str, object]] = [row for row in rows if row is not None]
+        headline = spec.finalize(filled, tasks, run_cached)
         if spec.row_schema:
-            for row in rows:
+            for row in filled:
                 missing = [column for column in spec.row_schema if column not in row]
                 if missing:
                     raise ValueError(
@@ -637,6 +676,6 @@ def collect_plan(
     return ExperimentResult(
         name=f"parallel_{spec.name}_sweep",
         figure="sweep",
-        rows=rows,
+        rows=filled,
         headline=headline,
     )

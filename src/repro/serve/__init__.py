@@ -24,13 +24,14 @@ synthetic load benchmark: ``benchmarks/bench_serve.py``.
 
 from .batcher import MicroBatcher, functional_group_key, statistical_group_key
 from .client import LoadGenerator, LoadReport, ServeClient
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, percentile_of_sorted
 from .queue import (
     DeadlineExceeded,
     InferenceRequest,
     QueueFull,
     RequestQueue,
     ServerClosed,
+    resolve_future,
 )
 from .server import InferenceServer
 
@@ -50,5 +51,7 @@ __all__ = [
     "ServeClient",
     "ServerClosed",
     "functional_group_key",
+    "percentile_of_sorted",
+    "resolve_future",
     "statistical_group_key",
 ]

@@ -33,7 +33,7 @@ fp64 results were requested (or vice versa).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,19 +47,22 @@ __all__ = [
     "resolve",
 ]
 
-PRECISIONS = ("fp64", "fp32")
+PRECISIONS: Tuple[str, ...] = ("fp64", "fp32")
 """Accepted ``precision`` values (golden-model dtype, not the hardware
 cost-model :class:`~repro.types.Precision`)."""
 
-FORWARD_PATHS = ("dense", "event_sparse")
+FORWARD_PATHS: Tuple[str, ...] = ("dense", "event_sparse")
 """Accepted ``forward_path`` values."""
 
-_DTYPES = {"fp64": np.float64, "fp32": np.float32}
+_DTYPES: Dict[str, np.dtype] = {
+    "fp64": np.dtype(np.float64),
+    "fp32": np.dtype(np.float32),
+}
 
 #: Documented accuracy bound of the non-reference policies versus the FP64
 #: dense reference: fraction of frames whose predicted class matches the
 #: reference prediction on the paper's S-VGG11 shapes.
-CLASSIFICATION_AGREEMENT_BOUND = 0.99
+CLASSIFICATION_AGREEMENT_BOUND: float = 0.99
 
 #: Documented accuracy bound on per-layer spike counts: the maximum absolute
 #: deviation of any layer's total spike count under a non-reference policy,
@@ -67,7 +70,7 @@ CLASSIFICATION_AGREEMENT_BOUND = 0.99
 #: FP32 only reorders/rounds the membrane current in the last ulps, so
 #: spikes flip only at near-threshold coincidences; the bound is
 #: deliberately loose versus the near-zero deviations measured in practice.
-SPIKE_COUNT_TOLERANCE = 0.02
+SPIKE_COUNT_TOLERANCE: float = 0.02
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,83 @@
+"""Regression tests for ResultsCache thread safety.
+
+The cache is shared by threaded-backend workers and by concurrent serve
+requests resolving against one session, but historically carried no lock:
+``hits``/``misses``/``_rows``/``_dirty`` were mutated bare (the exact
+pattern the ``lock-discipline`` lint rule now rejects repo-wide).  These
+tests pin the fix: a real lock exists, counters stay exact under
+contention, and opposite-direction merges cannot deadlock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.plan import ResultsCache
+
+_RLOCK_TYPE = type(threading.RLock())
+
+
+def test_results_cache_carries_a_real_lock():
+    assert isinstance(ResultsCache()._lock, _RLOCK_TYPE)
+
+
+def test_counters_exact_under_concurrent_access():
+    cache = ResultsCache()
+    threads, ops = 8, 200
+    barrier = threading.Barrier(threads)
+
+    def worker(worker_id):
+        barrier.wait()
+        for index in range(ops):
+            key = f"key-{index % 25}"
+            if cache.get(key) is None:
+                cache.put(key, {"worker": worker_id, "index": index})
+
+    pool = [threading.Thread(target=worker, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    # Every get incremented exactly one counter; a torn update would lose
+    # increments and break this identity.
+    assert cache.hits + cache.misses == threads * ops
+    assert len(cache) == 25
+    assert cache.misses >= 25  # each distinct key missed at least once
+
+
+def test_opposite_direction_merges_do_not_deadlock():
+    left, right = ResultsCache(), ResultsCache()
+    for index in range(50):
+        left.put(f"left-{index}", {"value": index})
+        right.put(f"right-{index}", {"value": index})
+    barrier = threading.Barrier(2)
+
+    def merge(dst, src):
+        barrier.wait()
+        for _ in range(20):
+            dst.merge_from(src)
+
+    pool = [
+        threading.Thread(target=merge, args=(left, right)),
+        threading.Thread(target=merge, args=(right, left)),
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=30)
+    assert not any(thread.is_alive() for thread in pool), (
+        "bidirectional merge_from deadlocked"
+    )
+    assert len(left) == len(right) == 100
+
+
+def test_merge_from_counts_only_new_rows():
+    source, target = ResultsCache(), ResultsCache()
+    source.put("shared", {"value": 1})
+    source.put("fresh", {"value": 2})
+    target.put("shared", {"value": 999})
+    assert target.merge_from(source) == 1
+    # Existing entries win: both sides computed them under the same key.
+    assert target.get("shared") == {"value": 999}
+    assert target.get("fresh") == {"value": 2}

@@ -1,0 +1,17 @@
+"""Seeded violations for the mutable-default rule (R7)."""
+
+
+def collect(rows=[]):
+    # Violation: the default list is shared by every call.
+    rows.append(1)
+    return rows
+
+
+def index(*, table=dict()):
+    # Violation: constructor-call defaults are just as shared.
+    return table
+
+
+def safe(rows=None):
+    # Allowed: the canonical None-then-create idiom.
+    return list(rows or ())

@@ -1,0 +1,20 @@
+"""Seeded violations for the dtype-discipline rule (R3)."""
+
+import numpy as np
+
+
+def forward(frames, policy):
+    # Violation: the function takes a policy but pins fp64 in its body.
+    buffer = np.zeros(len(frames), dtype=np.float64)
+    return buffer
+
+
+def accumulate(rows, dtype=np.float64):
+    # The signature default is allowed; the body must use the parameter.
+    # Violation: dtype=float ignores the parameter.
+    return np.asarray(rows, dtype=float)
+
+
+def reference_only(frames):
+    # Not in scope: no policy/dtype parameter, pinning is intentional here.
+    return np.zeros(len(frames), dtype=np.float64)

@@ -1,0 +1,7 @@
+"""Seeded violation for the all-exports rule (R8): a phantom export."""
+
+__all__ = ["present", "missing_name"]
+
+
+def present():
+    return 1

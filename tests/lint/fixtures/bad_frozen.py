@@ -1,0 +1,28 @@
+"""Seeded violations for the frozen-mutation rule (R5)."""
+
+
+def thaw(array):
+    # Violation: re-enables writes on a fingerprint-hashed frozen array.
+    array.flags.writeable = True
+    return array
+
+
+def scale_in_place(network):
+    weights = network.weights
+    # Violation: in-place write to a name bound from .weights.
+    weights *= 2.0
+    return weights
+
+
+def poke_element(network):
+    weights = network.weights
+    # Violation: element write to a name bound from .weights.
+    weights[0] = 0.0
+    return weights
+
+
+def scale_copy(network):
+    # Allowed: copy first, then mutate the copy.
+    scaled = network.weights.copy()
+    scaled *= 2.0
+    return scaled

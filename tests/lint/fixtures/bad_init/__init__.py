@@ -1,0 +1,8 @@
+"""Seeded violation for the all-exports rule (R8): unexported public def."""
+
+__all__ = []
+
+
+def forgotten():
+    # Violation: public definition in a package __init__ missing from __all__.
+    return 1

@@ -1,0 +1,21 @@
+"""Seeded violation for the lock-discipline rule (R1)."""
+
+import threading
+
+
+class TornCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def add(self):
+        with self._lock:
+            self.count += 1
+
+    def reset(self):
+        # Violation: `count` is guarded in add() but written bare here.
+        self.count = 0
+
+    def _drain_locked(self):
+        # Exempt: the _locked suffix documents the caller holds the lock.
+        self.count = 0

@@ -1,0 +1,23 @@
+"""Seeded violations for the unpicklable-point rule (R4)."""
+
+
+def module_level_point(task):
+    # Allowed: module-level functions pickle fine.
+    return {"value": task["seed"]}
+
+
+def build_specs(SweepSpec, space):
+    lambda_spec = SweepSpec(
+        name="lambda_sweep",
+        space=space,
+        # Violation: a lambda point function cannot cross process boundaries.
+        point=lambda task: {"value": 0},
+    )
+
+    def closure_point(task):
+        return {"value": task["seed"]}
+
+    # Violation: closure_point is nested, so it is unpicklable too.
+    closure_spec = SweepSpec(name="closure_sweep", space=space, point=closure_point)
+    ok_spec = SweepSpec(name="ok_sweep", space=space, point=module_level_point)
+    return lambda_spec, closure_spec, ok_spec

@@ -1,0 +1,10 @@
+"""Seeded violations for the registry-docs rule (R6).
+
+There is no README.md beside this fixture, so the registered name is
+undocumented; the add() call also omits its description argument.
+"""
+
+
+def _build_scenarios(add):
+    # Violations: "ghost_scenario" appears in no README and has no description.
+    add("ghost_scenario", "statistical", "fig6")

@@ -1,0 +1,3 @@
+"""A stale suppression: it suppresses nothing, which is itself a finding."""
+
+VALUE = 1  # lint: disable=mutable-default

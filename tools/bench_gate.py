@@ -24,8 +24,12 @@ Usage::
     python tools/bench_gate.py                    # gate every committed baseline
     python tools/bench_gate.py precision          # gate one benchmark by name
     python tools/bench_gate.py --tolerance 0.25   # loosen the regression bound
+    python tools/bench_gate.py --format json      # shared gate-report schema
 
-Exits non-zero on the first failing benchmark, so it can gate CI directly.
+Exits non-zero when any benchmark fails, so it can gate CI directly.
+``--format json`` emits the shared gate-report document defined in
+``benchmarks/common.py`` — the same schema ``repro.cli check --format
+json`` uses, so ``tools/gate.py`` merges both gates into one report.
 """
 
 from __future__ import annotations
@@ -39,6 +43,10 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+from common import gate_check, gate_report, render_gate_report  # noqa: E402
 
 #: Default fractional regression allowed before the gate fails: a fresh
 #: speedup below ``baseline * (1 - TOLERANCE)`` is a regression.
@@ -100,33 +108,38 @@ def run_bench(name: str) -> Dict[str, object]:
         )
 
 
-def gate_one(name: str, baseline_path: Path, tolerance: float) -> int:
-    """Gate one benchmark against its committed baseline; returns exit code."""
+def gate_one(name: str, baseline_path: Path, tolerance: float) -> Dict[str, object]:
+    """Gate one benchmark against its committed baseline; one gate check."""
     baseline = json.loads(baseline_path.read_text())
     fresh = run_bench(name)
     committed = float(baseline["speedup"])
     measured = float(fresh["speedup"])
     floor = committed * (1.0 - tolerance)
+    data = {
+        "baseline_speedup": committed,
+        "measured_speedup": measured,
+        "floor": floor,
+        "tolerance": tolerance,
+    }
     if "identical" in fresh and not fresh["identical"]:
-        print(
-            f"FAIL {name}: optimized path no longer matches its reference "
-            f"bit-for-bit",
-            file=sys.stderr,
+        return gate_check(
+            name, False,
+            "optimized path no longer matches its reference bit-for-bit",
+            data,
         )
-        return 1
     if measured < floor:
-        print(
-            f"FAIL {name}: speedup regressed to {measured:.2f}x "
-            f"(baseline {committed:.2f}x, floor {floor:.2f}x at "
-            f"{tolerance:.0%} tolerance)",
-            file=sys.stderr,
+        return gate_check(
+            name, False,
+            f"speedup regressed to {measured:.2f}x (baseline {committed:.2f}x, "
+            f"floor {floor:.2f}x at {tolerance:.0%} tolerance)",
+            data,
         )
-        return 1
-    print(
-        f"ok {name}: speedup {measured:.2f}x vs baseline {committed:.2f}x "
-        f"(floor {floor:.2f}x)"
+    return gate_check(
+        name, True,
+        f"speedup {measured:.2f}x vs baseline {committed:.2f}x "
+        f"(floor {floor:.2f}x)",
+        data,
     )
-    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -144,6 +157,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=TOLERANCE,
         help=f"allowed fractional speedup regression (default {TOLERANCE})",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="text lines or the shared JSON gate report (benchmarks/common.py)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 <= args.tolerance < 1.0:
         parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
@@ -151,12 +171,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not baselines:
         print("no committed BENCH_*.json baselines to gate", file=sys.stderr)
         return 1
-    for name, path in baselines.items():
-        code = gate_one(name, path, args.tolerance)
-        if code != 0:
-            return code
-    print(f"bench gate passed ({len(baselines)} benchmark(s))")
-    return 0
+    report = gate_report(
+        "bench",
+        [gate_one(name, path, args.tolerance)
+         for name, path in baselines.items()],
+    )
+    if args.output_format == "json":
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_gate_report(report))
+    return 0 if report["passed"] else 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,40 @@
+"""Static-analysis gate entry point: ``python tools/check.py``.
+
+A thin wrapper over ``python -m repro.cli check`` so the linter runs from
+a bare checkout with no environment setup (the PYTHONPATH dance happens
+here).  ``tools/smoke.py``'s ``check`` step and ``tools/gate.py`` both go
+through this module; every flag of the CLI subcommand passes through::
+
+    python tools/check.py                     # full rule set, text findings
+    python tools/check.py --format json       # shared gate-report schema
+    python tools/check.py --rule lock-discipline
+    python tools/check.py --fix-suppressions  # drop stale suppressions
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import main as cli_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        return cli_main(["check"] + argv)
+    except SystemExit as exit_:  # the subcommand exits non-zero on findings
+        code = exit_.code
+        if isinstance(code, str):
+            print(code, file=sys.stderr)
+            return 1
+        return int(code or 0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

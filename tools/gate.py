@@ -1,0 +1,123 @@
+"""Combined CI gate: bench-regression + static-analysis in one verdict.
+
+Runs both repository gates and merges their reports through the shared
+schema in ``benchmarks/common.py``:
+
+* the bench gate (``tools/bench_gate.py``): every committed
+  ``BENCH_*.json`` baseline re-run and compared on its
+  machine-independent ``speedup`` ratio;
+* the lint gate (``repro.lint``): the full AST rule set of
+  ``python -m repro.cli check`` over the repository.
+
+Because both producers emit ``gate_report`` documents, the merge here is
+pure aggregation — no re-parsing of text output::
+
+    python tools/gate.py                 # both gates, human-readable
+    python tools/gate.py --format json   # one merged JSON report
+    python tools/gate.py --skip-bench    # lint only (fast pre-commit)
+    python tools/gate.py --skip-lint     # bench only
+
+Exits non-zero when any check of any gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+for _entry in (REPO_ROOT / "benchmarks", REPO_ROOT / "src", REPO_ROOT / "tools"):
+    if str(_entry) not in sys.path:
+        sys.path.insert(0, str(_entry))
+
+from common import (  # noqa: E402
+    gate_check,
+    gate_report,
+    merge_gate_reports,
+    render_gate_report,
+)
+
+
+def run_bench_gate(tolerance: Optional[float] = None) -> Dict[str, object]:
+    """The bench-regression gate as one report (see tools/bench_gate.py)."""
+    import bench_gate
+
+    baselines = bench_gate.discover_baselines()
+    if not baselines:
+        return gate_report(
+            "bench",
+            [gate_check("baselines", False,
+                        "no committed BENCH_*.json baselines to gate")],
+        )
+    checks = [
+        bench_gate.gate_one(
+            name, path,
+            bench_gate.TOLERANCE if tolerance is None else tolerance,
+        )
+        for name, path in baselines.items()
+    ]
+    return gate_report("bench", checks)
+
+
+def run_lint_gate() -> Dict[str, object]:
+    """The static-analysis gate as one report (see repro.lint)."""
+    from repro import lint
+
+    result = lint.check_project(root=REPO_ROOT)
+    by_rule: Dict[str, List[str]] = {rule: [] for rule in result.rules}
+    by_rule[lint.UNUSED_SUPPRESSION] = []
+    for finding in result.findings:
+        by_rule.setdefault(finding.rule, []).append(finding.format())
+    checks = [
+        gate_check(
+            rule,
+            not lines,
+            f"{len(lines)} finding(s)" if lines
+            else (lint.RULES[rule].description if rule in lint.RULES
+                  else "every suppression suppresses a real finding"),
+            {"findings": lines},
+        )
+        for rule, lines in by_rule.items()
+    ]
+    report = gate_report("lint", checks)
+    report["summary"]["files"] = result.files
+    report["summary"]["suppressed"] = result.suppressed
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the bench-regression and lint gates as one verdict."
+    )
+    parser.add_argument("--skip-bench", action="store_true",
+                        help="run the lint gate only")
+    parser.add_argument("--skip-lint", action="store_true",
+                        help="run the bench gate only")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="bench gate regression tolerance override")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format",
+                        help="text lines or one merged JSON gate report")
+    args = parser.parse_args(argv)
+    if args.skip_bench and args.skip_lint:
+        parser.error("--skip-bench and --skip-lint together gate nothing")
+
+    reports: List[Dict[str, object]] = []
+    if not args.skip_lint:
+        reports.append(run_lint_gate())
+    if not args.skip_bench:
+        reports.append(run_bench_gate(args.tolerance))
+    merged = merge_gate_reports(reports)
+    if args.output_format == "json":
+        print(json.dumps(merged, sort_keys=True))
+    else:
+        print(render_gate_report(merged))
+    return 0 if merged["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,20 +14,29 @@ policies asserting store isolation, telemetry and the documented accuracy
 bounds (the *precision matrix*), and finally runs one
 scenario through a persistent :class:`repro.session.Session` twice,
 asserting that the second run is served from the result store (hit counter
-> 0) with results equal to the cold run.  Exits non-zero on the first
-failure, so it can gate CI directly::
+> 0) with results equal to the cold run.  The final ``check`` step runs the
+repository's own static-analysis gate (``repro.lint`` — the full AST rule
+set must come back clean over src/tools/benchmarks/examples) and a
+lock-traced mini serve session (every serve/session lock swapped for
+:class:`~repro.lint.locktrace.TracedLock` via
+:func:`~repro.lint.locktrace.instrument_server`, 32 concurrent mixed-mode
+requests, then ``assert_clean`` — no lock-order cycles, no unguarded
+shared-state access).  Exits non-zero on the first failure, so it can gate
+CI directly::
 
     python tools/smoke.py
 
-The backend-matrix, functional-equivalence, serving and precision-matrix
-steps are also wired into the tier-1 pytest flow as fast ``smoke``-marked
-tests (``tests/eval/test_backend_matrix.py`` imports
+The backend-matrix, functional-equivalence, serving, precision-matrix and
+check steps are also wired into the tier-1 pytest flow as fast
+``smoke``-marked tests (``tests/eval/test_backend_matrix.py`` imports
 :func:`backend_matrix_check`, ``tests/core/test_functional_batch.py``
 imports :func:`functional_equivalence_check`,
 ``tests/serve/test_serve_smoke.py`` imports
 :func:`serve_equivalence_check`, ``tests/serve/test_precision_serve.py``
-imports :func:`precision_matrix_check`), so every plain ``pytest`` run
-covers them and ``pytest -m smoke`` runs them alone.
+imports :func:`precision_matrix_check`, ``tests/lint/test_locktrace.py``
+imports :func:`lint_repo_check` and :func:`locktrace_serve_check`), so
+every plain ``pytest`` run covers them and ``pytest -m smoke`` runs them
+alone.
 """
 
 from __future__ import annotations
@@ -398,10 +407,104 @@ def run_session_store_check() -> int:
     return 0
 
 
+def lint_repo_check() -> None:
+    """The full static-analysis rule set must come back clean on the repo.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/lint/test_locktrace.py``) and raising ``AssertionError`` with
+    every finding listed, so a violating commit names its own lines.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.lint import check_project
+
+    result = check_project(root=REPO_ROOT)
+    assert result.passed, (
+        f"repro.lint found {len(result.findings)} violation(s):\n"
+        + "\n".join(finding.format() for finding in result.findings)
+    )
+
+
+def locktrace_serve_check(requests: int = 32, seed: int = 47) -> None:
+    """A lock-traced serve session must finish with a clean tracer.
+
+    Importable (used by the ``smoke``-marked tier-1 test) and raising
+    ``AssertionError`` on any recorded violation.  Swaps every lock of a
+    live :class:`~repro.serve.server.InferenceServer` (queue, metrics,
+    result store, close lock) for
+    :class:`~repro.lint.locktrace.TracedLock` via
+    :func:`~repro.lint.locktrace.instrument_server`, wraps the store's
+    backing dict in a :class:`~repro.lint.locktrace.GuardedMapping`, fires
+    ``requests`` concurrent mixed statistical/functional requests, and
+    asserts both that the responses are sane and that the tracer saw no
+    lock-order cycle and no store access without the store lock held.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.config import spikestream_config
+    from repro.eval.sweeps import functional_network
+    from repro.lint.locktrace import instrument_server
+    from repro.serve import InferenceServer
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.types import TensorShape
+
+    config = spikestream_config(batch_size=1, timesteps=1, seed=seed)
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(requests)
+
+    with InferenceServer(workers=2, max_batch=8, max_wait_ms=20) as server:
+        tracer = instrument_server(server)
+        futures = []
+        for index in range(requests):
+            if index % 2 == 0:
+                futures.append(server.submit_statistical(
+                    config=config, batch_size=1, seed=seed + index,
+                ))
+            else:
+                futures.append(server.submit_functional(
+                    network, frames[index:index + 1], config=config,
+                ))
+        results = [future.result(timeout=120) for future in futures]
+        stats = server.stats()
+
+    assert len(results) == requests and all(r is not None for r in results), (
+        "lock-traced serve session dropped responses"
+    )
+    assert stats.get("serve.completed", 0) >= requests, (
+        f"completed counter {stats.get('serve.completed')} < {requests}"
+    )
+    tracer.assert_clean()
+    # The instrumented run must actually have exercised the traced locks.
+    assert tracer.acquire_count > 0, (
+        "locktrace instrumented a server but saw no lock acquisitions"
+    )
+
+
+def run_check() -> int:
+    """Static analysis + lock-traced serving as one smoke step."""
+    print("== check (repro.lint clean run + lock-traced serve session) ==",
+          flush=True)
+    try:
+        lint_repo_check()
+    except AssertionError as error:
+        print(f"lint gate failed: {error}", file=sys.stderr)
+        return 1
+    try:
+        locktrace_serve_check()
+    except AssertionError as error:
+        print(f"locktrace serve check failed: {error}", file=sys.stderr)
+        return 1
+    print("check ok: full rule set clean, 32 lock-traced mixed-mode "
+          "requests with no ordering or guard violations")
+    return 0
+
+
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
                  run_functional_equivalence, run_serve_smoke,
-                 run_precision_matrix, run_session_store_check):
+                 run_precision_matrix, run_session_store_check, run_check):
         code = step()
         if code != 0:
             return code
