@@ -1,0 +1,214 @@
+"""Distributed serving (repro.net) vs in-process serving, same workload.
+
+The acceptance scenario of the ``repro.net`` subsystem: **64 concurrent
+statistical requests** (distinct seeds, so no result-store short-circuit
+hides the transport) fired open-loop, twice:
+
+* **distributed** — a :class:`~repro.net.coordinator.Coordinator` fronting
+  two real worker OS processes (:func:`~repro.net.worker.spawn_worker`),
+  every request crossing the framed-socket wire both ways;
+* **in-process** — a plain :class:`~repro.serve.server.InferenceServer`
+  with two local worker threads on the same session knobs.
+
+Worker startup and registration happen **outside** the timed window; the
+measurement is steady-state serving.  The per-request responses are
+asserted **bit-for-bit identical** across arms — the wire must be
+invisible — and the headline is the throughput ratio
+``distributed / in-process``.  There is no speedup bar (pickling a result
+per request is a real tax; the committed ``BENCH_cluster.json`` baseline
+tracks the ratio so :mod:`tools.bench_gate` catches transport
+regressions); the hard gate is equality.
+
+Emits the same result schema as ``bench_serve.py`` through
+``benchmarks/common.py`` (``--json`` for the machine-readable form).
+Runs standalone::
+
+    python benchmarks/bench_cluster.py [--json] [--requests N] [--workers W]
+"""
+
+import argparse
+import sys
+
+from repro.config import spikestream_config
+from repro.net import Coordinator, spawn_worker
+from repro.serve import InferenceServer, LoadGenerator
+from repro.session import Session
+
+REQUESTS = 64
+MAX_BATCH = 16
+WORKERS = 2
+SEED = 2025
+#: Equality is the gate; the throughput ratio is tracked, not barred.
+SPEEDUP_BAR = 0.0
+
+
+#: Untimed requests served before the measured wave in each arm: first-use
+#: costs (engine caches, worker process warm-up) stay out of the ratio.
+WARMUP = 8
+
+
+def _warm_up(submit_one, base_seed):
+    for offset in range(WARMUP):
+        submit_one(base_seed + offset).result(timeout=300)
+
+
+def inprocess_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
+                  max_wait_ms=50.0):
+    """The reference arm: local worker threads; returns (report, results)."""
+    futures = []
+    session = Session()
+    with InferenceServer(
+        session=session, workers=workers, max_batch=max_batch,
+        max_wait_ms=max_wait_ms, max_queue=max(len(seeds), 256),
+    ) as server:
+        _warm_up(
+            lambda s: server.submit_statistical(config=config, seed=s),
+            max(seeds) + 1,
+        )
+
+        def submit(index):
+            future = server.submit_statistical(config=config, seed=seeds[index])
+            futures.append(future)
+            return future
+
+        report = LoadGenerator(submit, requests=len(seeds)).run()
+    return report, [future.result(timeout=0) for future in futures]
+
+
+def distributed_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
+                    max_wait_ms=50.0):
+    """The subject arm: coordinator + worker processes over the wire."""
+    futures = []
+    coordinator = Coordinator(
+        max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max(len(seeds), 256),
+    )
+    processes = []
+    try:
+        for index in range(workers):
+            processes.append(spawn_worker(
+                coordinator.address, worker_id=f"bench-{index}", quiet=True
+            ))
+        if not coordinator.wait_for_workers(workers, timeout=180):
+            raise RuntimeError("bench worker processes never registered")
+        _warm_up(
+            lambda s: coordinator.submit_statistical(config=config, seed=s),
+            max(seeds) + 1,
+        )
+
+        def submit(index):
+            future = coordinator.submit_statistical(
+                config=config, seed=seeds[index]
+            )
+            futures.append(future)
+            return future
+
+        report = LoadGenerator(submit, requests=len(seeds)).run()
+        results = [future.result(timeout=0) for future in futures]
+    finally:
+        coordinator.close()
+        for process in processes:
+            try:
+                process.wait(timeout=30)
+            except Exception:
+                process.kill()
+    return report, results
+
+
+def _best_of(arm, repeats, *args, **kwargs):
+    """Run an arm ``repeats`` times; keep the fastest report.
+
+    Machine noise (a shared host, a GC pause) only ever *slows* an arm, so
+    the per-arm best is the stable estimator the regression gate needs.
+    The last run's results are returned for the equality check — every run
+    must be bit-for-bit anyway.
+    """
+    best_report, results = None, None
+    for _ in range(repeats):
+        report, results = arm(*args, **kwargs)
+        if best_report is None or report.wall_s < best_report.wall_s:
+            best_report = report
+    return best_report, results
+
+
+def compare_cluster(requests=REQUESTS, workers=WORKERS, max_batch=MAX_BATCH,
+                    max_wait_ms=50.0, seed=SEED, repeats=2):
+    """Both arms on one workload; returns the shared bench result schema."""
+    # timesteps=4 keeps each request compute-heavy relative to the framing
+    # tax, so the throughput ratio tracks the transport, not the scheduler
+    # jitter of tiny requests.
+    config = spikestream_config(batch_size=1, timesteps=4, seed=seed)
+    seeds = [seed + index for index in range(requests)]
+
+    distributed_report, distributed_results = _best_of(
+        distributed_arm, repeats, config, seeds, workers=workers,
+        max_batch=max_batch, max_wait_ms=max_wait_ms,
+    )
+    inprocess_report, inprocess_results = _best_of(
+        inprocess_arm, repeats, config, seeds, workers=workers,
+        max_batch=max_batch, max_wait_ms=max_wait_ms,
+    )
+    identical = len(distributed_results) == len(inprocess_results) and all(
+        shipped.identical_to(local)
+        for shipped, local in zip(distributed_results, inprocess_results)
+    )
+    return {
+        "benchmark": "cluster",
+        "batch_size": max_batch,
+        "requests": requests,
+        "workers": workers,
+        # vectorized = the subject arm (distributed), looped = the local
+        # reference, matching the schema every other bench emits.
+        "vectorized_s": distributed_report.wall_s,
+        "looped_s": inprocess_report.wall_s,
+        "vectorized_rps": distributed_report.throughput_rps,
+        "looped_rps": inprocess_report.throughput_rps,
+        "latency_p50_ms": distributed_report.to_dict()["latency_p50_ms"],
+        "latency_p95_ms": distributed_report.to_dict()["latency_p95_ms"],
+        "speedup": (
+            distributed_report.throughput_rps / inprocess_report.throughput_rps
+            if inprocess_report.throughput_rps > 0 else float("inf")
+        ),
+        "identical": identical,
+    }
+
+
+def _pretty(result) -> str:
+    return (
+        f"{result['requests']} concurrent statistical requests, "
+        f"{result['workers']} workers:\n"
+        f"  in-process serving     : {result['looped_s']:.2f} s "
+        f"({result['looped_rps']:.1f} req/s)\n"
+        f"  distributed (repro.net): {result['vectorized_s']:.2f} s "
+        f"({result['vectorized_rps']:.1f} req/s)\n"
+        f"  throughput ratio       : {result['speedup']:.2f}x\n"
+        f"  bit-for-bit across arms: "
+        f"{'yes' if result['identical'] else 'NO'}"
+    )
+
+
+def main(argv=None) -> int:
+    from pathlib import Path
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from common import emit_result, speedup_gate
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--requests", type=int, default=REQUESTS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--max-batch", type=int, default=MAX_BATCH)
+    parser.add_argument("--max-wait-ms", type=float, default=50.0)
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    result = compare_cluster(
+        requests=args.requests, workers=args.workers,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+    )
+    emit_result(result, ["--json"] if args.json else [], _pretty)
+    return speedup_gate(result, SPEEDUP_BAR)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,20 +51,34 @@ from .session import ResultStore, Scenario, Session, default_session, register_s
 #: without paying the :mod:`repro.serve` import on every ``import repro``).
 _SERVE_EXPORTS = ("InferenceServer", "ServeClient", "LoadGenerator", "MetricsRegistry")
 
+#: Distributed-tier entry points, same lazy treatment (``repro.Coordinator``
+#: without paying the :mod:`repro.net` import up front).
+_NET_EXPORTS = (
+    "Coordinator", "NetWorker", "NetworkShardedBackend", "ReplicatedResultStore"
+)
+
 
 def __getattr__(name: str):
     if name in _SERVE_EXPORTS:
         from . import serve
 
         return getattr(serve, name)
+    if name in _NET_EXPORTS:
+        from . import net
+
+        return getattr(net, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.2.0"
 
 __all__ = [
+    "Coordinator",
     "InferenceServer",
     "LoadGenerator",
     "MetricsRegistry",
+    "NetWorker",
+    "NetworkShardedBackend",
+    "ReplicatedResultStore",
     "ServeClient",
     "RunConfig",
     "baseline_config",

@@ -302,6 +302,48 @@ class ShardedBackend(ExecutionBackend):
             out.put(("row", index, row))
         out.put(("done", shard_index))
 
+    def _consume(self, out, shard_count, fn, tasks, keys, stop, workers) -> RowStream:
+        """Stream rows off the fleet's out-queue, rescuing orphaned points.
+
+        The heart of the sharded failure policy, shared verbatim by the
+        in-process fleet and :class:`repro.net.backend.NetworkShardedBackend`
+        (whose shards are worker *processes* on the wire): every shard —
+        thread or connection — posts the same ``("row" | "done" | "failed"
+        | "error")`` messages.  Points forfeited by failed shards re-run on
+        a fresh local rescue worker after the survivors drain; the rescue
+        worker is appended to ``workers`` so the caller's merge/close path
+        adopts it.  A *point* error stops the fleet and propagates.
+        """
+        finished = 0
+        orphaned: List[int] = []
+        while finished < shard_count:
+            message = out.get()
+            kind = message[0]
+            if kind == "row":
+                yield message[1], message[2]
+            elif kind == "done":
+                finished += 1
+            elif kind == "failed":
+                _, shard_index, remaining, error = message
+                finished += 1
+                print(
+                    f"warning: shard {shard_index} died ({error!r}); "
+                    f"re-dispatching its {len(remaining)} unfinished point(s)",
+                    file=sys.stderr,
+                )
+                orphaned.extend(remaining)
+            else:  # "error": a point raised — stop the fleet and propagate
+                stop.set()
+                raise message[1]
+        if orphaned:
+            rescue = self._make_worker()
+            workers.append(rescue)
+            self.last_workers = list(workers)
+            for index in sorted(orphaned):
+                key = keys[index] if keys is not None else None
+                yield index, self._evaluate(rescue, fn, tasks[index], key)
+                self.redispatched += 1
+
     def execute(self, fn, tasks, keys=None):
         if not tasks:
             return
@@ -322,35 +364,7 @@ class ShardedBackend(ExecutionBackend):
         try:
             for thread in threads:
                 thread.start()
-            finished = 0
-            orphaned: List[int] = []
-            while finished < len(threads):
-                message = out.get()
-                kind = message[0]
-                if kind == "row":
-                    yield message[1], message[2]
-                elif kind == "done":
-                    finished += 1
-                elif kind == "failed":
-                    _, shard_index, remaining, error = message
-                    finished += 1
-                    print(
-                        f"warning: shard {shard_index} died ({error!r}); "
-                        f"re-dispatching its {len(remaining)} unfinished point(s)",
-                        file=sys.stderr,
-                    )
-                    orphaned.extend(remaining)
-                else:  # "error": a point raised — stop the fleet and propagate
-                    stop.set()
-                    raise message[1]
-            if orphaned:
-                rescue = self._make_worker()
-                workers.append(rescue)
-                self.last_workers = list(workers)
-                for index in sorted(orphaned):
-                    key = keys[index] if keys is not None else None
-                    yield index, self._evaluate(rescue, fn, tasks[index], key)
-                    self.redispatched += 1
+            yield from self._consume(out, len(threads), fn, tasks, keys, stop, workers)
         finally:
             stop.set()
             for thread in threads:
@@ -396,6 +410,12 @@ def make_backend(
     """
     if backend == "sharded":
         return ShardedBackend(shards=shards)
+    if backend == "net":
+        # Runtime import: repro.net rides on serve/session, which import
+        # this module at load time.
+        from .net.backend import NetworkShardedBackend
+
+        return NetworkShardedBackend(shards=shards)
     if executor is not None:
         return ExecutorBackend(executor)
     if jobs <= 1 or backend == "serial":
@@ -405,5 +425,6 @@ def make_backend(
     if backend == "process":
         return ProcessBackend(jobs)
     raise ValueError(
-        f"unknown backend {backend!r}; expected serial, thread, process or sharded"
+        f"unknown backend {backend!r}; expected serial, thread, process, "
+        f"sharded or net"
     )

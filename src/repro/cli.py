@@ -65,13 +65,16 @@ def _positive_int(value: str) -> int:
 def _add_session_arguments(parser: argparse.ArgumentParser, jobs_default: int = 1) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=jobs_default,
                         help="worker count of the session's shared pool (1 = serial)")
-    parser.add_argument("--backend", choices=("process", "thread", "serial", "sharded"),
+    parser.add_argument("--backend",
+                        choices=("process", "thread", "serial", "sharded", "net"),
                         default="process",
                         help="execution backend: a worker-pool kind used when "
-                             "--jobs > 1, or 'sharded' to partition sweep points "
-                             "across --shards worker sessions")
+                             "--jobs > 1, 'sharded' to partition sweep points "
+                             "across --shards worker sessions, or 'net' to run "
+                             "each shard in a worker OS process over the "
+                             "repro.net wire")
     parser.add_argument("--shards", type=_positive_int, default=2,
-                        help="worker-session count of the sharded backend")
+                        help="worker-session count of the sharded/net backends")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="directory persisting the session's result store and "
                              "sweep row cache across invocations")
@@ -178,7 +181,14 @@ def _build_parser() -> argparse.ArgumentParser:
                     "store hit rate).",
     )
     serve.add_argument("--workers", type=_positive_int, default=2,
-                       help="server worker threads")
+                       help="server worker threads (in-process mode)")
+    serve.add_argument("--distributed", action="store_true",
+                       help="serve through repro.net: a coordinator whose "
+                            "queue is drained by remote worker processes "
+                            "instead of in-process worker threads")
+    serve.add_argument("--workers-remote", type=_positive_int, default=2,
+                       metavar="N",
+                       help="worker processes to spawn under --distributed")
     serve.add_argument("--max-batch", type=_positive_int, default=16,
                        help="micro-batch flush bound in coalesced frames")
     serve.add_argument("--max-wait-ms", type=float, default=5.0,
@@ -221,6 +231,32 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="telemetry output format")
     serve.add_argument("--output", default=None, metavar="PATH",
                        help="write the rendered output to a file instead of stdout")
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a repro.net worker host connected to a coordinator",
+        description="Connect to a repro.net coordinator (e.g. `repro.cli "
+                    "serve --distributed`), register, heartbeat, and execute "
+                    "pulled micro-batches and plan shards until the cluster "
+                    "shuts down.",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator's listen address")
+    worker.add_argument("--worker-id", default=None,
+                        help="requested registration name (the coordinator "
+                             "may uniquify it)")
+    worker.add_argument("--heartbeat-ms", type=float, default=200.0,
+                        help="heartbeat cadence; the coordinator's "
+                             "registration ack overrides it")
+    worker.add_argument("--seed", type=int, default=2025)
+    worker.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory persisting this worker's result store")
+    # Chaos levers for the rescue tests and smoke: hang or hard-exit the
+    # process after N batches.  Deliberately undocumented in --help.
+    worker.add_argument("--chaos-hang-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    worker.add_argument("--chaos-exit-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
 
     from .lint import RULES
 
@@ -540,15 +576,37 @@ def _command_serve(args: argparse.Namespace) -> str:
             "only; the statistical workload ignores them",
             file=sys.stderr,
         )
-    with session, InferenceServer(
+    service_kwargs = dict(
         session=session,
-        workers=args.workers,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.queue_depth,
         default_deadline_s=deadline_s,
         default_numerics=numerics,
-    ) as server:
+    )
+    processes = []
+    if args.distributed:
+        from .net import Coordinator, spawn_worker
+
+        server = Coordinator(**service_kwargs)
+        # Under --format json stdout is a machine-parsed document; the
+        # workers' exit summaries must not interleave into it.
+        processes = [
+            spawn_worker(server.address, quiet=args.output_format == "json")
+            for _ in range(args.workers_remote)
+        ]
+        if not server.wait_for_workers(args.workers_remote, timeout=60.0):
+            for process in processes:
+                process.terminate()
+            server.close(drain=False)
+            session.close()
+            raise SystemExit(
+                f"error: only {server.live_workers()} of "
+                f"{args.workers_remote} worker processes registered"
+            )
+    else:
+        server = InferenceServer(workers=args.workers, **service_kwargs)
+    with session, server:
         if args.mode == "functional":
             from .session import functional_svgg11_setup
 
@@ -575,15 +633,24 @@ def _command_serve(args: argparse.Namespace) -> str:
         )
         report = generator.run()
         snapshot = server.stats()
+    for process in processes:
+        try:
+            process.wait(timeout=10.0)
+        except Exception:
+            process.terminate()
     if args.output_format == "json":
         rendered = json_module.dumps(
             {"load": report.to_dict(), "telemetry": snapshot}, sort_keys=True
         )
         return _emit(rendered, args)
     golden = f", golden {numerics.key()}" if args.mode == "functional" else ""
+    fleet = (
+        f"workers-remote={args.workers_remote}" if args.distributed
+        else f"workers={args.workers}"
+    )
     lines = [
         f"== repro.serve demo ({args.mode}, {args.requests} requests x "
-        f"{args.batch} frame(s), workers={args.workers}, "
+        f"{args.batch} frame(s), {fleet}, "
         f"max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms"
         f"{golden}) ==",
         format_table([report.to_dict()]),
@@ -591,6 +658,29 @@ def _command_serve(args: argparse.Namespace) -> str:
         format_table(_flatten_telemetry(snapshot), columns=["metric", "value"]),
     ]
     return _emit("\n".join(lines), args)
+
+
+def _command_worker(args: argparse.Namespace) -> str:
+    from .net import NetWorker
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(
+            f"error: --connect expects HOST:PORT, got {args.connect!r}"
+        )
+    session = Session(cache_dir=args.cache_dir, seed=args.seed)
+    worker = NetWorker(
+        (host, int(port_text)),
+        session=session,
+        worker_id=args.worker_id,
+        heartbeat_interval_s=args.heartbeat_ms / 1e3,
+        chaos_hang_after=args.chaos_hang_after,
+        chaos_exit_after=args.chaos_exit_after,
+    )
+    with session:
+        counters = worker.run()
+    detail = ", ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+    return f"worker {worker.worker_id or '?'} done: {detail}"
 
 
 def _load_gate_schema():
@@ -698,6 +788,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _command_sweep,
         "plan": _command_plan,
         "serve": _command_serve,
+        "worker": _command_worker,
         "check": _command_check,
     }
     output = handlers[args.command](args)

@@ -42,6 +42,7 @@ __all__ = [
     "LockTracer",
     "TracedLock",
     "UnguardedAccessError",
+    "instrument_coordinator",
     "instrument_metrics",
     "instrument_queue",
     "instrument_server",
@@ -373,4 +374,25 @@ def instrument_server(server, tracer: Optional[LockTracer] = None) -> LockTracer
     # timeout (50 ms); give every worker one cycle to re-read the traced
     # replacement before the caller starts submitting.
     time.sleep(0.12)
+    return tracer
+
+
+def instrument_coordinator(coordinator, tracer: Optional[LockTracer] = None) -> LockTracer:
+    """Wire one :class:`~repro.net.coordinator.Coordinator` onto a tracer.
+
+    A coordinator is an :class:`~repro.serve.server.InferenceServer` with
+    zero local workers, so :func:`instrument_server` covers the queue,
+    metrics, close lock and store; on top of those this traces the
+    cluster-state lock (``net.links``) and guards the worker-link table —
+    the map the accept loop, per-worker serve threads, the liveness
+    monitor and ``close()`` all mutate concurrently.  Call right after
+    construction, **before** workers connect or load is submitted: links
+    registered through the untraced lock would dodge the guard.
+    """
+    tracer = instrument_server(coordinator, tracer)
+    traced = tracer.wrap(threading.Lock(), "net.links")
+    coordinator._net_lock = traced
+    coordinator._links = tracer.guard_mapping(
+        coordinator._links, traced, "net._links"
+    )
     return tracer

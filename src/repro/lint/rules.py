@@ -26,6 +26,7 @@ __all__ = [
     "LockDisciplineRule",
     "MutableDefaultRule",
     "RegistryDocsRule",
+    "SocketDisciplineRule",
     "UnpicklablePointRule",
     "UnseededRngRule",
 ]
@@ -195,8 +196,10 @@ class LockDisciplineRule(Rule):
 class UnseededRngRule(Rule):
     """No global-state RNG draws where bit-for-bit reproducibility is law.
 
-    On the golden-model paths (``snn/``, ``kernels/``, engine modules) every
-    random draw must come from an explicitly seeded generator object
+    On the golden-model paths (``snn/``, ``kernels/``, engine modules) and
+    the serving tiers replaying them (``serve/``, ``net/`` — where the
+    cluster-equality gates assert bit-for-bit results) every random draw
+    must come from an explicitly seeded generator object
     (``np.random.default_rng(seed)``, ``random.Random(seed)``): a single
     ``np.random.rand()`` or ``random.random()`` makes results depend on
     global interpreter state and silently breaks every equality gate.
@@ -205,7 +208,7 @@ class UnseededRngRule(Rule):
     name = "unseeded-rng"
     description = (
         "no np.random.<fn> / bare random.<fn> global-state draws in "
-        "snn/, kernels/ or engine modules"
+        "snn/, kernels/, serve/, net/ or engine modules"
     )
 
     _NUMPY_ALLOWED = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
@@ -213,7 +216,13 @@ class UnseededRngRule(Rule):
 
     def _in_scope(self, module: ParsedModule) -> bool:
         parts = module.rel_path.split("/")
-        return "snn" in parts or "kernels" in parts or "engine" in parts[-1]
+        return (
+            "snn" in parts
+            or "kernels" in parts
+            or "serve" in parts
+            or "net" in parts
+            or "engine" in parts[-1]
+        )
 
     def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
         if not self._in_scope(module):
@@ -703,3 +712,218 @@ class AllExportsRule(Rule):
                         )
                     )
         return findings
+
+
+# --------------------------------------------------------------------------- #
+# R9 — socket discipline
+# --------------------------------------------------------------------------- #
+@register
+class SocketDisciplineRule(Rule):
+    """Every socket the code opens must have a deterministic close path.
+
+    The distributed tier (:mod:`repro.net`) holds listener and connection
+    sockets across threads; a file descriptor that only closes when the
+    garbage collector feels like it keeps ports bound between tests and
+    masks shutdown bugs.  Any call that *creates* a socket
+    (``socket.socket``, ``socket.create_server``,
+    ``socket.create_connection``, ``socket.socketpair``) must either be
+    the context expression of a ``with`` statement, or — when bound to a
+    name — be closed on every path: a local name needs ``name.close()``
+    inside a ``finally`` (or ``except``) block of the same function; a
+    ``self.<attr>`` binding needs ``self.<attr>.close()`` in a teardown
+    method (``close``/``stop``/``shutdown``/``__exit__``/``__del__``) or
+    a ``finally``/``except`` block somewhere in the owning class.
+
+    Sockets returned by ``accept()`` are deliberately not tracked: the
+    accept loop hands them to a wrapper (e.g.
+    :class:`~repro.net.framing.FramedConnection`) that owns the close,
+    and *that* wrapper's own socket field is what this rule watches.
+    """
+
+    name = "socket-discipline"
+    description = (
+        "sockets must be closed via context manager or close() on a "
+        "finally/teardown path"
+    )
+
+    _CREATORS = {"create_connection", "create_server", "socketpair"}
+    _TEARDOWN_METHODS = {"close", "stop", "shutdown", "__exit__", "__del__"}
+
+    def _is_creator(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        chain = _dotted(node.func)
+        head, _, fn = chain.rpartition(".")
+        if fn in self._CREATORS:
+            return True
+        return fn == "socket" and head.rsplit(".", 1)[-1] == "socket"
+
+    def _record_target(
+        self,
+        target: ast.expr,
+        lineno: int,
+        local_out: List[Tuple[str, int]],
+        self_out: List[Tuple[str, int]],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            local_out.append((target.id, lineno))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_target(element, lineno, local_out, self_out)
+        else:
+            attr = _self_attr(target)
+            if attr is not None:
+                self_out.append((attr, lineno))
+
+    def _collect_creations(
+        self,
+        body: Iterable[ast.stmt],
+        local_out: List[Tuple[str, int]],
+        self_out: List[Tuple[str, int]],
+    ) -> None:
+        """Record every name a socket-creating call is bound to."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested definitions are analyzed on their own
+            if isinstance(stmt, ast.Assign) and self._is_creator(stmt.value):
+                for target in stmt.targets:
+                    self._record_target(target, stmt.lineno, local_out, self_out)
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and stmt.value is not None
+                and self._is_creator(stmt.value)
+            ):
+                self._record_target(stmt.target, stmt.lineno, local_out, self_out)
+            for field in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, field, None)
+                if children:
+                    blocks = [
+                        child.body if isinstance(child, ast.ExceptHandler) else [child]
+                        for child in children
+                    ]
+                    for block in blocks:
+                        self._collect_creations(block, local_out, self_out)
+
+    def _scan_closes(
+        self, node: ast.AST, local_out: Set[str], self_out: Set[str]
+    ) -> None:
+        for call in ast.walk(node):
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr == "close"
+            ):
+                owner = call.func.value
+                if isinstance(owner, ast.Name):
+                    local_out.add(owner.id)
+                else:
+                    attr = _self_attr(owner)
+                    if attr is not None:
+                        self_out.add(attr)
+
+    def _record_closes(
+        self,
+        body: Iterable[ast.stmt],
+        in_cleanup: bool,
+        local_out: Set[str],
+        self_out: Set[str],
+    ) -> None:
+        """Record names ``.close()``d on a cleanup (finally/except) path."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if in_cleanup:
+                # Everything nested under a finally/except counts.
+                self._scan_closes(stmt, local_out, self_out)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._record_closes(stmt.body, False, local_out, self_out)
+                self._record_closes(stmt.orelse, False, local_out, self_out)
+                for handler in stmt.handlers:
+                    self._record_closes(handler.body, True, local_out, self_out)
+                self._record_closes(stmt.finalbody, True, local_out, self_out)
+                continue
+            for field in ("body", "orelse"):
+                children = getattr(stmt, field, None)
+                if children:
+                    self._record_closes(children, False, local_out, self_out)
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for fn in _functions(module.tree):
+            findings.extend(self._check_function(module, fn))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        # Module-level sockets never have a per-call teardown path.
+        local_new: List[Tuple[str, int]] = []
+        self_new: List[Tuple[str, int]] = []
+        self._collect_creations(module.tree.body, local_new, self_new)
+        closed: Set[str] = set()
+        self._record_closes(module.tree.body, False, closed, set())
+        for name, lineno in local_new:
+            if name not in closed:
+                findings.append(
+                    module.finding(
+                        self.name,
+                        lineno,
+                        f"module-level socket {name!r} is never closed on a "
+                        f"finally path; open it in a `with` block instead",
+                    )
+                )
+        return findings
+
+    def _check_function(
+        self, module: ParsedModule, fn: ast.AST
+    ) -> Iterator[Finding]:
+        local_new: List[Tuple[str, int]] = []
+        self_new: List[Tuple[str, int]] = []  # handled by the class pass
+        self._collect_creations(fn.body, local_new, self_new)
+        if not local_new:
+            return
+        closed: Set[str] = set()
+        self._record_closes(fn.body, False, closed, set())
+        for name, lineno in local_new:
+            if name not in closed:
+                yield module.finding(
+                    self.name,
+                    lineno,
+                    f"socket bound to {name!r} in {fn.name}() has no "
+                    f"{name}.close() on a finally path; use `with` or close "
+                    f"it in a finally block",
+                )
+
+    def _check_class(
+        self, module: ParsedModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        created: List[Tuple[str, int, str]] = []
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_new: List[Tuple[str, int]] = []
+            self_new: List[Tuple[str, int]] = []
+            self._collect_creations(method.body, local_new, self_new)
+            created.extend((attr, lineno, method.name) for attr, lineno in self_new)
+        if not created:
+            return
+        torn_down: Set[str] = set()
+        scratch: Set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            self._record_closes(
+                method.body,
+                method.name in self._TEARDOWN_METHODS,
+                scratch,
+                torn_down,
+            )
+        for attr, lineno, method_name in created:
+            if attr not in torn_down:
+                yield module.finding(
+                    self.name,
+                    lineno,
+                    f"socket stored on self.{attr} in {cls.name}."
+                    f"{method_name}() is never self.{attr}.close()d in a "
+                    f"teardown method (close/stop/shutdown/__exit__/__del__) "
+                    f"or finally block",
+                )

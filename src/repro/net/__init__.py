@@ -1,0 +1,64 @@
+"""repro.net — the multi-host serving tier.
+
+A stdlib-only distributed transport (length-prefixed framed messages over
+sockets, :mod:`~repro.net.framing`) connecting one
+:class:`~repro.net.coordinator.Coordinator` — the admission front, a
+:class:`~repro.serve.server.InferenceServer` whose queue is drained by
+remote hosts — to N :class:`~repro.net.worker.NetWorker` processes that
+register, heartbeat, pull fingerprint-compatible micro-batches and stream
+bit-for-bit results back.  :class:`~repro.net.store.ReplicatedResultStore`
+makes a cache hit on any host short-circuit cluster-wide, and
+:class:`~repro.net.backend.NetworkShardedBackend` fans one sweep plan out
+across worker processes on the same wire.
+
+Quickstart (two terminals)::
+
+    # terminal 1 — the cluster front
+    python -m repro.cli serve --distributed --workers-remote 2
+
+    # or by hand: coordinator here, workers anywhere
+    python -m repro.cli worker --connect 127.0.0.1:7433
+"""
+
+from .coordinator import Coordinator, DispatchedBatch
+from .framing import (
+    ConnectionClosed,
+    FrameError,
+    FramedConnection,
+    Message,
+    TruncatedFrame,
+    VersionMismatch,
+    WIRE_VERSION,
+    decode_frame,
+    encode_frame,
+    recv_message,
+    request_from_wire,
+    request_to_wire,
+    send_message,
+)
+from .backend import NetworkShardedBackend
+from .store import ReplicatedResultStore, ResultStoreProtocol
+from .worker import NetWorker, spawn_worker
+
+__all__ = [
+    "ConnectionClosed",
+    "Coordinator",
+    "DispatchedBatch",
+    "FrameError",
+    "FramedConnection",
+    "Message",
+    "NetWorker",
+    "NetworkShardedBackend",
+    "ReplicatedResultStore",
+    "ResultStoreProtocol",
+    "TruncatedFrame",
+    "VersionMismatch",
+    "WIRE_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "recv_message",
+    "request_from_wire",
+    "request_to_wire",
+    "send_message",
+    "spawn_worker",
+]

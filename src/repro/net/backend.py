@@ -1,0 +1,233 @@
+"""Sweep-plan fan-out across worker processes: ``NetworkShardedBackend``.
+
+The in-process :class:`~repro.backends.ShardedBackend` partitions a plan's
+points round-robin across N worker-session *threads*.  This backend keeps
+the exact same contract — deterministic partition
+(:meth:`~repro.backends.ShardedBackend.partition`), streaming ``(index,
+row)`` pairs, killed-shard rescue, cache merge-back — but each shard is a
+real worker *process* speaking the :mod:`repro.net` wire protocol:
+
+1. ``execute`` opens a listener, spawns ``shards`` worker processes
+   (:func:`~repro.net.worker.spawn_worker`) pointed at it, and accepts
+   their registrations.
+2. Each worker's first ``pull`` is answered with a ``plan`` message
+   carrying the (module-level, picklable — the ``unpicklable-point`` lint
+   rule guarantees it) point function plus the shard's tasks, indices and
+   row-cache keys.
+3. A reader thread per connection translates the worker's ``plan_row`` /
+   ``plan_done`` / ``plan_error`` stream into the very same ``("row" |
+   "done" | "failed" | "error")`` messages the thread fleet posts, so the
+   inherited :meth:`~repro.backends.ShardedBackend._consume` loop handles
+   streaming, point-error propagation and the rescue of a dead process's
+   unfinished points (re-run on a fresh local rescue session) unchanged.
+4. ``plan_done`` carries the worker's fresh ``{key: row}`` delta;
+   :meth:`execute` merges it into the cache bound via
+   :meth:`~repro.backends.ExecutionBackend.bind`, mirroring the thread
+   fleet's worker-session merge-back.
+
+A worker that never manages to register (or dies before its plan lands)
+simply forfeits its whole shard to the rescue path — the sweep always
+completes with every row, bit-for-bit equal to a serial run.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import sys
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..backends import ShardedBackend
+from .framing import FrameError, FramedConnection
+from .worker import spawn_worker
+
+__all__ = ["NetworkShardedBackend"]
+
+_LINK_ERRORS = (FrameError, OSError)
+
+
+class _ShardLink:
+    """One remote shard: its process, connection and assignment."""
+
+    def __init__(self, shard_index: int, assigned: List[int]):
+        self.shard_index = shard_index
+        self.assigned = assigned
+        self.process = None
+        self.connection: Optional[FramedConnection] = None
+        self.cache_delta: Dict[str, Dict[str, object]] = {}
+
+
+class NetworkShardedBackend(ShardedBackend):
+    """Run each shard of a sweep plan in its own worker process."""
+
+    name = "net"
+
+    def __init__(self, shards: int = 2, startup_timeout_s: float = 60.0):
+        super().__init__(shards=shards)
+        self.startup_timeout_s = startup_timeout_s
+
+    def _accept_links(self, listener: socket.socket,
+                      links: Sequence[_ShardLink]) -> None:
+        """Pair each spawned process with an accepted, registered connection."""
+        listener.settimeout(self.startup_timeout_s)
+        for link in links:
+            try:
+                sock, _peer = listener.accept()
+            except OSError as error:
+                # Remaining shards never connected; their points go to the
+                # rescue path via a "failed" message in the reader stage.
+                print(
+                    f"warning: net shard {link.shard_index} never connected "
+                    f"({error!r})",
+                    file=sys.stderr,
+                )
+                return
+            connection = FramedConnection(sock)
+            try:
+                hello = connection.recv()
+                if hello.kind != "register":
+                    raise FrameError(
+                        f"expected a register message, got {hello.kind!r}"
+                    )
+                connection.send(
+                    "registered",
+                    worker_id=f"plan-shard-{link.shard_index}",
+                    heartbeat_interval_s=1.0,
+                )
+            except _LINK_ERRORS as error:
+                print(
+                    f"warning: net shard {link.shard_index} failed its "
+                    f"handshake ({error!r})",
+                    file=sys.stderr,
+                )
+                connection.close()
+                continue
+            link.connection = connection
+
+    def _reader_loop(self, link: _ShardLink, fn, tasks, keys, out, stop) -> None:
+        """Drive one shard's plan over its connection; post fleet messages."""
+        shard = link.shard_index
+        connection = link.connection
+        remaining = list(link.assigned)
+        if connection is None:
+            out.put(("failed", shard, remaining,
+                     RuntimeError("worker process never registered")))
+            return
+        try:
+            while True:  # swallow heartbeats until the worker pulls
+                message = connection.recv()
+                if message.kind == "pull":
+                    break
+            connection.send(
+                "plan",
+                fn=fn,
+                indices=link.assigned,
+                tasks=[tasks[index] for index in link.assigned],
+                keys=(
+                    [keys[index] for index in link.assigned]
+                    if keys is not None else None
+                ),
+            )
+            done = False
+            while not done:
+                message = connection.recv()
+                if message.kind == "heartbeat":
+                    continue
+                if message.kind == "plan_row":
+                    index = message["index"]
+                    out.put(("row", index, message["row"]))
+                    if index in remaining:
+                        remaining.remove(index)
+                elif message.kind == "plan_error":
+                    out.put(("error", message["error"]))
+                    return
+                elif message.kind == "plan_done":
+                    link.cache_delta = dict(message.get("cache_delta") or {})
+                    done = True
+        except _LINK_ERRORS as error:
+            out.put(("failed", shard, remaining, error))
+            return
+        if remaining:
+            out.put(("failed", shard, remaining,
+                     RuntimeError("worker finished without all rows")))
+        else:
+            out.put(("done", shard))
+
+    def execute(self, fn, tasks, keys=None):
+        if not tasks:
+            return
+        assignments = self.partition(len(tasks))
+        links = [
+            _ShardLink(shard, assigned)
+            for shard, assigned in enumerate(assignments)
+        ]
+        workers: List[object] = []  # rescue sessions adopted by _consume
+        self.last_workers = list(workers)
+        out: "queue.Queue[tuple]" = queue.Queue()
+        stop = threading.Event()
+        readers: List[threading.Thread] = []
+        with socket.create_server(("127.0.0.1", 0)) as listener:
+            address = listener.getsockname()[:2]
+            for link in links:
+                link.process = spawn_worker(
+                    address, worker_id=f"plan-shard-{link.shard_index}"
+                )
+            self._accept_links(listener, links)
+            readers = [
+                threading.Thread(
+                    target=self._reader_loop,
+                    args=(link, fn, tasks, keys, out, stop),
+                    name=f"net-shard-{link.shard_index}",
+                    daemon=True,
+                )
+                for link in links
+            ]
+            try:
+                for thread in readers:
+                    thread.start()
+                yield from self._consume(
+                    out, len(links), fn, tasks, keys, stop, workers
+                )
+            finally:
+                stop.set()
+                self._shutdown_links(links, readers)
+                self._merge_deltas(links)
+                self._merge(workers)
+                for worker in workers:
+                    close = getattr(worker, "close", None)
+                    if close is not None:
+                        close()
+
+    def _shutdown_links(self, links: Sequence[_ShardLink],
+                        readers: Sequence[threading.Thread]) -> None:
+        for link in links:
+            if link.connection is not None:
+                try:
+                    link.connection.send("shutdown")
+                except _LINK_ERRORS:
+                    pass
+        for thread in readers:
+            thread.join(timeout=5.0)
+        for link in links:
+            if link.connection is not None:
+                link.connection.close()
+        # A reader stuck mid-recv unblocks once its connection is cut.
+        for thread in readers:
+            thread.join(timeout=5.0)
+        for link in links:
+            if link.process is not None:
+                try:
+                    link.process.wait(timeout=5.0)
+                except Exception:
+                    link.process.kill()
+                    link.process.wait(timeout=5.0)
+
+    def _merge_deltas(self, links: Sequence[_ShardLink]) -> None:
+        """Adopt the workers' fresh rows into the bound parent cache."""
+        if self._parent_cache is None:
+            return
+        for link in links:
+            for key, row in link.cache_delta.items():
+                if self._parent_cache.get(key) is None:
+                    self._parent_cache.put(key, row)

@@ -1,0 +1,620 @@
+"""The coordinator: admission front of a multi-host serving cluster.
+
+:class:`Coordinator` subclasses :class:`repro.serve.server.InferenceServer`
+with ``workers=0``: the whole single-host admission surface — bounded
+:class:`~repro.serve.queue.RequestQueue` backpressure, deadlines, the
+result-store short-circuit, ``submit_statistical`` / ``submit_functional``,
+telemetry — is inherited unchanged, and instead of local worker threads the
+queue is drained by *remote worker processes* speaking the
+:mod:`repro.net.framing` wire protocol.
+
+Dispatch is pull-based.  A worker registers, then loops ``pull`` ->
+(``batch`` | ``idle`` | ``shutdown``).  On a ``pull`` the coordinator pops
+the queue head, lets the inherited :class:`~repro.serve.batcher.MicroBatcher`
+collect a fingerprint-compatible micro-batch behind it, re-checks the
+result store per request (a result replicated from another worker since
+admission resolves right here — the cluster-wide short-circuit), records
+the remainder as an in-flight :class:`DispatchedBatch` and ships it.
+Results stream back asynchronously; the coordinator stores each one in its
+:class:`~repro.net.store.ReplicatedResultStore` (which broadcasts
+``store_put`` to every worker) and resolves the caller's future.
+
+Failure semantics — the generalization of
+:class:`~repro.backends.ShardedBackend`'s rescue worker:
+
+* **dead worker** — heartbeats stop for longer than ``liveness_timeout_s``
+  (or the connection drops): every in-flight request of that worker whose
+  future is still pending is re-queued *at the head* of the request queue
+  (:meth:`~repro.serve.queue.RequestQueue.requeue`), so the next pulling
+  worker executes it before fresh traffic.  No future is ever lost.
+* **stalled worker** — still heartbeating but sitting on a batch: rescued
+  when the batch has been in flight longer than ``stall_timeout_s`` (when
+  set), or — deadline-aware — when a request's deadline is closer than
+  ``deadline_margin_s``.  The slow worker's late results are *not*
+  discarded: they land in the replicated store, where the re-queued
+  requests' dispatch-time store check resolves them without a second
+  engine pass; double resolution is absorbed by
+  :func:`~repro.serve.queue.resolve_future` (first outcome wins).
+
+Per-worker telemetry (dispatches, rescues, heartbeat lag, bytes on wire)
+merges into the inherited :class:`~repro.serve.metrics.MetricsRegistry`
+under ``net.*`` names, so one :meth:`stats` snapshot covers admission,
+batching and the cluster.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..serve.metrics import MetricsRegistry
+from ..serve.queue import InferenceRequest, resolve_future
+from ..serve.server import InferenceServer
+from ..session import Session
+from ..snn.numerics import NumericsPolicy
+from .framing import FrameError, FramedConnection, Message, request_to_wire
+from .store import ReplicatedResultStore
+
+__all__ = ["Coordinator", "DispatchedBatch"]
+
+#: Errors that mean "this worker's connection is gone" (mirrors
+#: ``DISPATCH_ERRORS`` in :mod:`repro.backends`: infrastructure death, never
+#: a request error).
+_LINK_ERRORS = (FrameError, OSError)
+
+
+class DispatchedBatch:
+    """One micro-batch in flight on a worker, tracked for rescue."""
+
+    __slots__ = ("batch_id", "requests", "worker_id", "dispatched_at", "deadline")
+
+    def __init__(self, batch_id: int, requests: List[InferenceRequest],
+                 worker_id: str):
+        self.batch_id = batch_id
+        self.requests = requests
+        self.worker_id = worker_id
+        self.dispatched_at = time.monotonic()
+        deadlines = [r.deadline for r in requests if r.deadline is not None]
+        #: the earliest deadline in the batch (monotonic) or None
+        self.deadline = min(deadlines) if deadlines else None
+
+
+class _WorkerLink:
+    """Coordinator-side state of one registered worker connection.
+
+    Every field after construction is mutated only under the owning
+    coordinator's ``_net_lock``; the link itself holds no lock.
+    """
+
+    def __init__(self, worker_id: str, connection: FramedConnection,
+                 pid: Optional[int] = None):
+        self.worker_id = worker_id
+        self.connection = connection
+        self.pid = pid
+        self.registered_at = time.time()
+        self.last_heartbeat = time.time()
+        self.last_lag_ms = 0.0
+        self.dispatches = 0
+        self.results = 0
+        self.local_hits = 0
+        self.rescued_from = 0
+        self.alive = True
+        self.stats: Dict[str, object] = {}
+        self.inflight: Dict[int, DispatchedBatch] = {}
+        self.thread: Optional[threading.Thread] = None
+
+
+class Coordinator(InferenceServer):
+    """Serve traffic through remote worker processes (see module docstring).
+
+    Parameters (beyond the inherited :class:`InferenceServer` ones)
+    ----------------------------------------------------------------
+    host / port:
+        Listen address; ``port=0`` picks a free port — read it back from
+        :attr:`address`.
+    heartbeat_interval_s:
+        Interval workers are told to heartbeat at (handed to them in the
+        ``registered`` ack).
+    liveness_timeout_s:
+        A worker whose last heartbeat is older than this is declared dead
+        and its in-flight batches are rescued.
+    stall_timeout_s:
+        Rescue any batch in flight longer than this even if its worker
+        still heartbeats (``None`` disables the flat bound).
+    deadline_margin_s:
+        Deadline-aware rescue: a batch still in flight when a request's
+        deadline is closer than this margin is re-queued (once per
+        request) so a healthy worker can still beat the deadline.
+    pull_wait_s:
+        How long one ``pull`` blocks server-side waiting for traffic
+        before answering ``idle`` (paces the idle pull loop).
+    drain_timeout_s:
+        Upper bound :meth:`close(drain=True) <close>` waits for queued and
+        in-flight work to finish.
+    """
+
+    _MIN_WORKERS = 0  # execution happens in remote worker processes, not threads
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 16,
+        max_wait_ms: float = 5.0,
+        max_queue: int = 256,
+        default_deadline_s: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        default_numerics: Optional[NumericsPolicy] = None,
+        heartbeat_interval_s: float = 0.2,
+        liveness_timeout_s: float = 1.5,
+        stall_timeout_s: Optional[float] = None,
+        deadline_margin_s: float = 0.5,
+        pull_wait_s: float = 0.2,
+        drain_timeout_s: float = 30.0,
+    ):
+        super().__init__(
+            session=session,
+            workers=0,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            default_deadline_s=default_deadline_s,
+            metrics=metrics,
+            default_numerics=default_numerics,
+        )
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.liveness_timeout_s = liveness_timeout_s
+        self.stall_timeout_s = stall_timeout_s
+        self.deadline_margin_s = deadline_margin_s
+        self.pull_wait_s = pull_wait_s
+        self.drain_timeout_s = drain_timeout_s
+        self.net_store = ReplicatedResultStore(
+            self.session.store, publish=self._replicate
+        )
+        self._net_lock = threading.Lock()
+        self._links: Dict[str, _WorkerLink] = {}
+        self._worker_ids = itertools.count(1)
+        self._batch_ids = itertools.count(1)
+        self._collecting = 0
+        self._shutting_down = False
+        self._deadline_rescued: set = set()
+        self._stop_monitor = threading.Event()
+        # Declare the cluster telemetry surface up front (same convention as
+        # the parent: every snapshot has every key, zeroed or not).
+        for counter in ("net.dispatches", "net.results", "net.rescues",
+                        "net.redispatched_requests", "net.dispatch_short_circuits",
+                        "net.heartbeats", "net.store_replications",
+                        "net.workers_registered", "net.workers_lost"):
+            self.metrics.counter(counter)
+        for histogram in ("net.heartbeat_lag_ms", "net.batch_rtt_ms"):
+            self.metrics.histogram(histogram)
+        self.metrics.gauge("net.workers").set(0)
+        self.metrics.add_probe("net.workers_detail", self._workers_probe)
+        self.metrics.add_probe("net.bytes", self._bytes_probe)
+        self.metrics.add_probe("net.store", self.net_store.stats)
+        self._listener = socket.create_server((host, port))
+        #: the bound ``(host, port)`` workers connect to
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="repro-net-monitor", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread.start()
+
+    # -- registration -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            connection = FramedConnection(sock)
+            try:
+                hello = connection.recv()
+                if hello.kind != "register":
+                    raise FrameError(
+                        f"expected a register message, got {hello.kind!r}"
+                    )
+            except _LINK_ERRORS:
+                connection.close()
+                continue
+            self._register_worker(connection, hello)
+
+    def _register_worker(self, connection: FramedConnection,
+                         hello: Message) -> None:
+        serial = next(self._worker_ids)
+        requested = hello.get("worker_id")
+        with self._net_lock:
+            worker_id = str(requested) if requested else f"worker-{serial}"
+            if worker_id in self._links:
+                worker_id = f"{worker_id}-{serial}"
+            link = _WorkerLink(worker_id, connection, pid=hello.get("pid"))
+            self._links[worker_id] = link
+        try:
+            connection.send(
+                "registered",
+                worker_id=worker_id,
+                heartbeat_interval_s=self.heartbeat_interval_s,
+                coordinator_pid=os.getpid(),
+            )
+        except _LINK_ERRORS as error:
+            self._lose_worker(link, error)
+            return
+        self.metrics.counter("net.workers_registered").inc()
+        self._refresh_worker_gauge()
+        thread = threading.Thread(
+            target=self._serve_worker,
+            args=(link,),
+            name=f"repro-net-{worker_id}",
+            daemon=True,
+        )
+        with self._net_lock:
+            link.thread = thread
+        thread.start()
+
+    def wait_for_workers(self, count: int, timeout: float = 10.0) -> bool:
+        """Block until ``count`` workers are registered and alive."""
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if self.live_workers() >= count:
+                return True
+            time.sleep(0.02)
+        return self.live_workers() >= count
+
+    def live_workers(self) -> int:
+        """Number of currently registered, live workers."""
+        with self._net_lock:
+            return sum(1 for link in self._links.values() if link.alive)
+
+    # -- the per-connection protocol loop -----------------------------------
+    def _serve_worker(self, link: _WorkerLink) -> None:
+        while True:
+            try:
+                message = link.connection.recv()
+            except _LINK_ERRORS as error:
+                self._lose_worker(link, error)
+                return
+            if message.kind == "heartbeat":
+                self._on_heartbeat(link, message)
+            elif message.kind == "pull":
+                try:
+                    self._dispatch_to(link)
+                except _LINK_ERRORS as error:
+                    self._lose_worker(link, error)
+                    return
+            elif message.kind == "results":
+                self._on_results(link, message)
+            elif message.kind == "goodbye":
+                self._retire_worker(link)
+                return
+            # unknown kinds are ignored: a newer same-WIRE_VERSION peer may
+            # emit kinds this coordinator predates
+
+    def _on_heartbeat(self, link: _WorkerLink, message: Message) -> None:
+        now = time.time()
+        sent_at = message.get("sent_at")
+        lag_ms = max(0.0, (now - sent_at) * 1e3) if sent_at is not None else 0.0
+        with self._net_lock:
+            link.last_heartbeat = now
+            link.last_lag_ms = lag_ms
+            link.stats = dict(message.get("stats") or {})
+        self.metrics.counter("net.heartbeats").inc()
+        self.metrics.histogram("net.heartbeat_lag_ms").observe(lag_ms)
+
+    # -- dispatch -----------------------------------------------------------
+    def _cluster_idle(self) -> bool:
+        """Closed, drained and nothing in flight: workers may shut down."""
+        if not self.queue.closed or self.queue.depth():
+            return False
+        with self._net_lock:
+            inflight = sum(len(link.inflight) for link in self._links.values())
+            return inflight == 0 and self._collecting == 0
+
+    def _dispatch_to(self, link: _WorkerLink) -> None:
+        """Answer one ``pull``: a batch, ``idle``, or ``shutdown``."""
+        if self._cluster_idle():
+            link.connection.send("shutdown")
+            return
+        with self._net_lock:
+            self._collecting += 1
+        try:
+            first = self.queue.pop(timeout=self.pull_wait_s)
+            if first is None:
+                link.connection.send("idle")
+                return
+            batch = self.batcher.collect(self.queue, first)
+            batch = self._short_circuit(batch)
+            if not batch:
+                link.connection.send("idle")
+                return
+            self._send_batch(link, batch)
+        finally:
+            with self._net_lock:
+                self._collecting -= 1
+
+    def _short_circuit(self, batch: List[InferenceRequest]) -> List[InferenceRequest]:
+        """Resolve requests already stored (e.g. replicated from a worker, or
+        computed by a stalled worker after its batch was rescued) without
+        dispatching them; returns the remainder."""
+        pending: List[InferenceRequest] = []
+        now = time.monotonic()
+        for request in batch:
+            hit = self.net_store.get(request.fingerprint)
+            if hit is None:
+                pending.append(request)
+                continue
+            self.metrics.counter("net.dispatch_short_circuits").inc()
+            if resolve_future(request.future, hit):
+                self.metrics.counter("serve.completed").inc()
+                self.metrics.histogram("serve.latency_ms").observe(
+                    (now - request.enqueued_at) * 1e3
+                )
+        return pending
+
+    def _send_batch(self, link: _WorkerLink, batch: List[InferenceRequest]) -> None:
+        batch_id = next(self._batch_ids)
+        dispatched = DispatchedBatch(batch_id, batch, link.worker_id)
+        with self._net_lock:
+            alive = link.alive
+            if alive:
+                link.inflight[batch_id] = dispatched
+                link.dispatches += 1
+        if not alive:
+            # Lost between pull and dispatch: hand the batch straight back.
+            for request in reversed(batch):
+                self.queue.requeue(request)
+            return
+        link.connection.send(
+            "batch",
+            batch_id=batch_id,
+            requests=[request_to_wire(request) for request in batch],
+        )
+        self.metrics.counter("net.dispatches").inc()
+
+    # -- results ------------------------------------------------------------
+    def _on_results(self, link: _WorkerLink, message: Message) -> None:
+        batch_id = message["batch_id"]
+        entries = message["results"]
+        with self._net_lock:
+            dispatched = link.inflight.pop(batch_id, None)
+            link.results += 1
+            link.local_hits += int(message.get("local_hits") or 0)
+        now = time.monotonic()
+        if dispatched is not None:
+            self.metrics.histogram("net.batch_rtt_ms").observe(
+                (now - dispatched.dispatched_at) * 1e3
+            )
+        # Late results (the batch was already rescued) still flow into the
+        # store below: the re-queued requests' dispatch-time store check
+        # then resolves them without a second engine pass.
+        by_id = {
+            request.id: request
+            for request in (dispatched.requests if dispatched is not None else [])
+        }
+        completed = 0
+        for entry in entries:
+            request = by_id.get(entry["id"])
+            error = entry.get("error")
+            if error is not None:
+                self.metrics.counter("serve.errors").inc()
+                if request is not None:
+                    resolve_future(request.future, error=error)
+                continue
+            self.net_store.put(entry["fingerprint"], entry["result"])
+            if request is not None:
+                if resolve_future(request.future, entry["result"]):
+                    completed += 1
+                self.metrics.histogram("serve.latency_ms").observe(
+                    (now - request.enqueued_at) * 1e3
+                )
+                self._deadline_rescued.discard(request.id)
+        self.metrics.counter("serve.completed").inc(completed)
+        self.metrics.counter("net.results").inc()
+
+    def _replicate(self, fingerprint: str, result: object) -> None:
+        """Publish one stored result to every live worker (``store_put``)."""
+        with self._net_lock:
+            links = [link for link in self._links.values() if link.alive]
+        for link in links:
+            try:
+                link.connection.send(
+                    "store_put", fingerprint=fingerprint, result=result
+                )
+            except _LINK_ERRORS:
+                pass  # the link's own handler thread will reap it
+        self.metrics.counter("net.store_replications").inc(len(links))
+
+    # -- liveness and rescue ------------------------------------------------
+    def _monitor_loop(self) -> None:
+        interval = min(0.05, self.liveness_timeout_s / 4)
+        while not self._stop_monitor.wait(interval):
+            self._reap_dead()
+            self._rescue_stalled()
+
+    def _reap_dead(self) -> None:
+        horizon = time.time() - self.liveness_timeout_s
+        with self._net_lock:
+            dead = [
+                link for link in self._links.values()
+                if link.alive and link.last_heartbeat < horizon
+            ]
+        for link in dead:
+            self._lose_worker(
+                link,
+                TimeoutError(
+                    f"worker {link.worker_id} sent no heartbeat for "
+                    f"{self.liveness_timeout_s}s"
+                ),
+            )
+
+    def _should_rescue_locked(self, batch: DispatchedBatch, now: float) -> bool:
+        """Rescue policy for an in-flight batch; caller holds ``_net_lock``."""
+        if (
+            self.stall_timeout_s is not None
+            and now - batch.dispatched_at >= self.stall_timeout_s
+        ):
+            return True
+        if batch.deadline is not None and now >= batch.deadline - self.deadline_margin_s:
+            # Deadline-aware rescue fires once per request: the trigger is
+            # absolute time, so without this guard a re-dispatched batch
+            # would be "rescued" again every monitor tick until the
+            # deadline actually passes.
+            pending = [
+                request.id for request in batch.requests
+                if not request.future.done()
+            ]
+            fresh = [rid for rid in pending if rid not in self._deadline_rescued]
+            if fresh:
+                self._deadline_rescued.update(pending)
+                return True
+        return False
+
+    def _rescue_stalled(self) -> None:
+        now = time.monotonic()
+        rescued: List[Tuple[_WorkerLink, DispatchedBatch]] = []
+        with self._net_lock:
+            for link in self._links.values():
+                if not link.alive:
+                    continue
+                for batch_id, batch in list(link.inflight.items()):
+                    if self._should_rescue_locked(batch, now):
+                        del link.inflight[batch_id]
+                        rescued.append((link, batch))
+        for link, batch in rescued:
+            self._requeue_batch(link, batch)
+
+    def _requeue_batch(self, link: _WorkerLink, batch: DispatchedBatch) -> None:
+        """Re-dispatch a batch's unresolved requests at the queue head."""
+        pending = [
+            request for request in batch.requests if not request.future.done()
+        ]
+        # appendleft in reverse keeps the batch's FIFO order at the head, so
+        # it re-collects as one compatible micro-batch.
+        for request in reversed(pending):
+            self.queue.requeue(request)
+        if pending:
+            self.metrics.counter("net.rescues").inc()
+            self.metrics.counter("net.redispatched_requests").inc(len(pending))
+            with self._net_lock:
+                link.rescued_from += 1
+
+    def _lose_worker(self, link: _WorkerLink, error: BaseException) -> None:
+        with self._net_lock:
+            if not link.alive:
+                return
+            link.alive = False
+            orphaned = list(link.inflight.values())
+            link.inflight.clear()
+            shutting_down = self._shutting_down
+        link.connection.close()
+        self._refresh_worker_gauge()
+        if not shutting_down:
+            self.metrics.counter("net.workers_lost").inc()
+        for batch in orphaned:
+            self._requeue_batch(link, batch)
+
+    def _retire_worker(self, link: _WorkerLink) -> None:
+        """A worker said goodbye; any leftovers are rescued, not lost."""
+        with self._net_lock:
+            if not link.alive:
+                return
+            link.alive = False
+            orphaned = list(link.inflight.values())
+            link.inflight.clear()
+        link.connection.close()
+        self._refresh_worker_gauge()
+        for batch in orphaned:
+            self._requeue_batch(link, batch)
+
+    # -- observability ------------------------------------------------------
+    def _refresh_worker_gauge(self) -> None:
+        self.metrics.gauge("net.workers").set(float(self.live_workers()))
+
+    def _workers_probe(self) -> Dict[str, object]:
+        with self._net_lock:
+            return {
+                link.worker_id: {
+                    "alive": link.alive,
+                    "pid": link.pid,
+                    "dispatches": link.dispatches,
+                    "results": link.results,
+                    "local_hits": link.local_hits,
+                    "rescued_from": link.rescued_from,
+                    "inflight": len(link.inflight),
+                    "heartbeat_lag_ms": link.last_lag_ms,
+                    "bytes_sent": link.connection.bytes_sent,
+                    "bytes_received": link.connection.bytes_received,
+                    "stats": dict(link.stats),
+                }
+                for link in self._links.values()
+            }
+
+    def _bytes_probe(self) -> Dict[str, float]:
+        with self._net_lock:
+            links = list(self._links.values())
+        return {
+            "sent": float(sum(l.connection.bytes_sent for l in links)),
+            "received": float(sum(l.connection.bytes_received for l in links)),
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    def _wait_drained(self, timeout: float) -> bool:
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            if self._cluster_idle():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def close(self, drain: bool = True) -> None:
+        """Drain (by default), shut every worker down, release the port.
+
+        ``drain=True`` waits — bounded by ``drain_timeout_s`` — until the
+        queue is empty and no batch is in flight (rescues keep running
+        throughout, so a worker dying mid-drain cannot wedge it), then
+        broadcasts ``shutdown``.  ``drain=False`` fails queued requests
+        with :class:`~repro.serve.queue.ServerClosed` immediately.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        if drain:
+            self._wait_drained(self.drain_timeout_s)
+        else:
+            cancelled = self.queue.cancel_pending()
+            self.metrics.counter("serve.cancelled").inc(cancelled)
+        with self._net_lock:
+            self._shutting_down = True
+            links = list(self._links.values())
+        self._stop_monitor.set()
+        self._listener.close()
+        for link in links:
+            if link.alive:
+                try:
+                    link.connection.send("shutdown")
+                except _LINK_ERRORS:
+                    pass
+        # Give workers a moment to say goodbye, then cut the cords so every
+        # handler thread unblocks.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline and self.live_workers():
+            time.sleep(0.02)
+        for link in links:
+            link.connection.close()
+        for link in links:
+            if link.thread is not None:
+                link.thread.join(timeout=5.0)
+        self._accept_thread.join(timeout=5.0)
+        self._monitor_thread.join(timeout=5.0)
+        if self._owns_session:
+            self.session.close()

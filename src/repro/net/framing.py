@@ -1,0 +1,315 @@
+"""Length-prefixed framed messages over sockets — the repro.net wire format.
+
+Every message on a :mod:`repro.net` connection is one *frame*:
+
+.. code-block:: text
+
+    +-------+---------+----------------+-----------------+
+    | magic | version | payload length | pickled payload |
+    | 4 B   | u16     | u32            | N bytes         |
+    +-------+---------+----------------+-----------------+
+
+The header is big-endian (:data:`HEADER`), ``magic`` is :data:`MAGIC`
+(``b"RPNT"``), and the payload is a pickled :class:`Message` — a ``kind``
+string plus a payload dict.  Pickle is acceptable here because both ends of
+every connection are trusted repro processes on the same deployment (the
+coordinator spawns or invites its own workers); the version field is the
+compatibility gate, not a security boundary.
+
+Error taxonomy (all subclasses of :class:`FrameError`):
+
+* :class:`ConnectionClosed` — clean EOF *between* frames (the peer closed
+  its socket after a complete message).  Expected during shutdown.
+* :class:`TruncatedFrame` — EOF *inside* a frame (mid-header or
+  mid-payload).  The peer died or the stream was cut; whatever batch was
+  in flight needs rescue.
+* :class:`VersionMismatch` — the peer speaks a different
+  :data:`WIRE_VERSION`; frames are not decoded across versions.
+
+:class:`FramedConnection` wraps one socket with thread-safe
+:meth:`~FramedConnection.send` / :meth:`~FramedConnection.recv` plus byte
+accounting (``bytes_sent`` / ``bytes_received``) that the coordinator
+surfaces as ``net.bytes_*`` telemetry.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "ConnectionClosed",
+    "FrameError",
+    "FramedConnection",
+    "HEADER",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "Message",
+    "TruncatedFrame",
+    "VersionMismatch",
+    "WIRE_VERSION",
+    "decode_frame",
+    "encode_frame",
+    "recv_message",
+    "request_from_wire",
+    "request_to_wire",
+    "send_message",
+]
+
+MAGIC = b"RPNT"
+WIRE_VERSION = 1
+HEADER = struct.Struct("!4sHI")  # magic, wire version, payload length
+# A frame bigger than this is a corrupted header, not a real payload; the
+# largest legitimate frames (functional batches carrying a network plus
+# stacked frames) are a few MB.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class FrameError(RuntimeError):
+    """Base class for wire-format failures on a repro.net connection."""
+
+
+class ConnectionClosed(FrameError):
+    """The peer closed the stream cleanly between frames (EOF at a frame
+    boundary).  Normal during shutdown; never raised mid-frame."""
+
+
+class TruncatedFrame(FrameError):
+    """The stream ended inside a frame — the peer died mid-message."""
+
+
+class VersionMismatch(FrameError):
+    """The peer's :data:`WIRE_VERSION` differs from ours; payloads are not
+    decoded across versions."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded wire message: a ``kind`` tag plus its payload dict."""
+
+    kind: str
+    payload: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> object:
+        return self.payload[key]
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.payload.get(key, default)
+
+
+def encode_frame(message: Message, version: int = WIRE_VERSION) -> bytes:
+    """``message`` as one complete frame (header + pickled payload)."""
+    payload = pickle.dumps(
+        (message.kind, message.payload), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return HEADER.pack(MAGIC, version, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> Tuple[Message, int]:
+    """Decode one frame from ``data``; returns ``(message, bytes_consumed)``.
+
+    Raises :class:`TruncatedFrame` when ``data`` holds less than one whole
+    frame, :class:`FrameError` on a bad magic, :class:`VersionMismatch` on a
+    foreign wire version.
+    """
+    if len(data) < HEADER.size:
+        raise TruncatedFrame(
+            f"{len(data)} bytes is shorter than the {HEADER.size}-byte header"
+        )
+    magic, version, length = HEADER.unpack_from(data)
+    _check_header(magic, version, length)
+    end = HEADER.size + length
+    if len(data) < end:
+        raise TruncatedFrame(
+            f"frame announces {length} payload bytes but only "
+            f"{len(data) - HEADER.size} are present"
+        )
+    kind, payload = pickle.loads(data[HEADER.size:end])
+    return Message(kind, payload), end
+
+
+def _check_header(magic: bytes, version: int, length: int) -> None:
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != WIRE_VERSION:
+        raise VersionMismatch(
+            f"peer speaks wire version {version}, this process speaks "
+            f"{WIRE_VERSION}"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame announces {length} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+
+
+def send_message(sock: socket.socket, message: Message,
+                 version: int = WIRE_VERSION) -> int:
+    """Write one frame to ``sock``; returns the bytes put on the wire."""
+    frame = encode_frame(message, version=version)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, count: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``count`` bytes or raise.
+
+    ``at_boundary`` distinguishes a clean shutdown (EOF before any byte of a
+    new frame -> :class:`ConnectionClosed`) from a peer dying mid-message
+    (:class:`TruncatedFrame`).
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if at_boundary and remaining == count:
+                raise ConnectionClosed("peer closed the connection")
+            raise TruncatedFrame(
+                f"stream ended {remaining} bytes short of a complete frame"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Tuple[Message, int]:
+    """Read one frame from ``sock``; returns ``(message, bytes_read)``."""
+    header = _recv_exact(sock, HEADER.size, at_boundary=True)
+    magic, version, length = HEADER.unpack_from(header)
+    _check_header(magic, version, length)
+    payload = _recv_exact(sock, length, at_boundary=False)
+    kind, body = pickle.loads(payload)
+    return Message(kind, body), HEADER.size + length
+
+
+# Fields of an InferenceRequest that travel to a worker.  ``future`` stays
+# home (a concurrent.futures.Future is process-local by definition) and
+# ``deadline``/``enqueued_at`` are coordinator-clock values that would be
+# meaningless under the worker's time.monotonic(); the coordinator owns
+# deadline enforcement and latency accounting.
+_REQUEST_WIRE_FIELDS = (
+    "mode", "config", "group_key", "fingerprint", "frames_count",
+    "batch_size", "seed", "timesteps", "firing_rates", "network", "frames",
+    "policy", "id",
+)
+
+
+def request_to_wire(request: object) -> Dict[str, object]:
+    """An :class:`~repro.serve.queue.InferenceRequest` as a picklable dict.
+
+    Everything the worker needs to reproduce the engine pass crosses the
+    wire bit-for-bit (configs, seeds, networks, stacked frames, numerics
+    policies all pickle losslessly); the process-local fields do not — see
+    :data:`_REQUEST_WIRE_FIELDS`.
+    """
+    return {name: getattr(request, name) for name in _REQUEST_WIRE_FIELDS}
+
+
+def request_from_wire(data: Dict[str, object]) -> object:
+    """Rebuild an ``InferenceRequest`` from its wire dict.
+
+    The rebuilt request carries a *fresh local* future (resolved by the
+    worker's own batch execution, never shipped back — only the result is)
+    and keeps the coordinator-assigned ``id`` so results correlate.
+    """
+    from ..serve.queue import InferenceRequest
+
+    return InferenceRequest(**data)
+
+
+class FramedConnection:
+    """Thread-safe framed-message endpoint over one connected socket.
+
+    Multiple threads may send concurrently (a worker's heartbeat thread
+    interleaves with its result stream; the coordinator's store-replication
+    broadcast interleaves with batch dispatch) — each frame is written
+    atomically under the send lock.  Receiving is single-reader by
+    convention (one handler/loop thread per connection) but locked anyway.
+    ``bytes_sent`` / ``bytes_received`` accumulate for telemetry.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._bytes_sent = 0
+        self._bytes_received = 0
+        self._closed = False
+
+    @classmethod
+    def connect(cls, address: Tuple[str, int],
+                timeout: Optional[float] = None) -> "FramedConnection":
+        """Open a framed connection to ``(host, port)``.
+
+        ``timeout`` bounds the connect; the established stream itself is
+        blocking (message waits are governed by the protocol, not the
+        socket).
+        """
+        sock = socket.create_connection(address, timeout=timeout)
+        connection = None
+        try:
+            sock.settimeout(None)
+            connection = cls(sock)
+            return connection
+        finally:
+            if connection is None:
+                sock.close()
+
+    # -- messaging ----------------------------------------------------------
+    def send(self, kind: str, **payload: object) -> int:
+        """Frame and send one message; returns bytes written."""
+        with self._send_lock:
+            written = send_message(self._sock, Message(kind, payload))
+        with self._counter_lock:
+            self._bytes_sent += written
+        return written
+
+    def recv(self) -> Message:
+        """Block for the next message (raises the :class:`FrameError` family)."""
+        with self._recv_lock:
+            message, read = recv_message(self._sock)
+        with self._counter_lock:
+            self._bytes_received += read
+        return message
+
+    # -- accounting ---------------------------------------------------------
+    @property
+    def bytes_sent(self) -> int:
+        with self._counter_lock:
+            return self._bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        with self._counter_lock:
+            return self._bytes_received
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the stream down and close the socket (idempotent)."""
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
+        self._sock.close()
+
+    def __enter__(self) -> "FramedConnection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

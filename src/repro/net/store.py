@@ -1,0 +1,125 @@
+"""Cluster-wide result caching: the replicated ``ResultStore`` protocol.
+
+A single-host deployment already memoizes whole ``InferenceResult`` objects
+in :class:`repro.session.ResultStore`, keyed on the session fingerprint.
+Distributed serving wants the same property *cluster-wide*: a result
+computed (or cached) on any host should short-circuit the identical request
+everywhere.  Two pieces deliver it:
+
+* :class:`ResultStoreProtocol` — the structural interface every store-like
+  object must satisfy (``get``/``put``/``merge_from``/``stats``).  The
+  coordinator, the workers and :class:`ReplicatedResultStore` all program
+  against this protocol, so a plain in-memory store, a disk-backed store
+  and a replicated wrapper are interchangeable.
+* :class:`ReplicatedResultStore` — wraps a base store; every :meth:`put`
+  lands in the base store *and* fires a publish callback carrying the
+  ``(fingerprint, result)`` pair, which the coordinator turns into a
+  ``store_put`` broadcast to every registered worker.  Replicated entries
+  arriving *from* a peer are applied with :meth:`apply`, which writes the
+  base store without re-publishing (no echo loops).
+
+The resulting flow: worker A computes -> streams results -> coordinator
+stores and broadcasts -> worker B's local store now holds the entry -> a
+later batch containing the same fingerprint resolves on worker B without an
+engine pass, and the coordinator's own admission check
+(:meth:`InferenceServer._admit`) short-circuits it before it is even
+queued.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+
+__all__ = ["ReplicatedResultStore", "ResultStoreProtocol"]
+
+
+@runtime_checkable
+class ResultStoreProtocol(Protocol):
+    """Structural interface of a result store (see module docstring).
+
+    :class:`repro.session.ResultStore` satisfies it natively;
+    :class:`ReplicatedResultStore` satisfies it by delegation, so either
+    can back a session, a server or a coordinator.
+    """
+
+    def get(self, fingerprint: str) -> Optional[object]:
+        """Stored result for ``fingerprint`` or ``None``."""
+
+    def put(self, fingerprint: str, result: object) -> None:
+        """Store one result under ``fingerprint``."""
+
+    def merge_from(self, other: "ResultStoreProtocol") -> int:
+        """Adopt every result of ``other`` this store lacks; returns count."""
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counter/occupancy snapshot."""
+
+
+class ReplicatedResultStore:
+    """A :class:`ResultStoreProtocol` wrapper that publishes every put.
+
+    Parameters
+    ----------
+    base:
+        The store that actually holds results (typically the owning
+        session's :class:`~repro.session.ResultStore`).
+    publish:
+        Called as ``publish(fingerprint, result)`` after every successful
+        local :meth:`put`.  ``None`` disables publication (the wrapper then
+        only adds the :meth:`apply` inbox and replication counters) — the
+        shape worker processes use, since their results travel home inside
+        the normal result stream rather than as store messages.
+    """
+
+    def __init__(
+        self,
+        base: ResultStoreProtocol,
+        publish: Optional[Callable[[str, object], None]] = None,
+    ):
+        self.base = base
+        self._publish = publish
+        self._lock = threading.Lock()
+        self._published = 0
+        self._applied = 0
+
+    # -- protocol surface (delegation) --------------------------------------
+    def get(self, fingerprint: str) -> Optional[object]:
+        return self.base.get(fingerprint)
+
+    def put(self, fingerprint: str, result: object) -> None:
+        """Store locally, then publish to peers (see module docstring)."""
+        self.base.put(fingerprint, result)
+        if self._publish is not None:
+            self._publish(fingerprint, result)
+            with self._lock:
+                self._published += 1
+
+    def merge_from(self, other: ResultStoreProtocol) -> int:
+        return self.base.merge_from(other)
+
+    def stats(self) -> Dict[str, float]:
+        """The base store's snapshot plus replication counters."""
+        snapshot = dict(self.base.stats())
+        with self._lock:
+            snapshot["replication_published"] = self._published
+            snapshot["replication_applied"] = self._applied
+        return snapshot
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.base
+
+    # -- replication inbox --------------------------------------------------
+    def apply(self, fingerprint: str, result: object) -> None:
+        """Adopt one entry replicated *from* a peer.
+
+        Writes the base store directly — never re-publishes — so two
+        replicating stores pointed at each other converge instead of
+        echoing entries back and forth forever.
+        """
+        self.base.put(fingerprint, result)
+        with self._lock:
+            self._applied += 1

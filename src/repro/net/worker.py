@@ -1,0 +1,347 @@
+"""A worker host process for the distributed serving tier.
+
+:class:`NetWorker` is the execution side of the :mod:`repro.net` protocol:
+it connects to a :class:`~repro.net.coordinator.Coordinator`, registers,
+heartbeats on a daemon thread, and then loops *pull -> execute -> results*:
+
+* ``pull`` — ask for work.  The coordinator answers ``batch`` (a
+  fingerprint-compatible micro-batch of serve requests), ``plan`` (a shard
+  of sweep-plan points, from :class:`~repro.net.backend.NetworkShardedBackend`),
+  ``idle`` (nothing right now; pull again) or ``shutdown``.
+* ``batch`` — rebuild the :class:`~repro.serve.queue.InferenceRequest`
+  objects from their wire dicts, check the *local* result store first (a
+  replicated hit skips the engine entirely), run the misses through this
+  worker's own :class:`~repro.serve.batcher.MicroBatcher` in one batched
+  pass, store, and stream the results back.  Results are bit-for-bit what
+  the coordinator's session would have produced: configs, seeds, networks
+  and frames cross the wire losslessly and the engines are deterministic.
+* ``plan`` — evaluate the shard's points through the (module-level,
+  picklable) point function, streaming one ``plan_row`` per point and a
+  final ``plan_done`` carrying the worker's fresh row-cache delta for
+  merge-back.
+* ``store_put`` — replication traffic from the coordinator (results other
+  workers computed); applied to the local store without re-publishing.
+
+The worker runs equally as an in-process thread (tests drive and kill it
+directly) or as a real OS process via :func:`spawn_worker` /
+``repro.cli worker --connect HOST:PORT``.
+
+Chaos hooks ``chaos_hang_after`` / ``chaos_exit_after`` make a worker hang
+or die mid-batch after N batches — the levers the rescue tests and the
+smoke cluster step pull to prove dead- and stalled-worker re-dispatch.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..serve.batcher import MicroBatcher
+from ..session import Session
+from .framing import FrameError, FramedConnection, Message, request_from_wire
+from .store import ReplicatedResultStore
+
+__all__ = ["NetWorker", "spawn_worker"]
+
+_LINK_ERRORS = (FrameError, OSError)
+
+
+def _wire_error(error: BaseException) -> BaseException:
+    """An exception safe to pickle onto the wire.
+
+    Most exceptions pickle fine and propagate unchanged; one holding an
+    unpicklable payload degrades to a ``RuntimeError`` carrying its repr —
+    the caller still gets *an* exception, never a corrupted stream.
+    """
+    import pickle
+
+    try:
+        pickle.dumps(error)
+        return error
+    except Exception:
+        return RuntimeError(f"{type(error).__name__}: {error}")
+
+
+class NetWorker:
+    """One worker endpoint (see module docstring).
+
+    Parameters
+    ----------
+    address:
+        The coordinator's ``(host, port)``.
+    session:
+        The session whose engines execute batches.  Omitted: the worker
+        creates (and owns, and closes) a default one.
+    worker_id:
+        Requested registration name; the coordinator may uniquify it.
+    heartbeat_interval_s:
+        Fallback heartbeat cadence; the coordinator's ``registered`` ack
+        overrides it so the whole cluster agrees.
+    chaos_hang_after / chaos_exit_after:
+        Testing levers: after this many batches have *started*, hang
+        forever (heartbeats continue — a stalled worker) or hard-exit the
+        process (a dead worker).  ``None`` disables.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        session: Optional[Session] = None,
+        worker_id: Optional[str] = None,
+        heartbeat_interval_s: float = 0.2,
+        connect_timeout_s: float = 10.0,
+        chaos_hang_after: Optional[int] = None,
+        chaos_exit_after: Optional[int] = None,
+    ):
+        self.address = address
+        self._owns_session = session is None
+        self.session = session if session is not None else Session()
+        self.requested_id = worker_id
+        self.worker_id = worker_id or ""
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.connect_timeout_s = connect_timeout_s
+        self.chaos_hang_after = chaos_hang_after
+        self.chaos_exit_after = chaos_exit_after
+        self.store = ReplicatedResultStore(self.session.store)
+        self.batcher = MicroBatcher(self.session)
+        self.counters: Dict[str, int] = {
+            "batches": 0,
+            "requests": 0,
+            "local_hits": 0,
+            "plan_chunks": 0,
+            "plan_rows": 0,
+        }
+        self._plan_rows: Dict[str, Dict[str, object]] = {}
+        self._stop = threading.Event()
+        self._connection: Optional[FramedConnection] = None
+        self._heartbeat_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self) -> Dict[str, int]:
+        """Serve until the coordinator shuts the cluster down.
+
+        Returns the worker's counter snapshot (batches, requests served,
+        local store hits, plan rows evaluated).
+        """
+        connection = FramedConnection.connect(
+            self.address, timeout=self.connect_timeout_s
+        )
+        self._connection = connection
+        try:
+            connection.send(
+                "register", worker_id=self.requested_id, pid=os.getpid()
+            )
+            ack = connection.recv()
+            if ack.kind != "registered":
+                raise FrameError(f"expected a registered ack, got {ack.kind!r}")
+            self.worker_id = str(ack["worker_id"])
+            interval = ack.get("heartbeat_interval_s")
+            if interval is not None:
+                self.heartbeat_interval_s = float(interval)
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"repro-net-heartbeat-{self.worker_id}",
+                daemon=True,
+            )
+            self._heartbeat_thread.start()
+            self._serve(connection)
+            try:
+                connection.send("goodbye", worker_id=self.worker_id)
+            except _LINK_ERRORS:
+                pass
+        except _LINK_ERRORS:
+            if not self._stop.is_set():
+                raise
+        finally:
+            self._stop.set()
+            connection.close()
+            if self._heartbeat_thread is not None:
+                self._heartbeat_thread.join(timeout=2.0)
+            if self._owns_session:
+                self.session.close()
+        return dict(self.counters)
+
+    def stop(self) -> None:
+        """Abort the worker from another thread (tests; not the clean path)."""
+        self._stop.set()
+        if self._connection is not None:
+            self._connection.close()
+
+    # -- the protocol loop --------------------------------------------------
+    def _serve(self, connection: FramedConnection) -> None:
+        while not self._stop.is_set():
+            connection.send("pull", worker_id=self.worker_id)
+            message = self._next_work(connection)
+            if message.kind == "idle":
+                continue
+            if message.kind == "shutdown":
+                return
+            if message.kind == "batch":
+                self._handle_batch(connection, message)
+            elif message.kind == "plan":
+                self._handle_plan(connection, message)
+            # unknown kinds: ignored (forward compatibility inside one
+            # wire version)
+
+    def _next_work(self, connection: FramedConnection) -> Message:
+        """The next non-replication message; ``store_put`` applies inline."""
+        while True:
+            message = connection.recv()
+            if message.kind == "store_put":
+                self.store.apply(message["fingerprint"], message["result"])
+                continue
+            return message
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval_s):
+            try:
+                self._connection.send(
+                    "heartbeat",
+                    worker_id=self.worker_id,
+                    sent_at=time.time(),
+                    stats=dict(self.counters),
+                )
+            except _LINK_ERRORS:
+                return
+
+    # -- serve batches ------------------------------------------------------
+    def _chaos(self) -> None:
+        started = self.counters["batches"]
+        if self.chaos_exit_after is not None and started > self.chaos_exit_after:
+            os._exit(3)  # a dead worker: no goodbye, no flush, nothing
+        if self.chaos_hang_after is not None and started > self.chaos_hang_after:
+            # A stalled worker: the batch never finishes but heartbeats
+            # keep flowing on their own thread.
+            self._stop.wait()
+            raise FrameError("chaos hang released by stop()")
+
+    def _handle_batch(self, connection: FramedConnection, message: Message) -> None:
+        self.counters["batches"] += 1
+        self._chaos()
+        requests = [request_from_wire(data) for data in message["requests"]]
+        self.counters["requests"] += len(requests)
+        entries: List[Dict[str, object]] = []
+        misses = []
+        hits = 0
+        for request in requests:
+            hit = self.store.get(request.fingerprint)
+            if hit is not None:
+                hits += 1
+                entries.append(
+                    {"id": request.id, "fingerprint": request.fingerprint,
+                     "result": hit, "error": None}
+                )
+            else:
+                misses.append(request)
+        self.counters["local_hits"] += hits
+        if misses:
+            try:
+                results = self.batcher.execute(misses)
+            except Exception as error:  # noqa: BLE001 — shipped to the caller
+                wired = _wire_error(error)
+                entries.extend(
+                    {"id": request.id, "fingerprint": request.fingerprint,
+                     "result": None, "error": wired}
+                    for request in misses
+                )
+            else:
+                for request, result in zip(misses, results):
+                    self.store.put(request.fingerprint, result)
+                    entries.append(
+                        {"id": request.id, "fingerprint": request.fingerprint,
+                         "result": result, "error": None}
+                    )
+        connection.send(
+            "results",
+            batch_id=message["batch_id"],
+            results=entries,
+            local_hits=hits,
+        )
+
+    # -- evaluate plan shards -----------------------------------------------
+    def _handle_plan(self, connection: FramedConnection, message: Message) -> None:
+        self.counters["plan_chunks"] += 1
+        fn = message["fn"]
+        tasks = message["tasks"]
+        indices = message["indices"]
+        keys = message.get("keys")
+        delta: Dict[str, Dict[str, object]] = {}
+        for position, index in enumerate(indices):
+            self._chaos_plan()
+            key = keys[position] if keys is not None else None
+            cached = self._plan_rows.get(key) if key is not None else None
+            if cached is not None:
+                row = cached
+            else:
+                try:
+                    row = fn(tasks[position])
+                except BaseException as error:  # noqa: BLE001 — propagates home
+                    connection.send(
+                        "plan_error", index=index, error=_wire_error(error)
+                    )
+                    return
+                if key is not None:
+                    self._plan_rows[key] = row
+                    delta[key] = row
+            self.counters["plan_rows"] += 1
+            connection.send("plan_row", index=index, row=row, key=key)
+        connection.send("plan_done", cache_delta=delta)
+
+    def _chaos_plan(self) -> None:
+        if self.chaos_exit_after is not None and (
+            self.counters["plan_rows"] >= self.chaos_exit_after
+        ):
+            os._exit(3)
+        if self.chaos_hang_after is not None and (
+            self.counters["plan_rows"] >= self.chaos_hang_after
+        ):
+            self._stop.wait()
+            raise FrameError("chaos hang released by stop()")
+
+
+def spawn_worker(
+    address: Tuple[str, int],
+    worker_id: Optional[str] = None,
+    chaos_hang_after: Optional[int] = None,
+    chaos_exit_after: Optional[int] = None,
+    extra_args: Sequence[str] = (),
+    quiet: bool = False,
+) -> "subprocess.Popen[bytes]":
+    """Launch a worker OS process connected to ``address``.
+
+    Runs ``python -m repro.cli worker --connect host:port`` with this
+    interpreter and an environment whose ``PYTHONPATH`` is guaranteed to
+    reach this very ``repro`` package, so it works from a source checkout
+    without installation.  The caller owns the returned ``Popen`` (and
+    should ``wait()`` or ``terminate()`` it).  ``quiet`` discards the
+    worker's stdout — callers whose own stdout is a machine-parsed
+    document (the ``--json`` benchmarks) must not let the workers'
+    exit summaries interleave into it.
+    """
+    host, port = address
+    argv = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--connect", f"{host}:{port}",
+    ]
+    if worker_id is not None:
+        argv += ["--worker-id", worker_id]
+    if chaos_hang_after is not None:
+        argv += ["--chaos-hang-after", str(chaos_hang_after)]
+    if chaos_exit_after is not None:
+        argv += ["--chaos-exit-after", str(chaos_exit_after)]
+    argv += list(extra_args)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    return subprocess.Popen(
+        argv, env=env,
+        stdout=subprocess.DEVNULL if quiet else None,
+    )

@@ -163,6 +163,20 @@ class RequestQueue:
             self._items.append(request)
             self._not_empty.notify()
 
+    def requeue(self, request: InferenceRequest) -> None:
+        """Return an already-admitted request to the *head* of the queue.
+
+        The rescue path of a distributed coordinator (:mod:`repro.net`)
+        re-dispatches the in-flight batch of a dead or stalled worker; those
+        requests were admitted once, so they bypass the depth bound, and they
+        go to the front so the rescue still lands inside the original
+        deadline.  Works on a closed queue too — a graceful drain must still
+        execute rescued requests rather than lose them.
+        """
+        with self._lock:
+            self._items.appendleft(request)
+            self._not_empty.notify()
+
     # -- consumer side ------------------------------------------------------
     def _fail_expired_all(self, requests) -> None:
         """Fail expired requests with :class:`DeadlineExceeded`.

@@ -65,7 +65,10 @@ class InferenceServer:
     workers:
         Worker-thread count.  Workers collect *disjoint* micro-batches, so
         more workers overlap engine passes of incompatible traffic; one
-        worker already micro-batches compatible traffic perfectly.
+        worker already micro-batches compatible traffic perfectly.  ``0``
+        means no local execution at all: an external dispatcher drains the
+        queue instead (the :class:`repro.net.Coordinator` subclass hands
+        batches to remote worker processes).
     max_batch / max_wait_ms:
         Micro-batching knobs (see :class:`~repro.serve.batcher.MicroBatcher`):
         flush at ``max_batch`` coalesced frames or after ``max_wait_ms`` of
@@ -82,6 +85,11 @@ class InferenceServer:
         :meth:`submit_functional` overrides it.
     """
 
+    #: A server with no execution threads is a configuration error here;
+    #: subclasses that execute elsewhere (the distributed coordinator, whose
+    #: workers are remote processes) lower this to 0.
+    _MIN_WORKERS = 1
+
     def __init__(
         self,
         session: Optional[Session] = None,
@@ -93,8 +101,10 @@ class InferenceServer:
         metrics: Optional[MetricsRegistry] = None,
         default_numerics: Optional[NumericsPolicy] = None,
     ):
-        if workers < 1:
-            raise ValueError(f"workers must be positive, got {workers}")
+        if workers < self._MIN_WORKERS:
+            raise ValueError(
+                f"workers must be >= {self._MIN_WORKERS}, got {workers}"
+            )
         self._owns_session = session is None
         self.session = session if session is not None else Session()
         self.metrics = metrics if metrics is not None else MetricsRegistry()

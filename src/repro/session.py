@@ -79,7 +79,7 @@ from .plan import PlanRow, SweepSpec, collect_plan, iter_plan
 from .snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from .utils.serialization import atomic_write_text, canonical_json
 
-_BACKENDS = ("process", "thread", "serial", "sharded")
+_BACKENDS = ("process", "thread", "serial", "sharded", "net")
 
 _SIZE_SUFFIXES = {"b": 1, "kb": 1024, "mb": 1024**2, "gb": 1024**3}
 
@@ -1067,8 +1067,10 @@ class Session:
         shard_count = self.shards if shards is None else shards
         if backend is None:
             backend = self.backend
-        if backend == "sharded":
-            return make_backend("sharded", shards=shard_count)
+        if backend in ("sharded", "net"):
+            # Both bring their own workers (threads or processes) and merge
+            # caches back; neither rides the session's shared pool.
+            return make_backend(backend, shards=shard_count)
         executor = self.shared_executor() if backend == self.backend else None
         return make_backend(backend, jobs=self.jobs, executor=executor)
 

@@ -1,0 +1,54 @@
+"""Seeded ``socket-discipline`` violations (lint fixture).
+
+Three leaks the rule must catch — a local connection with no close at
+all, a listener closed only on the happy path (not in a ``finally``),
+and an instance-attribute socket with no teardown method — plus the
+clean idioms (``with``, ``finally``, a ``close()`` method) that must
+stay silent.
+"""
+
+import socket
+
+
+def leaky_probe(host, port):
+    sock = socket.create_connection((host, port))  # seeded violation
+    sock.sendall(b"ping")
+    return sock.recv(4)
+
+
+def happy_path_close_only():
+    listener = socket.create_server(("127.0.0.1", 0))  # seeded violation
+    port = listener.getsockname()[1]
+    listener.close()  # an exception above would leak the fd
+    return port
+
+
+class LeakyServer:
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))  # seeded violation
+
+    def port(self):
+        return self._listener.getsockname()[1]
+
+
+def clean_context_manager():
+    with socket.create_server(("127.0.0.1", 0)) as listener:
+        return listener.getsockname()[1]
+
+
+def clean_finally():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(b"x")
+        return right.recv(1)
+    finally:
+        left.close()
+        right.close()
+
+
+class CleanServer:
+    def __init__(self):
+        self._listener = socket.create_server(("127.0.0.1", 0))
+
+    def close(self):
+        self._listener.close()

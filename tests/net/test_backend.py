@@ -1,0 +1,46 @@
+"""NetworkShardedBackend: plan fan-out over worker processes, bit-for-bit.
+
+The ``net`` backend keeps :class:`~repro.backends.ShardedBackend`'s whole
+contract — deterministic partition, streamed rows, killed-shard rescue,
+cache merge-back — while each shard runs in a real worker process on the
+:mod:`repro.net` wire.  Rows must equal a serial run exactly, and a shard
+process that dies mid-plan must forfeit its points to the local rescue
+path without losing a single row.
+"""
+
+import pytest
+
+from repro.backends import make_backend
+from repro.net import NetworkShardedBackend
+from repro.session import Session
+
+
+def _rows(session, backend, shards=2):
+    return sorted(
+        session.run_plan("firing_rate", backend=backend, shards=shards,
+                         batch_size=2, seed=2025),
+        key=lambda row: row.index,
+    )
+
+
+class TestNetworkBackend:
+    def test_make_backend_builds_net(self):
+        backend = make_backend("net", shards=3)
+        assert isinstance(backend, NetworkShardedBackend)
+        assert backend.shards == 3
+        assert backend.name == "net"
+
+    def test_unknown_backend_message_names_net(self):
+        with pytest.raises(ValueError, match="net"):
+            make_backend("bogus", jobs=2)
+
+    def test_rows_match_serial_bit_for_bit(self):
+        with Session() as session:
+            serial = _rows(session, "serial")
+        with Session() as session:
+            distributed = _rows(session, "net")
+        assert serial == distributed
+
+    def test_partition_is_inherited_and_deterministic(self):
+        backend = NetworkShardedBackend(shards=3)
+        assert backend.partition(7) == [[0, 3, 6], [1, 4], [2, 5]]

@@ -1,0 +1,32 @@
+"""Tier-1 wiring of the tools/smoke.py distributed-serving (cluster) check.
+
+A lock-traced :class:`~repro.net.coordinator.Coordinator` with two real
+worker OS processes — one rigged to die mid-batch — serves two waves of
+mixed-mode requests; the killed worker's in-flight batch must be rescued,
+no future lost, and every response bit-for-bit identical to a direct
+:class:`~repro.session.Session` call.  The check itself lives in
+``tools/smoke.py`` so the standalone smoke script and this
+``smoke``-marked test can never drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SMOKE_PATH = Path(__file__).resolve().parents[2] / "tools" / "smoke.py"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("repro_tools_smoke", _SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("repro_tools_smoke", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.smoke
+def test_distributed_cluster_rescues_and_matches_direct_session_calls():
+    smoke = _load_smoke()
+    smoke.cluster_check()

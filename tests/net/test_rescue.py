@@ -1,0 +1,170 @@
+"""Chaos tests: the coordinator must rescue work from dead and stalled workers.
+
+Two failure modes, one invariant — **no future is ever lost**:
+
+* a worker *killed mid-batch* (``chaos_exit_after``, a real OS process
+  dying with ``os._exit``) drops its connection; the coordinator re-queues
+  the in-flight batch at the queue head and a healthy worker completes it
+  before the deadline;
+* a worker *stalled mid-batch* (``chaos_hang_after``, heartbeats keep
+  flowing) trips ``stall_timeout_s``; the batch is re-dispatched while the
+  zombie stays connected.
+
+Every rescued result must still be bit-for-bit identical to a direct
+:class:`~repro.session.Session` call.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import spikestream_config
+from repro.net import Coordinator, NetWorker, spawn_worker
+from repro.session import Session
+
+
+@pytest.fixture
+def config():
+    return spikestream_config(batch_size=1, timesteps=1, seed=67)
+
+
+def _start_inline_worker(address, **kwargs):
+    worker = NetWorker(address, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _wait(predicate, timeout=30.0, interval=0.02):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestDeadWorkerRescue:
+    def test_killed_mid_batch_requests_are_redispatched_before_deadline(self, config):
+        coordinator = Coordinator(
+            max_batch=4, max_wait_ms=10, liveness_timeout_s=1.0,
+            default_deadline_s=90.0,
+        )
+        process = None
+        healthy = None
+        try:
+            # Only the doomed worker is connected when the batch dispatches,
+            # so it deterministically receives (and dies on) the batch.
+            process = spawn_worker(
+                coordinator.address, worker_id="doomed", chaos_exit_after=0
+            )
+            assert coordinator.wait_for_workers(1, timeout=60)
+            futures = [
+                coordinator.submit_statistical(config=config, seed=67 + index)
+                for index in range(4)
+            ]
+            assert _wait(lambda: coordinator.live_workers() == 0), (
+                "the chaos worker should have died on its first batch"
+            )
+            healthy, healthy_thread = _start_inline_worker(
+                coordinator.address, worker_id="healthy"
+            )
+            results = [future.result(timeout=60) for future in futures]
+            stats = coordinator.stats()
+        finally:
+            coordinator.close()
+            if process is not None:
+                assert process.wait(timeout=30) == 3  # os._exit(3)
+            if healthy is not None:
+                healthy_thread.join(timeout=10)
+
+        assert all(result is not None for result in results)
+        assert stats["net.workers_lost"] >= 1
+        assert stats["net.rescues"] >= 1
+        assert stats["net.redispatched_requests"] >= 1
+        with Session() as reference:
+            for index, result in enumerate(results):
+                direct = reference.run_inference(config, batch_size=1,
+                                                 seed=67 + index)
+                assert result.identical_to(direct), (
+                    f"rescued request {index} diverges from the direct call"
+                )
+
+    def test_no_future_lost_when_worker_dies_between_waves(self, config):
+        coordinator = Coordinator(
+            max_batch=2, max_wait_ms=5, liveness_timeout_s=1.0
+        )
+        process = None
+        healthy = None
+        try:
+            # Dies on its *second* batch: one success, then mid-batch death.
+            process = spawn_worker(
+                coordinator.address, worker_id="doomed-late", chaos_exit_after=1
+            )
+            assert coordinator.wait_for_workers(1, timeout=60)
+            first_wave = [
+                coordinator.submit_statistical(config=config, seed=101 + i)
+                for i in range(2)
+            ]
+            for future in first_wave:
+                assert future.result(timeout=60) is not None
+            second_wave = [
+                coordinator.submit_statistical(config=config, seed=111 + i)
+                for i in range(2)
+            ]
+            assert _wait(lambda: coordinator.live_workers() == 0)
+            healthy, healthy_thread = _start_inline_worker(
+                coordinator.address, worker_id="healthy-2"
+            )
+            for future in second_wave:
+                assert future.result(timeout=60) is not None
+        finally:
+            coordinator.close()
+            if process is not None:
+                process.wait(timeout=30)
+            if healthy is not None:
+                healthy_thread.join(timeout=10)
+
+
+class TestStalledWorkerRescue:
+    def test_stalled_batch_redispatched_while_zombie_heartbeats(self, config):
+        coordinator = Coordinator(
+            max_batch=4, max_wait_ms=10, liveness_timeout_s=5.0,
+            stall_timeout_s=1.0,
+        )
+        zombie = zombie_thread = healthy = healthy_thread = None
+        try:
+            zombie, zombie_thread = _start_inline_worker(
+                coordinator.address, worker_id="zombie", chaos_hang_after=0
+            )
+            assert coordinator.wait_for_workers(1, timeout=30)
+            futures = [
+                coordinator.submit_statistical(config=config, seed=131 + index)
+                for index in range(4)
+            ]
+            # The zombie has the batch in flight (it pulled it, then hung).
+            assert _wait(lambda: coordinator.stats()["net.dispatches"] >= 1)
+            healthy, healthy_thread = _start_inline_worker(
+                coordinator.address, worker_id="healthy-3"
+            )
+            results = [future.result(timeout=60) for future in futures]
+            stats = coordinator.stats()
+            # Heartbeats kept flowing: the zombie was *stalled*, not dead.
+            assert coordinator.live_workers() >= 1
+            assert stats["net.rescues"] >= 1
+            assert stats["net.redispatched_requests"] >= 1
+        finally:
+            if zombie is not None:
+                zombie.stop()
+            coordinator.close()
+            if zombie is not None:
+                zombie_thread.join(timeout=10)
+            if healthy is not None:
+                healthy_thread.join(timeout=10)
+
+        with Session() as reference:
+            for index, result in enumerate(results):
+                direct = reference.run_inference(config, batch_size=1,
+                                                 seed=131 + index)
+                assert result.identical_to(direct)

@@ -13,6 +13,9 @@ frames under the FP64-dense reference and FP32 event-sparse golden-model
 policies asserting store isolation, telemetry and the documented accuracy
 bounds (the *precision matrix*), and finally runs one
 scenario through a persistent :class:`repro.session.Session` twice,
+runs the distributed serving tier (a lock-traced ``repro.net``
+coordinator, two worker OS processes, one rigged to die mid-batch)
+asserting rescue plus bit-for-bit equality with direct Session calls,
 asserting that the second run is served from the result store (hit counter
 > 0) with results equal to the cold run.  The final ``check`` step runs the
 repository's own static-analysis gate (``repro.lint`` — the full AST rule
@@ -33,7 +36,8 @@ check steps are also wired into the tier-1 pytest flow as fast
 imports :func:`functional_equivalence_check`,
 ``tests/serve/test_serve_smoke.py`` imports
 :func:`serve_equivalence_check`, ``tests/serve/test_precision_serve.py``
-imports :func:`precision_matrix_check`, ``tests/lint/test_locktrace.py``
+imports :func:`precision_matrix_check`, ``tests/net/test_cluster_smoke.py``
+imports :func:`cluster_check`, ``tests/lint/test_locktrace.py``
 imports :func:`lint_repo_check` and :func:`locktrace_serve_check`), so
 every plain ``pytest`` run covers them and ``pytest -m smoke`` runs them
 alone.
@@ -482,6 +486,142 @@ def locktrace_serve_check(requests: int = 32, seed: int = 47) -> None:
     )
 
 
+def cluster_check(seed: int = 53) -> None:
+    """Distributed serving (2 worker processes) vs direct Session, bit-for-bit.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/net/test_cluster_smoke.py``) and raising ``AssertionError`` on
+    the first violation.  Starts a lock-traced
+    :class:`~repro.net.coordinator.Coordinator`
+    (:func:`~repro.lint.locktrace.instrument_coordinator`) and two real
+    worker OS processes (:func:`~repro.net.worker.spawn_worker`) — the
+    first rigged to die mid-batch (``chaos_exit_after=0``), so the check
+    proves the whole failure story, not just the happy path:
+
+    1. a first wave of statistical requests lands on the doomed worker,
+       which hard-exits mid-batch; the coordinator rescues the in-flight
+       batch (``net.rescues``/``net.workers_lost``) and the healthy worker
+       completes every future — none lost, all before the deadline;
+    2. a second mixed statistical/functional wave runs through the healthy
+       worker;
+    3. every response must be bit-for-bit identical to a direct
+       :class:`~repro.session.Session` call, and the lock tracer must come
+       back clean (no order cycles, no unguarded link-table access).
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.config import spikestream_config
+    from repro.eval.sweeps import functional_network
+    from repro.lint.locktrace import instrument_coordinator
+    from repro.net import Coordinator, spawn_worker
+    from repro.session import Session
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.types import TensorShape
+
+    config = spikestream_config(batch_size=1, timesteps=1, seed=seed)
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(4)
+
+    coordinator = Coordinator(
+        max_batch=4, max_wait_ms=10, liveness_timeout_s=1.5,
+        default_deadline_s=120.0,
+    )
+    tracer = instrument_coordinator(coordinator)
+    processes = []
+    served = []
+    try:
+        # Wave 1: only the doomed worker is connected, so it receives (and
+        # dies on) the first batch; the healthy worker then rescues it.
+        processes.append(spawn_worker(
+            coordinator.address, worker_id="smoke-doomed", chaos_exit_after=0
+        ))
+        assert coordinator.wait_for_workers(1, timeout=120), (
+            "the first worker process never registered"
+        )
+        wave1 = [
+            ("statistical", index,
+             coordinator.submit_statistical(config=config, seed=seed + index))
+            for index in range(4)
+        ]
+        processes.append(spawn_worker(
+            coordinator.address, worker_id="smoke-healthy"
+        ))
+        served.extend(
+            (mode, index, future.result(timeout=240))
+            for mode, index, future in wave1
+        )
+        # Wave 2: mixed statistical/functional through the healthy worker.
+        wave2 = []
+        for index in range(4):
+            if index % 2 == 0:
+                wave2.append(("statistical", 10 + index,
+                              coordinator.submit_statistical(
+                                  config=config, seed=seed + 10 + index)))
+            else:
+                wave2.append(("functional", index,
+                              coordinator.submit_functional(
+                                  network, frames[index:index + 1],
+                                  config=config)))
+        served.extend(
+            (mode, index, future.result(timeout=240))
+            for mode, index, future in wave2
+        )
+        stats = coordinator.stats()
+    finally:
+        coordinator.close()
+        for process in processes:
+            try:
+                process.wait(timeout=60)
+            except Exception:
+                process.kill()
+
+    assert stats["net.workers_lost"] >= 1, (
+        "the rigged worker's death was never detected"
+    )
+    assert stats["net.rescues"] >= 1, (
+        "the killed worker's in-flight batch was never rescued"
+    )
+    assert stats["net.dispatches"] >= 2, "the cluster dispatched too little"
+    reference = Session()
+    try:
+        for mode, index, result in served:
+            assert result is not None, f"{mode} request {index} was lost"
+            if mode == "statistical":
+                expected = reference.run_inference(
+                    config, batch_size=1, seed=seed + index
+                )
+            else:
+                expected = reference.run_functional(
+                    network, frames[index:index + 1], config=config
+                )
+            assert result.identical_to(expected), (
+                f"distributed {mode} request {index} diverges from the "
+                f"direct Session call"
+            )
+    finally:
+        reference.close()
+    tracer.assert_clean()
+    assert tracer.acquire_count > 0, (
+        "locktrace instrumented a coordinator but saw no lock acquisitions"
+    )
+
+
+def run_cluster() -> int:
+    """The distributed-serving check as a smoke step."""
+    print("== cluster (2 worker processes, chaos kill, vs direct Session) ==",
+          flush=True)
+    try:
+        cluster_check()
+    except AssertionError as error:
+        print(f"cluster check failed: {error}", file=sys.stderr)
+        return 1
+    print("cluster ok: killed worker rescued, mixed-mode waves bit-for-bit "
+          "vs direct calls, lock-traced coordinator clean")
+    return 0
+
+
 def run_check() -> int:
     """Static analysis + lock-traced serving as one smoke step."""
     print("== check (repro.lint clean run + lock-traced serve session) ==",
@@ -504,7 +644,8 @@ def run_check() -> int:
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
                  run_functional_equivalence, run_serve_smoke,
-                 run_precision_matrix, run_session_store_check, run_check):
+                 run_precision_matrix, run_cluster, run_session_store_check,
+                 run_check):
         code = step()
         if code != 0:
             return code
