@@ -14,10 +14,18 @@ Worker startup and registration happen **outside** the timed window; the
 measurement is steady-state serving.  The per-request responses are
 asserted **bit-for-bit identical** across arms — the wire must be
 invisible — and the headline is the throughput ratio
-``distributed / in-process``.  There is no speedup bar (pickling a result
-per request is a real tax; the committed ``BENCH_cluster.json`` baseline
-tracks the ratio so :mod:`tools.bench_gate` catches transport
-regressions); the hard gate is equality.
+``distributed / in-process``.  Since wire protocol v2 (zero-copy array
+framing, the content-addressed blob cache, credit-based pipelined
+dispatch) the distributed arm is expected to *win*: the result carries
+``"floor"``, an absolute speedup bar :mod:`tools.bench_gate` enforces
+independently of the committed-baseline delta — ``1.0`` wherever at
+least two CPUs are schedulable, an overhead bound (``0.6``) on a
+single-CPU host where beating in-process serving is arithmetically
+impossible (see the ``FLOOR`` comment).  The result also
+reports ``bytes_per_request`` — coordinator-side wire traffic (both
+directions, every link) across the measured wave divided by the request
+count — so transport-efficiency regressions are visible even when
+wall-clock noise hides them.  The hard gate is equality.
 
 Emits the same result schema as ``bench_serve.py`` through
 ``benchmarks/common.py`` (``--json`` for the machine-readable form).
@@ -27,6 +35,7 @@ Runs standalone::
 """
 
 import argparse
+import os
 import sys
 
 from repro.config import spikestream_config
@@ -38,8 +47,23 @@ REQUESTS = 64
 MAX_BATCH = 16
 WORKERS = 2
 SEED = 2025
-#: Equality is the gate; the throughput ratio is tracked, not barred.
+#: Equality is the gate; the throughput ratio is tracked, not barred
+#: locally (machine noise would make a hard in-run bar flaky) …
 SPEEDUP_BAR = 0.0
+#: … but the committed result carries an absolute floor, which
+#: ``tools/bench_gate.py`` enforces on every fresh run: since wire v2 the
+#: distributed arm must beat single-host serving outright — **where the
+#: hardware permits it**.  With two workers the distributed arm needs at
+#: least two schedulable CPUs to overlap compute; on a single-CPU host
+#: every arm serializes onto one core, wall-clock equals total CPU, and
+#: ``distributed >= in-process + wire CPU`` by construction, so a 1.0 bar
+#: would only certify that the host is small.  There the floor degrades
+#: to an overhead bound instead: wire v2 must keep the distributed arm
+#: within 40% of single-host throughput even with zero parallelism to
+#: hide behind.  ``_absolute_floor()`` picks per host; the fresh run's
+#: declaration wins in the gate, so each machine bars itself correctly.
+FLOOR = 1.0
+SINGLE_CPU_FLOOR = 0.6
 
 
 #: Untimed requests served before the measured wave in each arm: first-use
@@ -72,7 +96,7 @@ def inprocess_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
             return future
 
         report = LoadGenerator(submit, requests=len(seeds)).run()
-    return report, [future.result(timeout=0) for future in futures]
+    return report, [future.result(timeout=0) for future in futures], {}
 
 
 def distributed_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
@@ -103,8 +127,18 @@ def distributed_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
             futures.append(future)
             return future
 
+        before = coordinator._bytes_probe()
         report = LoadGenerator(submit, requests=len(seeds)).run()
         results = [future.result(timeout=0) for future in futures]
+        after = coordinator._bytes_probe()
+        wave_bytes = (
+            after["sent"] - before["sent"]
+            + after["received"] - before["received"]
+        )
+        extras = {
+            "bytes_per_request": wave_bytes / max(len(seeds), 1),
+            "blob": coordinator._blob_probe(),
+        }
     finally:
         coordinator.close()
         for process in processes:
@@ -112,7 +146,22 @@ def distributed_arm(config, seeds, workers=WORKERS, max_batch=MAX_BATCH,
                 process.wait(timeout=30)
             except Exception:
                 process.kill()
-    return report, results
+    return report, results, extras
+
+
+def _schedulable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _absolute_floor(cpus=None) -> float:
+    """The speedup bar this host can honestly be held to (see ``FLOOR``)."""
+    if cpus is None:
+        cpus = _schedulable_cpus()
+    return FLOOR if cpus >= 2 else SINGLE_CPU_FLOOR
 
 
 def _best_of(arm, repeats, *args, **kwargs):
@@ -123,12 +172,12 @@ def _best_of(arm, repeats, *args, **kwargs):
     The last run's results are returned for the equality check — every run
     must be bit-for-bit anyway.
     """
-    best_report, results = None, None
+    best_report, results, extras = None, None, {}
     for _ in range(repeats):
-        report, results = arm(*args, **kwargs)
+        report, results, extras = arm(*args, **kwargs)
         if best_report is None or report.wall_s < best_report.wall_s:
             best_report = report
-    return best_report, results
+    return best_report, results, extras
 
 
 def compare_cluster(requests=REQUESTS, workers=WORKERS, max_batch=MAX_BATCH,
@@ -140,11 +189,11 @@ def compare_cluster(requests=REQUESTS, workers=WORKERS, max_batch=MAX_BATCH,
     config = spikestream_config(batch_size=1, timesteps=4, seed=seed)
     seeds = [seed + index for index in range(requests)]
 
-    distributed_report, distributed_results = _best_of(
+    distributed_report, distributed_results, extras = _best_of(
         distributed_arm, repeats, config, seeds, workers=workers,
         max_batch=max_batch, max_wait_ms=max_wait_ms,
     )
-    inprocess_report, inprocess_results = _best_of(
+    inprocess_report, inprocess_results, _ = _best_of(
         inprocess_arm, repeats, config, seeds, workers=workers,
         max_batch=max_batch, max_wait_ms=max_wait_ms,
     )
@@ -169,6 +218,11 @@ def compare_cluster(requests=REQUESTS, workers=WORKERS, max_batch=MAX_BATCH,
             distributed_report.throughput_rps / inprocess_report.throughput_rps
             if inprocess_report.throughput_rps > 0 else float("inf")
         ),
+        "floor": _absolute_floor(),
+        "cpus": _schedulable_cpus(),
+        "bytes_per_request": extras.get("bytes_per_request", 0.0),
+        "blob_hits": extras.get("blob", {}).get("hits", 0.0),
+        "blob_misses": extras.get("blob", {}).get("misses", 0.0),
         "identical": identical,
     }
 
@@ -181,7 +235,10 @@ def _pretty(result) -> str:
         f"({result['looped_rps']:.1f} req/s)\n"
         f"  distributed (repro.net): {result['vectorized_s']:.2f} s "
         f"({result['vectorized_rps']:.1f} req/s)\n"
-        f"  throughput ratio       : {result['speedup']:.2f}x\n"
+        f"  throughput ratio       : {result['speedup']:.2f}x "
+        f"(gate floor {result['floor']:.1f}x on {result['cpus']} cpu"
+        f"{'s' if result['cpus'] != 1 else ''})\n"
+        f"  wire bytes per request : {result['bytes_per_request']:.0f}\n"
         f"  bit-for-bit across arms: "
         f"{'yes' if result['identical'] else 'NO'}"
     )

@@ -1,0 +1,191 @@
+"""Wire codec microbenchmark: protocol v2 vs the legacy v1 pickle frame.
+
+One seeded synthetic **functional batch** — the heaviest payload the
+cluster ships: requests carrying a real functional network plus stacked
+input frames (``float64`` image tensors), exactly what
+:meth:`~repro.net.coordinator.Coordinator` dispatches to a worker — is
+pushed through both codecs:
+
+* **v1** — ``encode_frame_v1`` / ``decode_frame_v1``: one header plus one
+  monolithic pickle of the whole payload (every array byte copied through
+  the pickler on both ends);
+* **v2** — ``encode_frame`` / ``decode_frame``: pickle-5 metadata with
+  contiguous arrays framed out-of-band as raw buffers (the zero-copy path
+  of :mod:`repro.net.framing`).
+
+Timing is best-of-``REPEATS`` over ``ITERATIONS`` full encode→decode round
+trips per arm; the headline ``speedup`` is ``v1_time / v2_time``.  The
+``identical`` flag certifies both decoders reproduce the payload
+bit-for-bit (arrays, configs, scalars) — a faster codec that corrupts a
+frame must fail the gate, not win it.  ``v1_bytes`` / ``v2_bytes`` report
+the framed sizes so wire-efficiency changes are visible alongside speed.
+
+Emits the shared flat result schema through ``benchmarks/common.py``.
+Runs standalone::
+
+    python benchmarks/bench_wire.py [--json]
+"""
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.config import spikestream_config
+from repro.eval.sweeps import functional_network
+from repro.net.framing import (
+    Message,
+    decode_frame,
+    decode_frame_v1,
+    encode_frame,
+    encode_frame_v1,
+)
+from repro.snn.datasets import SyntheticCIFAR10
+from repro.types import TensorShape
+
+SEED = 2025
+#: Requests per synthetic batch — matches the cluster bench's max_batch.
+BATCH = 16
+FRAMES_PER_REQUEST = 4
+ITERATIONS = 20
+REPEATS = 3
+#: v2 exists to be faster than v1 on array-heavy payloads; anything below
+#: par is a regression in the zero-copy path itself.
+SPEEDUP_BAR = 1.0
+
+
+def synthetic_batch_message(seed=SEED, batch=BATCH):
+    """A dispatch-shaped ``batch`` message with functional requests."""
+    network = functional_network(seed)
+    dataset = SyntheticCIFAR10(seed=seed, image_shape=TensorShape(16, 16, 3))
+    config = spikestream_config(batch_size=1, timesteps=4, seed=seed)
+    requests = []
+    for index in range(batch):
+        frames, _labels = dataset.sample(FRAMES_PER_REQUEST)
+        requests.append({
+            "id": index,
+            "mode": "functional",
+            "config": config,
+            "fingerprint": f"wire-bench-{seed}-{index}",
+            "network": network,
+            "frames": np.ascontiguousarray(frames, dtype=np.float64),
+            "seed": seed + index,
+        })
+    return Message("batch", {"batch_id": 1, "requests": requests})
+
+
+def _roundtrip_v1(message):
+    frame = encode_frame_v1(message)
+    return decode_frame_v1(frame)[0], len(frame)
+
+
+def _roundtrip_v2(message):
+    frame = encode_frame(message)
+    return decode_frame(frame)[0], len(frame)
+
+
+def _time_arm(roundtrip, message, iterations=ITERATIONS, repeats=REPEATS):
+    """Best-of-``repeats`` seconds for ``iterations`` encode→decode trips."""
+    best = float("inf")
+    decoded, frame_bytes = roundtrip(message)  # warm-up + artifacts
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            roundtrip(message)
+        best = min(best, time.perf_counter() - start)
+    return best, decoded, frame_bytes
+
+
+def _equal(a, b) -> bool:
+    """Structural bit-for-bit equality across a decoded payload.
+
+    Objects like :class:`~repro.snn.network.SpikingNetwork` compare by
+    identity, which a codec round trip can never preserve — recurse into
+    their state instead; every leaf array must match in dtype, shape and
+    bytes.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+                and a.dtype == b.dtype and a.shape == b.shape
+                and np.array_equal(a, b))
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(map(_equal, a, b))
+    state_a = getattr(a, "__dict__", None)
+    state_b = getattr(b, "__dict__", None)
+    if state_a is not None and state_b is not None:
+        # Dataclass __eq__ may compare array-holding field tuples (an
+        # ambiguous-truth ValueError); state recursion covers them too.
+        return _equal(state_a, state_b)
+    return bool(a == b)
+
+
+def _requests_identical(left, right) -> bool:
+    return (left.kind == right.kind
+            and _equal(left["requests"], right["requests"]))
+
+
+def compare_wire(seed=SEED, batch=BATCH, iterations=ITERATIONS):
+    """Both codecs on one payload; returns the shared bench result schema."""
+    message = synthetic_batch_message(seed=seed, batch=batch)
+    v1_s, v1_decoded, v1_bytes = _time_arm(_roundtrip_v1, message,
+                                           iterations=iterations)
+    v2_s, v2_decoded, v2_bytes = _time_arm(_roundtrip_v2, message,
+                                           iterations=iterations)
+    identical = (_requests_identical(v1_decoded, message)
+                 and _requests_identical(v2_decoded, message))
+    per_trip = iterations
+    return {
+        "benchmark": "wire",
+        "batch_size": batch,
+        "iterations": iterations,
+        # vectorized = the subject arm (v2), looped = the reference (v1),
+        # matching the schema every other bench emits.
+        "vectorized_s": v2_s / per_trip,
+        "looped_s": v1_s / per_trip,
+        "speedup": v1_s / v2_s if v2_s > 0 else float("inf"),
+        "v1_bytes": v1_bytes,
+        "v2_bytes": v2_bytes,
+        "identical": identical,
+    }
+
+
+def _pretty(result) -> str:
+    return (
+        f"wire codec round trip, {result['batch_size']}-request functional "
+        f"batch:\n"
+        f"  v1 (monolithic pickle) : {result['looped_s'] * 1e3:.2f} ms/trip, "
+        f"{result['v1_bytes']} B/frame\n"
+        f"  v2 (zero-copy framing) : {result['vectorized_s'] * 1e3:.2f} ms/trip, "
+        f"{result['v2_bytes']} B/frame\n"
+        f"  speedup                : {result['speedup']:.2f}x "
+        f"(bar {SPEEDUP_BAR:.1f}x)\n"
+        f"  decode bit-for-bit     : "
+        f"{'yes' if result['identical'] else 'NO'}"
+    )
+
+
+def main(argv=None) -> int:
+    from pathlib import Path
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    from common import emit_result, speedup_gate
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true")
+    parser.add_argument("--batch", type=int, default=BATCH)
+    parser.add_argument("--iterations", type=int, default=ITERATIONS)
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    result = compare_wire(batch=args.batch, iterations=args.iterations)
+    emit_result(result, ["--json"] if args.json else [], _pretty)
+    return speedup_gate(result, SPEEDUP_BAR)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

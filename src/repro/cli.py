@@ -186,6 +186,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="serve through repro.net: a coordinator whose "
                             "queue is drained by remote worker processes "
                             "instead of in-process worker threads")
+    serve.add_argument("--credit", type=_positive_int, default=None,
+                       metavar="N",
+                       help="credit window spawned workers advertise: batches "
+                            "the coordinator may keep in flight per worker "
+                            "(--distributed; default 2)")
+    serve.add_argument("--blob-threshold", type=_positive_int, default=None,
+                       metavar="BYTES",
+                       help="arrays at or above this size cross the wire as "
+                            "content digests served from the blob cache "
+                            "(--distributed; default 65536)")
+    serve.add_argument("--wire-compress", action="store_true",
+                       help="deflate large wire buffers (worth it for sparse "
+                            "spike tensors; overhead for dense weights)")
     serve.add_argument("--workers-remote", type=_positive_int, default=2,
                        metavar="N",
                        help="worker processes to spawn under --distributed")
@@ -249,6 +262,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="heartbeat cadence; the coordinator's "
                              "registration ack overrides it")
     worker.add_argument("--seed", type=int, default=2025)
+    worker.add_argument("--credit", type=_positive_int, default=None,
+                        metavar="N",
+                        help="advertised credit window: batches the "
+                             "coordinator may keep in flight here (default 2)")
+    worker.add_argument("--blob-threshold", type=_positive_int, default=None,
+                        metavar="BYTES",
+                        help="arrays at or above this size cross the wire as "
+                             "content digests (default 65536)")
+    worker.add_argument("--wire-compress", action="store_true",
+                        help="deflate large wire buffers on send")
     worker.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="directory persisting this worker's result store")
     # Chaos levers for the rescue tests and smoke: hang or hard-exit the
@@ -588,11 +611,21 @@ def _command_serve(args: argparse.Namespace) -> str:
     if args.distributed:
         from .net import Coordinator, spawn_worker
 
-        server = Coordinator(**service_kwargs)
+        server = Coordinator(
+            blob_threshold=args.blob_threshold,
+            wire_compress=args.wire_compress,
+            **service_kwargs,
+        )
         # Under --format json stdout is a machine-parsed document; the
         # workers' exit summaries must not interleave into it.
         processes = [
-            spawn_worker(server.address, quiet=args.output_format == "json")
+            spawn_worker(
+                server.address,
+                quiet=args.output_format == "json",
+                credit=args.credit,
+                blob_threshold=args.blob_threshold,
+                wire_compress=args.wire_compress,
+            )
             for _ in range(args.workers_remote)
         ]
         if not server.wait_for_workers(args.workers_remote, timeout=60.0):
@@ -669,6 +702,9 @@ def _command_worker(args: argparse.Namespace) -> str:
             f"error: --connect expects HOST:PORT, got {args.connect!r}"
         )
     session = Session(cache_dir=args.cache_dir, seed=args.seed)
+    worker_kwargs = {}
+    if args.credit is not None:
+        worker_kwargs["credit"] = args.credit
     worker = NetWorker(
         (host, int(port_text)),
         session=session,
@@ -676,6 +712,9 @@ def _command_worker(args: argparse.Namespace) -> str:
         heartbeat_interval_s=args.heartbeat_ms / 1e3,
         chaos_hang_after=args.chaos_hang_after,
         chaos_exit_after=args.chaos_exit_after,
+        blob_threshold=args.blob_threshold,
+        wire_compress=args.wire_compress,
+        **worker_kwargs,
     )
     with session:
         counters = worker.run()

@@ -738,16 +738,27 @@ class SocketDisciplineRule(Rule):
     accept loop hands them to a wrapper (e.g.
     :class:`~repro.net.framing.FramedConnection`) that owns the close,
     and *that* wrapper's own socket field is what this rule watches.
+
+    The rule also polices **partial-I/O discipline** on the scatter-gather
+    calls wire protocol v2 leans on: ``sendmsg``, ``recv_into`` and
+    ``recvmsg_into`` all report how many bytes actually moved, and a call
+    whose count is discarded (a bare expression statement) silently drops
+    the tail of a frame under load — the worst kind of wire bug, invisible
+    until buffers fill.  Their return value must be consumed.
     """
 
     name = "socket-discipline"
     description = (
         "sockets must be closed via context manager or close() on a "
-        "finally/teardown path"
+        "finally/teardown path; sendmsg/recv_into/recvmsg_into byte counts "
+        "must be consumed"
     )
 
     _CREATORS = {"create_connection", "create_server", "socketpair"}
     _TEARDOWN_METHODS = {"close", "stop", "shutdown", "__exit__", "__del__"}
+    #: Socket calls that report a transferred-byte count the caller must
+    #: check — partial completion is normal, not exceptional, for these.
+    _PARTIAL_IO = {"sendmsg", "recv_into", "recvmsg_into"}
 
     def _is_creator(self, node: ast.AST) -> bool:
         if not isinstance(node, ast.Call):
@@ -871,7 +882,28 @@ class SocketDisciplineRule(Rule):
                         f"finally path; open it in a `with` block instead",
                     )
                 )
+        findings.extend(self._check_partial_io(module))
         return findings
+
+    def _check_partial_io(self, module: ParsedModule) -> Iterator[Finding]:
+        """Flag scatter-gather calls whose byte count is thrown away."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in self._PARTIAL_IO
+            ):
+                yield module.finding(
+                    self.name,
+                    node.lineno,
+                    f"{call.func.attr}() returns the bytes actually "
+                    f"transferred; discarding it loses partial "
+                    f"{'writes' if call.func.attr == 'sendmsg' else 'reads'} "
+                    f"— assign and check the count",
+                )
 
     def _check_function(
         self, module: ParsedModule, fn: ast.AST

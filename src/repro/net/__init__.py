@@ -1,13 +1,16 @@
 """repro.net — the multi-host serving tier.
 
-A stdlib-only distributed transport (length-prefixed framed messages over
-sockets, :mod:`~repro.net.framing`) connecting one
+A stdlib-only distributed transport (wire protocol v2: zero-copy array
+framing over ``sendmsg``/``recv_into``, a content-addressed
+:class:`~repro.net.blob.BlobCache` so weights cross each link once, and
+optional per-buffer compression — :mod:`~repro.net.framing`) connecting one
 :class:`~repro.net.coordinator.Coordinator` — the admission front, a
 :class:`~repro.serve.server.InferenceServer` whose queue is drained by
 remote hosts — to N :class:`~repro.net.worker.NetWorker` processes that
-register, heartbeat, pull fingerprint-compatible micro-batches and stream
-bit-for-bit results back.  :class:`~repro.net.store.ReplicatedResultStore`
-makes a cache hit on any host short-circuit cluster-wide, and
+register with a credit window, heartbeat, execute pushed
+fingerprint-compatible micro-batches and stream bit-for-bit results back.
+:class:`~repro.net.store.ReplicatedResultStore` makes a cache hit on any
+host short-circuit cluster-wide, and
 :class:`~repro.net.backend.NetworkShardedBackend` fans one sweep plan out
 across worker processes on the same wire.
 
@@ -20,6 +23,7 @@ Quickstart (two terminals)::
     python -m repro.cli worker --connect 127.0.0.1:7433
 """
 
+from .blob import BlobCache, array_digest
 from .coordinator import Coordinator, DispatchedBatch
 from .framing import (
     ConnectionClosed,
@@ -30,7 +34,9 @@ from .framing import (
     VersionMismatch,
     WIRE_VERSION,
     decode_frame,
+    decode_frame_v1,
     encode_frame,
+    encode_frame_v1,
     recv_message,
     request_from_wire,
     request_to_wire,
@@ -38,11 +44,13 @@ from .framing import (
 )
 from .backend import NetworkShardedBackend
 from .store import ReplicatedResultStore, ResultStoreProtocol
-from .worker import NetWorker, spawn_worker
+from .worker import DEFAULT_CREDIT, NetWorker, spawn_worker
 
 __all__ = [
+    "BlobCache",
     "ConnectionClosed",
     "Coordinator",
+    "DEFAULT_CREDIT",
     "DispatchedBatch",
     "FrameError",
     "FramedConnection",
@@ -54,8 +62,11 @@ __all__ = [
     "TruncatedFrame",
     "VersionMismatch",
     "WIRE_VERSION",
+    "array_digest",
     "decode_frame",
+    "decode_frame_v1",
     "encode_frame",
+    "encode_frame_v1",
     "recv_message",
     "request_from_wire",
     "request_to_wire",

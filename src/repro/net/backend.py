@@ -39,6 +39,7 @@ import threading
 from typing import Dict, List, Optional, Sequence
 
 from ..backends import ShardedBackend
+from .blob import BlobCache
 from .framing import FrameError, FramedConnection
 from .worker import spawn_worker
 
@@ -68,8 +69,14 @@ class NetworkShardedBackend(ShardedBackend):
         self.startup_timeout_s = startup_timeout_s
 
     def _accept_links(self, listener: socket.socket,
-                      links: Sequence[_ShardLink]) -> None:
-        """Pair each spawned process with an accepted, registered connection."""
+                      links: Sequence[_ShardLink],
+                      blob_cache: Optional[BlobCache] = None) -> None:
+        """Pair each spawned process with an accepted, registered connection.
+
+        ``blob_cache`` is shared across every shard link: a plan whose tasks
+        embed the same network ships its weight panels once, after which the
+        remaining shards' frames reference them by digest.
+        """
         listener.settimeout(self.startup_timeout_s)
         for link in links:
             try:
@@ -83,7 +90,7 @@ class NetworkShardedBackend(ShardedBackend):
                     file=sys.stderr,
                 )
                 return
-            connection = FramedConnection(sock)
+            connection = FramedConnection(sock, blob_cache=blob_cache)
             try:
                 hello = connection.recv()
                 if hello.kind != "register":
@@ -167,13 +174,14 @@ class NetworkShardedBackend(ShardedBackend):
         out: "queue.Queue[tuple]" = queue.Queue()
         stop = threading.Event()
         readers: List[threading.Thread] = []
+        blob_cache = BlobCache()
         with socket.create_server(("127.0.0.1", 0)) as listener:
             address = listener.getsockname()[:2]
             for link in links:
                 link.process = spawn_worker(
                     address, worker_id=f"plan-shard-{link.shard_index}"
                 )
-            self._accept_links(listener, links)
+            self._accept_links(listener, links, blob_cache)
             readers = [
                 threading.Thread(
                     target=self._reader_loop,

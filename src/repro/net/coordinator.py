@@ -6,27 +6,41 @@ with ``workers=0``: the whole single-host admission surface — bounded
 result-store short-circuit, ``submit_statistical`` / ``submit_functional``,
 telemetry — is inherited unchanged, and instead of local worker threads the
 queue is drained by *remote worker processes* speaking the
-:mod:`repro.net.framing` wire protocol.
+:mod:`repro.net.framing` wire protocol (v2).
 
-Dispatch is pull-based.  A worker registers, then loops ``pull`` ->
-(``batch`` | ``idle`` | ``shutdown``).  On a ``pull`` the coordinator pops
-the queue head, lets the inherited :class:`~repro.serve.batcher.MicroBatcher`
-collect a fingerprint-compatible micro-batch behind it, re-checks the
-result store per request (a result replicated from another worker since
-admission resolves right here — the cluster-wide short-circuit), records
-the remainder as an in-flight :class:`DispatchedBatch` and ships it.
-Results stream back asynchronously; the coordinator stores each one in its
+Dispatch is credit-based and pushed.  A worker registers advertising a
+*credit window* — how many batches may be outstanding on its link — and a
+single dispatcher thread drains the queue: it waits for traffic, picks the
+least-loaded worker with free credit, lets the inherited
+:class:`~repro.serve.batcher.MicroBatcher` collect a fingerprint-compatible
+micro-batch behind the head, re-checks the result store per request (a
+result replicated from another worker since admission resolves right here —
+the cluster-wide short-circuit), records the remainder as an in-flight
+:class:`DispatchedBatch` and ships it.  With ``credit > 1`` the next batch
+is already sitting in the worker's socket buffer while the previous one
+computes, so the wire round-trip that used to serialize every
+``pull -> batch -> results`` cycle overlaps with execution.  Results stream
+back asynchronously; each one lands in the
 :class:`~repro.net.store.ReplicatedResultStore` (which broadcasts
-``store_put`` to every worker) and resolves the caller's future.
+``store_put`` to every *other* worker — the producer already has it),
+resolves the caller's future, and refills the link's credit, waking the
+dispatcher.
+
+Large arrays ride the frame protocol's content-addressed blob cache
+(:class:`~repro.net.blob.BlobCache`, shared across every link): network
+weight panels cross each link once, after which batches reference them by
+digest (``net.blob.*`` telemetry counts the savings).
 
 Failure semantics — the generalization of
 :class:`~repro.backends.ShardedBackend`'s rescue worker:
 
 * **dead worker** — heartbeats stop for longer than ``liveness_timeout_s``
   (or the connection drops): every in-flight request of that worker whose
-  future is still pending is re-queued *at the head* of the request queue
-  (:meth:`~repro.serve.queue.RequestQueue.requeue`), so the next pulling
-  worker executes it before fresh traffic.  No future is ever lost.
+  future is still pending — up to a *full credit window* of batches — is
+  re-queued *at the head* of the request queue
+  (:meth:`~repro.serve.queue.RequestQueue.requeue`), so the dispatcher
+  ships it to a healthy worker before fresh traffic.  No future is ever
+  lost.
 * **stalled worker** — still heartbeating but sitting on a batch: rescued
   when the batch has been in flight longer than ``stall_timeout_s`` (when
   set), or — deadline-aware — when a request's deadline is closer than
@@ -36,10 +50,11 @@ Failure semantics — the generalization of
   engine pass; double resolution is absorbed by
   :func:`~repro.serve.queue.resolve_future` (first outcome wins).
 
-Per-worker telemetry (dispatches, rescues, heartbeat lag, bytes on wire)
-merges into the inherited :class:`~repro.serve.metrics.MetricsRegistry`
-under ``net.*`` names, so one :meth:`stats` snapshot covers admission,
-batching and the cluster.
+Per-worker telemetry (dispatches, rescues, heartbeat lag, bytes on wire —
+total and per message kind — plus blob-cache savings) merges into the
+inherited :class:`~repro.serve.metrics.MetricsRegistry` under ``net.*``
+names, so one :meth:`stats` snapshot covers admission, batching and the
+cluster.
 """
 
 from __future__ import annotations
@@ -49,15 +64,17 @@ import os
 import socket
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..serve.metrics import MetricsRegistry
 from ..serve.queue import InferenceRequest, resolve_future
 from ..serve.server import InferenceServer
 from ..session import Session
 from ..snn.numerics import NumericsPolicy
+from .blob import BlobCache
 from .framing import FrameError, FramedConnection, Message, request_to_wire
 from .store import ReplicatedResultStore
+from .worker import DEFAULT_CREDIT
 
 __all__ = ["Coordinator", "DispatchedBatch"]
 
@@ -91,10 +108,12 @@ class _WorkerLink:
     """
 
     def __init__(self, worker_id: str, connection: FramedConnection,
-                 pid: Optional[int] = None):
+                 pid: Optional[int] = None, credit: int = DEFAULT_CREDIT):
         self.worker_id = worker_id
         self.connection = connection
         self.pid = pid
+        #: batches the dispatcher may keep outstanding on this link
+        self.credit = max(1, int(credit))
         self.registered_at = time.time()
         self.last_heartbeat = time.time()
         self.last_lag_ms = 0.0
@@ -130,11 +149,17 @@ class Coordinator(InferenceServer):
         deadline is closer than this margin is re-queued (once per
         request) so a healthy worker can still beat the deadline.
     pull_wait_s:
-        How long one ``pull`` blocks server-side waiting for traffic
-        before answering ``idle`` (paces the idle pull loop).
+        Idle pacing of the dispatcher: how long it blocks waiting for
+        traffic or freed credit before re-checking.
     drain_timeout_s:
         Upper bound :meth:`close(drain=True) <close>` waits for queued and
         in-flight work to finish.
+    blob_threshold / wire_compress:
+        Wire-protocol knobs for every worker link — the array size at
+        which payloads turn into content digests (``None`` keeps the
+        :data:`~repro.net.framing.BLOB_THRESHOLD_BYTES` default), and
+        whether buffers are deflated on send (worth it for sparse spike
+        tensors, pure overhead for dense weights).
     """
 
     _MIN_WORKERS = 0  # execution happens in remote worker processes, not threads
@@ -156,6 +181,8 @@ class Coordinator(InferenceServer):
         deadline_margin_s: float = 0.5,
         pull_wait_s: float = 0.2,
         drain_timeout_s: float = 30.0,
+        blob_threshold: Optional[int] = None,
+        wire_compress: bool = False,
     ):
         super().__init__(
             session=session,
@@ -173,29 +200,51 @@ class Coordinator(InferenceServer):
         self.deadline_margin_s = deadline_margin_s
         self.pull_wait_s = pull_wait_s
         self.drain_timeout_s = drain_timeout_s
+        self.blob_threshold = blob_threshold
+        self.wire_compress = wire_compress
+        #: one cache across every link: a blob registered while encoding
+        #: for one worker answers any worker's ``__need_blob__``
+        self.blob_cache = BlobCache()
         self.net_store = ReplicatedResultStore(
-            self.session.store, publish=self._replicate
+            self.session.store, publish=self._replicate,
+            publish_many=self._replicate_many,
         )
         self._net_lock = threading.Lock()
         self._links: Dict[str, _WorkerLink] = {}
         self._worker_ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
         self._collecting = 0
+        #: write-behind replication buffer: ``(entries, origin)`` per
+        #: results frame, plus the monotonic stamp of the oldest buffered
+        #: frame (see ``_replicate_many``).  Guarded by ``_net_lock``.
+        self._replication_pending: List[Tuple[List[Dict[str, object]], Optional[str]]] = []
+        self._replication_stamp: Optional[float] = None
+        #: oldest a buffered replication entry may grow before the monitor
+        #: flushes it even under sustained load
+        self.replication_flush_s = 0.5
         self._shutting_down = False
         self._deadline_rescued: set = set()
         self._stop_monitor = threading.Event()
+        self._stop_dispatch = threading.Event()
+        # Wakes the dispatcher when credit frees up (results, registration,
+        # worker loss).  A plain Event, NOT a Condition on _net_lock: the
+        # lock tracer swaps _net_lock after construction, and a Condition
+        # bound to the original lock would dodge the instrumentation.
+        self._dispatch_wake = threading.Event()
         # Declare the cluster telemetry surface up front (same convention as
         # the parent: every snapshot has every key, zeroed or not).
         for counter in ("net.dispatches", "net.results", "net.rescues",
                         "net.redispatched_requests", "net.dispatch_short_circuits",
                         "net.heartbeats", "net.store_replications",
-                        "net.workers_registered", "net.workers_lost"):
+                        "net.workers_registered", "net.workers_lost",
+                        "net.credit_stalls"):
             self.metrics.counter(counter)
         for histogram in ("net.heartbeat_lag_ms", "net.batch_rtt_ms"):
             self.metrics.histogram(histogram)
         self.metrics.gauge("net.workers").set(0)
         self.metrics.add_probe("net.workers_detail", self._workers_probe)
         self.metrics.add_probe("net.bytes", self._bytes_probe)
+        self.metrics.add_probe("net.blob", self._blob_probe)
         self.metrics.add_probe("net.store", self.net_store.stats)
         self._listener = socket.create_server((host, port))
         #: the bound ``(host, port)`` workers connect to
@@ -206,8 +255,12 @@ class Coordinator(InferenceServer):
         self._monitor_thread = threading.Thread(
             target=self._monitor_loop, name="repro-net-monitor", daemon=True
         )
+        self._dispatch_thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-net-dispatch", daemon=True
+        )
         self._accept_thread.start()
         self._monitor_thread.start()
+        self._dispatch_thread.start()
 
     # -- registration -------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -216,7 +269,12 @@ class Coordinator(InferenceServer):
                 sock, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed: shutdown
-            connection = FramedConnection(sock)
+            connection = FramedConnection(
+                sock,
+                blob_cache=self.blob_cache,
+                blob_threshold=self.blob_threshold,
+                compress=self.wire_compress,
+            )
             try:
                 hello = connection.recv()
                 if hello.kind != "register":
@@ -232,11 +290,13 @@ class Coordinator(InferenceServer):
                          hello: Message) -> None:
         serial = next(self._worker_ids)
         requested = hello.get("worker_id")
+        credit = hello.get("credit") or DEFAULT_CREDIT
         with self._net_lock:
             worker_id = str(requested) if requested else f"worker-{serial}"
             if worker_id in self._links:
                 worker_id = f"{worker_id}-{serial}"
-            link = _WorkerLink(worker_id, connection, pid=hello.get("pid"))
+            link = _WorkerLink(worker_id, connection, pid=hello.get("pid"),
+                               credit=int(credit))
             self._links[worker_id] = link
         try:
             connection.send(
@@ -259,6 +319,7 @@ class Coordinator(InferenceServer):
         with self._net_lock:
             link.thread = thread
         thread.start()
+        self._dispatch_wake.set()  # fresh credit available
 
     def wait_for_workers(self, count: int, timeout: float = 10.0) -> bool:
         """Block until ``count`` workers are registered and alive."""
@@ -282,14 +343,17 @@ class Coordinator(InferenceServer):
             except _LINK_ERRORS as error:
                 self._lose_worker(link, error)
                 return
+            # Any inbound frame proves the worker alive — a link thread
+            # spending seconds in _on_results must not let the heartbeat
+            # stamp age past the liveness horizon meanwhile.
+            with self._net_lock:
+                link.last_heartbeat = time.time()
             if message.kind == "heartbeat":
                 self._on_heartbeat(link, message)
             elif message.kind == "pull":
-                try:
-                    self._dispatch_to(link)
-                except _LINK_ERRORS as error:
-                    self._lose_worker(link, error)
-                    return
+                # v2 readiness signal (sent once after registration); work
+                # is pushed by the dispatcher, so just nudge it.
+                self._dispatch_wake.set()
             elif message.kind == "results":
                 self._on_results(link, message)
             elif message.kind == "goodbye":
@@ -318,27 +382,64 @@ class Coordinator(InferenceServer):
             inflight = sum(len(link.inflight) for link in self._links.values())
             return inflight == 0 and self._collecting == 0
 
-    def _dispatch_to(self, link: _WorkerLink) -> None:
-        """Answer one ``pull``: a batch, ``idle``, or ``shutdown``."""
-        if self._cluster_idle():
-            link.connection.send("shutdown")
-            return
+    def _pick_worker(self) -> Optional[_WorkerLink]:
+        """The least-loaded live worker with free credit, or ``None``."""
         with self._net_lock:
-            self._collecting += 1
-        try:
-            first = self.queue.pop(timeout=self.pull_wait_s)
-            if first is None:
-                link.connection.send("idle")
-                return
-            batch = self.batcher.collect(self.queue, first)
-            batch = self._short_circuit(batch)
-            if not batch:
-                link.connection.send("idle")
-                return
-            self._send_batch(link, batch)
-        finally:
+            candidates = [
+                link for link in self._links.values()
+                if link.alive and len(link.inflight) < link.credit
+            ]
+            if not candidates:
+                return None
+            return min(
+                candidates,
+                key=lambda link: (len(link.inflight), link.dispatches),
+            )
+
+    def _dispatch_loop(self) -> None:
+        """Drain the queue into worker credit windows (single dispatcher).
+
+        The ``_collecting`` guard brackets pop -> collect -> send so
+        :meth:`_cluster_idle` cannot report a drained cluster while a
+        popped batch is between the queue and a link's in-flight table.
+        """
+        while not self._stop_dispatch.is_set():
+            if not self.queue.wait_nonempty(self.pull_wait_s):
+                continue
+            if self._pick_worker() is None:
+                # Traffic is waiting but every credit window is full (or no
+                # worker is up yet): block until results/registration free
+                # capacity rather than spinning on the queue head.
+                self.metrics.counter("net.credit_stalls").inc()
+                self._dispatch_wake.wait(self.pull_wait_s)
+                self._dispatch_wake.clear()
+                continue
             with self._net_lock:
-                self._collecting -= 1
+                self._collecting += 1
+            try:
+                first = self.queue.pop(timeout=0.01)
+                if first is None:
+                    continue
+                batch = self.batcher.collect(self.queue, first)
+                batch = self._short_circuit(batch)
+                if not batch:
+                    continue
+                link = self._pick_worker()
+                if link is None:
+                    # Credit vanished while collecting (the worker died);
+                    # hand the batch back in order for the next pick.
+                    for request in reversed(batch):
+                        self.queue.requeue(request)
+                    continue
+                try:
+                    self._send_batch(link, batch)
+                except _LINK_ERRORS as error:
+                    # _send_batch registered the in-flight entry first, so
+                    # losing the worker re-queues the batch — never lost.
+                    self._lose_worker(link, error)
+            finally:
+                with self._net_lock:
+                    self._collecting -= 1
 
     def _short_circuit(self, batch: List[InferenceRequest]) -> List[InferenceRequest]:
         """Resolve requests already stored (e.g. replicated from a worker, or
@@ -368,7 +469,7 @@ class Coordinator(InferenceServer):
                 link.inflight[batch_id] = dispatched
                 link.dispatches += 1
         if not alive:
-            # Lost between pull and dispatch: hand the batch straight back.
+            # Lost between pick and dispatch: hand the batch straight back.
             for request in reversed(batch):
                 self.queue.requeue(request)
             return
@@ -400,6 +501,20 @@ class Coordinator(InferenceServer):
             for request in (dispatched.requests if dispatched is not None else [])
         }
         completed = 0
+        # Store + replicate the whole frame in one batched put BEFORE the
+        # futures resolve (a caller reading cluster telemetry right after
+        # its future fires must see the replication already counted).
+        # Batching means the broadcast costs one store_put_many frame per
+        # results frame instead of a frame (and a worker wakeup) per
+        # result; adopt=True skips the store's defensive deep copy — the
+        # entries were just decoded off the wire, so they are already this
+        # process's private (array-frozen) copies.
+        self.net_store.put_many(
+            [(entry["fingerprint"], entry["result"]) for entry in entries
+             if entry.get("error") is None],
+            origin=link.worker_id,
+            adopt=True,
+        )
         for entry in entries:
             request = by_id.get(entry["id"])
             error = entry.get("error")
@@ -408,7 +523,6 @@ class Coordinator(InferenceServer):
                 if request is not None:
                     resolve_future(request.future, error=error)
                 continue
-            self.net_store.put(entry["fingerprint"], entry["result"])
             if request is not None:
                 if resolve_future(request.future, entry["result"]):
                     completed += 1
@@ -418,19 +532,96 @@ class Coordinator(InferenceServer):
                 self._deadline_rescued.discard(request.id)
         self.metrics.counter("serve.completed").inc(completed)
         self.metrics.counter("net.results").inc()
+        self._dispatch_wake.set()  # credit freed on this link
 
-    def _replicate(self, fingerprint: str, result: object) -> None:
-        """Publish one stored result to every live worker (``store_put``)."""
+    def _replicate(self, fingerprint: str, result: object,
+                   origin: Optional[str] = None) -> None:
+        """Publish one stored result to every live worker.
+
+        ``origin`` — the worker that produced the result — is skipped: its
+        local store already holds the entry (replication rides the blob
+        dedup too, so even the skipped bytes would mostly have been digest
+        references, but zero frames beat small frames).
+        """
+        self._replicate_many([(fingerprint, result)], origin=origin)
+
+    def _replicate_many(self, pairs: Sequence[Tuple[str, object]],
+                        origin: Optional[str] = None) -> None:
+        """Queue a results frame's entries for write-behind replication.
+
+        Replication is cache warming, not correctness — the coordinator's
+        own store already short-circuits duplicates at dispatch time — so
+        it must never compete with foreground traffic for the one thing a
+        busy cluster is short on (CPU for pickling and wire pushes).
+        Entries are buffered and flushed as one ``store_put_many`` frame
+        per link when the cluster is quiet (synchronously, so telemetry
+        read right after a lone request resolves already counts it), when
+        the oldest entry exceeds ``replication_flush_s`` (the monitor
+        ticks it), or at :meth:`close`.
+        """
+        entries = [
+            {"fingerprint": fingerprint, "result": result}
+            for fingerprint, result in pairs
+        ]
+        if not entries:
+            return
         with self._net_lock:
+            self._replication_pending.append((entries, origin))
+            if self._replication_stamp is None:
+                self._replication_stamp = time.monotonic()
+        if self._replication_quiet():
+            self._flush_replication()
+
+    def _replication_quiet(self) -> bool:
+        """No queued traffic, nothing in flight: replication may flush."""
+        if self.queue.depth():
+            return False
+        with self._net_lock:
+            inflight = sum(len(link.inflight) for link in self._links.values())
+            return inflight == 0 and self._collecting == 0
+
+    def _maybe_flush_replication(self) -> None:
+        """Monitor hook: flush a quiet cluster's buffer, or one grown old."""
+        with self._net_lock:
+            stamp = self._replication_stamp
+            if not self._replication_pending:
+                return
+        aged = stamp is not None and (
+            time.monotonic() - stamp >= self.replication_flush_s
+        )
+        if aged or self._replication_quiet():
+            self._flush_replication()
+
+    def _flush_replication(self) -> None:
+        """Broadcast every buffered entry now (one frame per link).
+
+        Each link receives the entries every *other* worker produced —
+        the origin-skip of the eager design, preserved across batching.
+        ``net.store_replications`` still counts per entry per link.
+        """
+        with self._net_lock:
+            pending = self._replication_pending
+            self._replication_pending = []
+            self._replication_stamp = None
             links = [link for link in self._links.values() if link.alive]
+        if not pending or not links:
+            return
+        replicated = 0
         for link in links:
+            entries = [
+                entry
+                for frame_entries, origin in pending
+                if origin != link.worker_id
+                for entry in frame_entries
+            ]
+            if not entries:
+                continue
             try:
-                link.connection.send(
-                    "store_put", fingerprint=fingerprint, result=result
-                )
+                link.connection.send("store_put_many", entries=entries)
+                replicated += len(entries)
             except _LINK_ERRORS:
                 pass  # the link's own handler thread will reap it
-        self.metrics.counter("net.store_replications").inc(len(links))
+        self.metrics.counter("net.store_replications").inc(replicated)
 
     # -- liveness and rescue ------------------------------------------------
     def _monitor_loop(self) -> None:
@@ -438,14 +629,28 @@ class Coordinator(InferenceServer):
         while not self._stop_monitor.wait(interval):
             self._reap_dead()
             self._rescue_stalled()
+            self._maybe_flush_replication()
 
     def _reap_dead(self) -> None:
-        horizon = time.time() - self.liveness_timeout_s
+        now = time.time()
+        horizon = now - self.liveness_timeout_s
         with self._net_lock:
-            dead = [
-                link for link in self._links.values()
-                if link.alive and link.last_heartbeat < horizon
-            ]
+            dead = []
+            for link in self._links.values():
+                if not link.alive:
+                    continue
+                if link.connection.sending:
+                    # Mid-transfer — e.g. a multi-megabyte ``__blob__``
+                    # answer, compression included — the link thread cannot
+                    # read heartbeats off the socket, so their age says
+                    # nothing about the worker.  The transfer itself is the
+                    # proof of life; the fresh stamp gives the thread a full
+                    # liveness window to drain the queued heartbeats once
+                    # the send completes.
+                    link.last_heartbeat = now
+                    continue
+                if link.last_heartbeat < horizon:
+                    dead.append(link)
         for link in dead:
             self._lose_worker(
                 link,
@@ -520,6 +725,7 @@ class Coordinator(InferenceServer):
             self.metrics.counter("net.workers_lost").inc()
         for batch in orphaned:
             self._requeue_batch(link, batch)
+        self._dispatch_wake.set()  # the candidate set changed
 
     def _retire_worker(self, link: _WorkerLink) -> None:
         """A worker said goodbye; any leftovers are rescued, not lost."""
@@ -533,6 +739,7 @@ class Coordinator(InferenceServer):
         self._refresh_worker_gauge()
         for batch in orphaned:
             self._requeue_batch(link, batch)
+        self._dispatch_wake.set()
 
     # -- observability ------------------------------------------------------
     def _refresh_worker_gauge(self) -> None:
@@ -544,6 +751,7 @@ class Coordinator(InferenceServer):
                 link.worker_id: {
                     "alive": link.alive,
                     "pid": link.pid,
+                    "credit": link.credit,
                     "dispatches": link.dispatches,
                     "results": link.results,
                     "local_hits": link.local_hits,
@@ -557,12 +765,55 @@ class Coordinator(InferenceServer):
                 for link in self._links.values()
             }
 
-    def _bytes_probe(self) -> Dict[str, float]:
+    def _bytes_probe(self) -> Dict[str, object]:
         with self._net_lock:
             links = list(self._links.values())
+        sent = received = 0
+        sent_by_kind: Dict[str, float] = {}
+        received_by_kind: Dict[str, float] = {}
+        for link in links:
+            sent += link.connection.bytes_sent
+            received += link.connection.bytes_received
+            by_kind = link.connection.bytes_by_kind()
+            for kind, count in by_kind["sent"].items():
+                sent_by_kind[kind] = sent_by_kind.get(kind, 0.0) + count
+            for kind, count in by_kind["received"].items():
+                received_by_kind[kind] = received_by_kind.get(kind, 0.0) + count
+        requests = self.metrics.counter("serve.requests").value
         return {
-            "sent": float(sum(l.connection.bytes_sent for l in links)),
-            "received": float(sum(l.connection.bytes_received for l in links)),
+            "sent": float(sent),
+            "received": float(received),
+            "sent_by_kind": sent_by_kind,
+            "received_by_kind": received_by_kind,
+            # lifetime wire cost of one admitted request, both directions —
+            # the cluster-level figure bench_cluster derives per wave
+            "per_request": float(sent + received) / requests if requests else 0.0,
+        }
+
+    def _blob_probe(self) -> Dict[str, float]:
+        """Cluster blob-cache effectiveness: coordinator-side inbound stats
+        plus the worker-side counters each heartbeat carries."""
+        with self._net_lock:
+            links = list(self._links.values())
+            worker_stats = [dict(link.stats) for link in links]
+        hits = misses = saved = 0
+        for link in links:
+            inbound = link.connection.blob_stats
+            hits += inbound["blob_hits"]
+            misses += inbound["blob_misses"]
+            saved += inbound["blob_bytes_saved"]
+        for stats in worker_stats:
+            hits += int(stats.get("blob_hits") or 0)
+            misses += int(stats.get("blob_misses") or 0)
+            saved += int(stats.get("blob_bytes_saved") or 0)
+        cache = self.blob_cache.stats()
+        return {
+            "hits": float(hits),
+            "misses": float(misses),
+            "bytes_saved": float(saved),
+            "cache_entries": cache["entries"],
+            "cache_bytes": cache["bytes"],
+            "cache_evictions": cache["evictions"],
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -593,6 +844,11 @@ class Coordinator(InferenceServer):
         else:
             cancelled = self.queue.cancel_pending()
             self.metrics.counter("serve.cancelled").inc(cancelled)
+        self._stop_dispatch.set()
+        self._dispatch_wake.set()
+        # Deliver any write-behind replication still buffered before the
+        # shutdown broadcast: workers must not lose cache entries to timing.
+        self._flush_replication()
         with self._net_lock:
             self._shutting_down = True
             links = list(self._links.values())
@@ -616,5 +872,6 @@ class Coordinator(InferenceServer):
                 link.thread.join(timeout=5.0)
         self._accept_thread.join(timeout=5.0)
         self._monitor_thread.join(timeout=5.0)
+        self._dispatch_thread.join(timeout=5.0)
         if self._owns_session:
             self.session.close()

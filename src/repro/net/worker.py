@@ -1,13 +1,11 @@
 """A worker host process for the distributed serving tier.
 
 :class:`NetWorker` is the execution side of the :mod:`repro.net` protocol:
-it connects to a :class:`~repro.net.coordinator.Coordinator`, registers,
-heartbeats on a daemon thread, and then loops *pull -> execute -> results*:
+it connects to a :class:`~repro.net.coordinator.Coordinator`, registers
+(advertising its *credit window* — how many batches the coordinator may
+keep in flight on this link), heartbeats on a daemon thread, announces
+readiness with a single ``pull``, and then serves a pushed stream of work:
 
-* ``pull`` — ask for work.  The coordinator answers ``batch`` (a
-  fingerprint-compatible micro-batch of serve requests), ``plan`` (a shard
-  of sweep-plan points, from :class:`~repro.net.backend.NetworkShardedBackend`),
-  ``idle`` (nothing right now; pull again) or ``shutdown``.
 * ``batch`` — rebuild the :class:`~repro.serve.queue.InferenceRequest`
   objects from their wire dicts, check the *local* result store first (a
   replicated hit skips the engine entirely), run the misses through this
@@ -15,12 +13,24 @@ heartbeats on a daemon thread, and then loops *pull -> execute -> results*:
   pass, store, and stream the results back.  Results are bit-for-bit what
   the coordinator's session would have produced: configs, seeds, networks
   and frames cross the wire losslessly and the engines are deterministic.
+  With ``credit > 1`` the next batch is usually already queued in the
+  socket buffer when results go out — compute overlaps wire latency
+  instead of alternating with it.
 * ``plan`` — evaluate the shard's points through the (module-level,
   picklable) point function, streaming one ``plan_row`` per point and a
   final ``plan_done`` carrying the worker's fresh row-cache delta for
   merge-back.
-* ``store_put`` — replication traffic from the coordinator (results other
-  workers computed); applied to the local store without re-publishing.
+* ``store_put`` / ``store_put_many`` — replication traffic from the
+  coordinator (results other workers computed, one entry or a whole
+  results frame's worth); applied to the local store without
+  re-publishing.
+* ``idle`` / ``shutdown`` — keepalive no-op / drain-and-exit.
+
+Each worker owns a :class:`~repro.net.blob.BlobCache`: network weight
+panels and other large arrays arrive as content digests and are fetched
+over the wire only on first sight (``__need_blob__`` handled inside
+:class:`~repro.net.framing.FramedConnection`), so repeat batches against
+the same network cost KBs, not hundreds of MBs.
 
 The worker runs equally as an in-process thread (tests drive and kill it
 directly) or as a real OS process via :func:`spawn_worker` /
@@ -28,7 +38,8 @@ directly) or as a real OS process via :func:`spawn_worker` /
 
 Chaos hooks ``chaos_hang_after`` / ``chaos_exit_after`` make a worker hang
 or die mid-batch after N batches — the levers the rescue tests and the
-smoke cluster step pull to prove dead- and stalled-worker re-dispatch.
+smoke cluster step pull to prove dead- and stalled-worker re-dispatch
+(including a full credit window of outstanding batches).
 """
 
 from __future__ import annotations
@@ -43,12 +54,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..serve.batcher import MicroBatcher
 from ..session import Session
+from .blob import BlobCache
 from .framing import FrameError, FramedConnection, Message, request_from_wire
 from .store import ReplicatedResultStore
 
-__all__ = ["NetWorker", "spawn_worker"]
+__all__ = ["DEFAULT_CREDIT", "NetWorker", "spawn_worker"]
 
 _LINK_ERRORS = (FrameError, OSError)
+
+#: Default credit window a worker advertises at registration: how many
+#: batches the coordinator may keep outstanding on the link.  Two is enough
+#: to hide one wire round-trip behind compute without ballooning rescue
+#: cost when a worker dies with a full window.
+DEFAULT_CREDIT = 2
 
 
 def _wire_error(error: BaseException) -> BaseException:
@@ -82,6 +100,14 @@ class NetWorker:
     heartbeat_interval_s:
         Fallback heartbeat cadence; the coordinator's ``registered`` ack
         overrides it so the whole cluster agrees.
+    credit:
+        Advertised credit window (outstanding batches the coordinator may
+        push to this worker); clamped to at least 1.
+    blob_threshold / wire_compress:
+        Wire-protocol knobs forwarded to this worker's
+        :class:`~repro.net.framing.FramedConnection` — the array size at
+        which payloads turn into content digests, and whether buffers are
+        deflated on send.
     chaos_hang_after / chaos_exit_after:
         Testing levers: after this many batches have *started*, hang
         forever (heartbeats continue — a stalled worker) or hard-exit the
@@ -95,6 +121,9 @@ class NetWorker:
         worker_id: Optional[str] = None,
         heartbeat_interval_s: float = 0.2,
         connect_timeout_s: float = 10.0,
+        credit: int = DEFAULT_CREDIT,
+        blob_threshold: Optional[int] = None,
+        wire_compress: bool = False,
         chaos_hang_after: Optional[int] = None,
         chaos_exit_after: Optional[int] = None,
     ):
@@ -105,6 +134,10 @@ class NetWorker:
         self.worker_id = worker_id or ""
         self.heartbeat_interval_s = heartbeat_interval_s
         self.connect_timeout_s = connect_timeout_s
+        self.credit = max(1, int(credit))
+        self.blob_threshold = blob_threshold
+        self.wire_compress = wire_compress
+        self.blob_cache = BlobCache()
         self.chaos_hang_after = chaos_hang_after
         self.chaos_exit_after = chaos_exit_after
         self.store = ReplicatedResultStore(self.session.store)
@@ -129,12 +162,17 @@ class NetWorker:
         local store hits, plan rows evaluated).
         """
         connection = FramedConnection.connect(
-            self.address, timeout=self.connect_timeout_s
+            self.address,
+            timeout=self.connect_timeout_s,
+            blob_cache=self.blob_cache,
+            blob_threshold=self.blob_threshold,
+            compress=self.wire_compress,
         )
         self._connection = connection
         try:
             connection.send(
-                "register", worker_id=self.requested_id, pid=os.getpid()
+                "register", worker_id=self.requested_id, pid=os.getpid(),
+                credit=self.credit,
             )
             ack = connection.recv()
             if ack.kind != "registered":
@@ -174,8 +212,11 @@ class NetWorker:
 
     # -- the protocol loop --------------------------------------------------
     def _serve(self, connection: FramedConnection) -> None:
+        # One pull announces readiness (the plan backend keys its shard
+        # hand-off on it); after that the coordinator pushes work up to the
+        # advertised credit window, so the loop is recv-driven.
+        connection.send("pull", worker_id=self.worker_id)
         while not self._stop.is_set():
-            connection.send("pull", worker_id=self.worker_id)
             message = self._next_work(connection)
             if message.kind == "idle":
                 continue
@@ -189,22 +230,33 @@ class NetWorker:
             # wire version)
 
     def _next_work(self, connection: FramedConnection) -> Message:
-        """The next non-replication message; ``store_put`` applies inline."""
+        """The next non-replication message; replication applies inline."""
         while True:
             message = connection.recv()
             if message.kind == "store_put":
-                self.store.apply(message["fingerprint"], message["result"])
+                self.store.apply(message["fingerprint"], message["result"],
+                                 adopt=True)
+                continue
+            if message.kind == "store_put_many":
+                for entry in message["entries"]:
+                    self.store.apply(entry["fingerprint"], entry["result"],
+                                     adopt=True)
                 continue
             return message
 
     def _heartbeat_loop(self) -> None:
         while not self._stop.wait(self.heartbeat_interval_s):
             try:
-                self._connection.send(
+                connection = self._connection
+                stats = dict(self.counters)
+                stats.update(connection.blob_stats)
+                stats["bytes_sent"] = connection.bytes_sent
+                stats["bytes_received"] = connection.bytes_received
+                connection.send(
                     "heartbeat",
                     worker_id=self.worker_id,
                     sent_at=time.time(),
-                    stats=dict(self.counters),
+                    stats=stats,
                 )
             except _LINK_ERRORS:
                 return
@@ -309,6 +361,9 @@ def spawn_worker(
     worker_id: Optional[str] = None,
     chaos_hang_after: Optional[int] = None,
     chaos_exit_after: Optional[int] = None,
+    credit: Optional[int] = None,
+    blob_threshold: Optional[int] = None,
+    wire_compress: bool = False,
     extra_args: Sequence[str] = (),
     quiet: bool = False,
 ) -> "subprocess.Popen[bytes]":
@@ -334,6 +389,12 @@ def spawn_worker(
         argv += ["--chaos-hang-after", str(chaos_hang_after)]
     if chaos_exit_after is not None:
         argv += ["--chaos-exit-after", str(chaos_exit_after)]
+    if credit is not None:
+        argv += ["--credit", str(credit)]
+    if blob_threshold is not None:
+        argv += ["--blob-threshold", str(blob_threshold)]
+    if wire_compress:
+        argv += ["--wire-compress"]
     argv += list(extra_args)
     src_dir = str(Path(__file__).resolve().parents[2])
     env = dict(os.environ)

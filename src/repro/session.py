@@ -263,12 +263,17 @@ class ResultStore:
             self.misses += 1
         return None
 
-    def put(self, fingerprint: str, result: InferenceResult) -> None:
+    def put(self, fingerprint: str, result: InferenceResult,
+            adopt: bool = False) -> None:
         """Store one result, persisting it when the store is disk-backed.
 
         The store keeps its own deep copy: the caller usually receives the
         very object that was just simulated, and mutating it must not
-        rewrite the store's master copy.
+        rewrite the store's master copy.  ``adopt=True`` transfers
+        ownership instead — the store keeps ``result`` itself and the
+        caller must treat it as frozen.  The wire-decode paths use it: a
+        freshly deserialized result is already a private copy (its arrays
+        arrive read-only), so the defensive deep copy is pure waste there.
         """
         encoded: Optional[str] = None
         if self.cache_dir is not None or self.bounded:
@@ -277,7 +282,7 @@ class ResultStore:
         # locked.  Concurrent same-fingerprint writes are safe because
         # atomic_write_text is temp-file + os.replace, and _prune_disk
         # already tolerates racing file removals.
-        stored = copy.deepcopy(result)
+        stored = result if adopt else copy.deepcopy(result)
         with self._lock:
             self._admit(
                 fingerprint,

@@ -1,9 +1,11 @@
 """Seeded ``socket-discipline`` violations (lint fixture).
 
-Three leaks the rule must catch — a local connection with no close at
-all, a listener closed only on the happy path (not in a ``finally``),
-and an instance-attribute socket with no teardown method — plus the
-clean idioms (``with``, ``finally``, a ``close()`` method) that must
+Five violations the rule must catch — a local connection with no close
+at all, a listener closed only on the happy path (not in a ``finally``),
+an instance-attribute socket with no teardown method, and two
+partial-I/O drops (a ``sendmsg`` and a ``recv_into`` whose transferred
+byte counts are discarded) — plus the clean idioms (``with``,
+``finally``, a ``close()`` method, counted scatter-gather I/O) that must
 stay silent.
 """
 
@@ -52,3 +54,14 @@ class CleanServer:
 
     def close(self):
         self._listener.close()
+
+
+def dropped_scatter_gather(sock, segments, view):
+    sock.sendmsg(segments)  # seeded violation: partial-write count dropped
+    sock.recv_into(view)  # seeded violation: partial-read count dropped
+
+
+def counted_scatter_gather(sock, segments, view):
+    sent = sock.sendmsg(segments)
+    got = sock.recv_into(view)
+    return sent, got

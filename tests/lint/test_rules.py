@@ -36,7 +36,7 @@ FIXTURE_MATRIX = {
     "registry-docs": ("bad_registry.py", 2),
     "mutable-default": ("bad_default.py", 2),
     "all-exports": ("bad_exports.py", 1),
-    "socket-discipline": ("bad_socket.py", 3),
+    "socket-discipline": ("bad_socket.py", 5),
 }
 
 

@@ -9,6 +9,7 @@ telemetry surface is complete.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -176,3 +177,47 @@ class TestReplicatedStore:
             stats = store.stats()
             assert stats["replication_published"] == 1
             assert stats["replication_applied"] == 1
+
+
+class TestLivenessUnderTransfer:
+    def test_reap_defers_to_a_link_mid_transfer(self):
+        # Regression: a multi-megabyte (possibly compressed) __blob__
+        # answer keeps the link thread inside send() for longer than the
+        # liveness window, during which it cannot read the worker's
+        # perfectly punctual heartbeats off the socket.  The monitor must
+        # treat the in-flight transfer as proof of life instead of
+        # reaping a healthy worker mid-frame — which tears the stream on
+        # the worker side (TruncatedFrame) and, with no worker left,
+        # strands every future.
+        from repro.net.coordinator import _WorkerLink
+
+        class _MidTransfer:
+            sending = True
+
+            def close(self):
+                pass
+
+        coordinator = Coordinator(
+            max_batch=1, max_wait_ms=1, liveness_timeout_s=0.05
+        )
+        try:
+            connection = _MidTransfer()
+            link = _WorkerLink("busy", connection)
+            with coordinator._net_lock:
+                link.last_heartbeat = time.time() - 60.0
+                coordinator._links["busy"] = link
+            coordinator._reap_dead()
+            assert link.alive
+            # the stamp was refreshed: the thread gets a full liveness
+            # window to drain queued heartbeats once the send completes
+            assert link.last_heartbeat > time.time() - 5.0
+            # a genuinely silent worker is still reaped once idle
+            connection.sending = False
+            with coordinator._net_lock:
+                link.last_heartbeat = time.time() - 60.0
+            coordinator._reap_dead()
+            assert not link.alive
+        finally:
+            with coordinator._net_lock:
+                coordinator._links.pop("busy", None)
+            coordinator.close(drain=False)

@@ -1,0 +1,132 @@
+"""Credit-based pipelined dispatch: window enforcement and rescue depth.
+
+A worker advertises a *credit window* at registration; the coordinator may
+keep at most that many batches outstanding on the link.  Two invariants:
+
+* the window is never overrun, however deep the queue backs up;
+* a worker dying with a **full window** of outstanding batches loses
+  nothing — every in-flight request is re-dispatched and resolves
+  bit-for-bit identical to a direct :class:`~repro.session.Session` call.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import spikestream_config
+from repro.net import Coordinator, NetWorker, spawn_worker
+from repro.session import Session
+
+
+@pytest.fixture
+def config():
+    return spikestream_config(batch_size=1, timesteps=1, seed=53)
+
+
+def _start_inline_worker(address, **kwargs):
+    worker = NetWorker(address, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _wait(predicate, timeout=30.0, interval=0.02):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestCreditWindow:
+    def test_inflight_never_exceeds_advertised_credit(self, config):
+        credit = 2
+        coordinator = Coordinator(max_batch=1, max_wait_ms=1)
+        peak = [0]
+        stop = threading.Event()
+
+        def sample():
+            while not stop.is_set():
+                with coordinator._net_lock:
+                    inflight = sum(
+                        len(link.inflight)
+                        for link in coordinator._links.values()
+                    )
+                peak[0] = max(peak[0], inflight)
+                time.sleep(0.001)
+
+        sampler = threading.Thread(target=sample, daemon=True)
+        sampler.start()
+        worker = None
+        try:
+            worker, thread = _start_inline_worker(
+                coordinator.address, worker_id="credited", credit=credit
+            )
+            assert coordinator.wait_for_workers(1, timeout=30)
+            futures = [
+                coordinator.submit_statistical(config=config, seed=53 + index)
+                for index in range(8)
+            ]
+            results = [future.result(timeout=120) for future in futures]
+            stats = coordinator.stats()
+        finally:
+            stop.set()
+            sampler.join(timeout=5)
+            coordinator.close()
+            if worker is not None:
+                thread.join(timeout=10)
+
+        assert len(results) == 8
+        # max_batch=1 forces one batch per request: 8 dispatches through a
+        # window of 2 must pipeline, never overrun.
+        assert stats["net.dispatches"] >= 8
+        assert peak[0] <= credit
+
+    def test_worker_dying_with_full_window_loses_no_future(self, config):
+        credit = 2
+        coordinator = Coordinator(
+            max_batch=2, max_wait_ms=5, liveness_timeout_s=1.0,
+            default_deadline_s=120.0,
+        )
+        process = None
+        healthy = None
+        try:
+            # The doomed worker takes its first batch, dies mid-execution;
+            # with credit=2 the coordinator has usually pushed the next
+            # batch onto the link already — both must be rescued.
+            process = spawn_worker(
+                coordinator.address, worker_id="doomed", credit=credit,
+                chaos_exit_after=0,
+            )
+            assert coordinator.wait_for_workers(1, timeout=60)
+            futures = [
+                coordinator.submit_statistical(config=config, seed=53 + index)
+                for index in range(8)
+            ]
+            assert _wait(lambda: coordinator.live_workers() == 0), (
+                "the chaos worker should have died on its first batch"
+            )
+            healthy, healthy_thread = _start_inline_worker(
+                coordinator.address, worker_id="healthy", credit=credit
+            )
+            results = [future.result(timeout=120) for future in futures]
+            stats = coordinator.stats()
+        finally:
+            coordinator.close()
+            if process is not None:
+                process.wait(timeout=30)
+            if healthy is not None:
+                healthy_thread.join(timeout=10)
+
+        assert stats["net.workers_lost"] >= 1
+        assert stats["net.rescues"] >= 1
+        assert stats["net.redispatched_requests"] >= 1
+        with Session() as reference:
+            for index, result in enumerate(results):
+                direct = reference.run_inference(config, batch_size=1,
+                                                 seed=53 + index)
+                assert result.identical_to(direct), (
+                    f"rescued request {index} diverges from the direct call"
+                )

@@ -10,13 +10,19 @@ frame is :class:`TruncatedFrame`, a foreign wire version is
 
 import socket
 import threading
+import time
 
+import numpy as np
 import pytest
 
 from repro.config import spikestream_config
 from repro.net.framing import (
+    ARRAY_OOB_BYTES,
     HEADER,
     MAGIC,
+    MAX_FRAME_BYTES,
+    PREFIX,
+    V2_HEADER,
     ConnectionClosed,
     FrameError,
     FramedConnection,
@@ -25,7 +31,9 @@ from repro.net.framing import (
     VersionMismatch,
     WIRE_VERSION,
     decode_frame,
+    decode_frame_v1,
     encode_frame,
+    encode_frame_v1,
     recv_message,
     request_from_wire,
     request_to_wire,
@@ -79,6 +87,66 @@ class TestFrameCodec:
             decode_frame(frame[: HEADER.size - 1])
         with pytest.raises(TruncatedFrame):
             decode_frame(frame[:-1])
+
+
+class TestArrayEdgeCases:
+    """The v2 array fast paths must hold at every shape/layout boundary."""
+
+    def _roundtrip_array(self, arr):
+        frame = encode_frame(Message("payload", {"arr": arr}))
+        decoded, consumed = decode_frame(frame)
+        assert consumed == len(frame)
+        return decoded["arr"]
+
+    def test_oob_array_roundtrips_bit_for_bit(self):
+        arr = np.arange(ARRAY_OOB_BYTES, dtype=np.float64)  # well over OOB
+        back = self._roundtrip_array(arr)
+        assert back.dtype == arr.dtype and back.shape == arr.shape
+        assert np.array_equal(back, arr)
+
+    def test_fortran_order_array_roundtrips(self):
+        arr = np.asfortranarray(
+            np.arange(64 * 64, dtype=np.float64).reshape(64, 64)
+        )
+        assert arr.flags.f_contiguous and not arr.flags.c_contiguous
+        back = self._roundtrip_array(arr)
+        assert np.array_equal(back, arr)
+        assert back.flags.f_contiguous
+
+    def test_non_contiguous_array_roundtrips(self):
+        base = np.arange(64 * 128, dtype=np.float64).reshape(64, 128)
+        arr = base[:, ::2]  # neither C- nor F-contiguous, still > OOB size
+        assert not arr.flags.c_contiguous and not arr.flags.f_contiguous
+        back = self._roundtrip_array(arr)
+        assert np.array_equal(back, arr)
+
+    def test_zero_length_arrays_roundtrip(self):
+        for arr in (np.empty((0,), dtype=np.float64),
+                    np.zeros((0, 3), dtype=np.int32)):
+            back = self._roundtrip_array(arr)
+            assert back.dtype == arr.dtype
+            assert back.shape == arr.shape
+
+    def test_small_array_stays_in_band(self):
+        # Sub-OOB arrays must not spend buffer-table entries: the whole
+        # frame is the two metadata segments, no buffer section.
+        arr = np.arange(4, dtype=np.float64)
+        frame = encode_frame(Message("payload", {"arr": arr}))
+        _flags, _kind_len, n_entries, _table_len, _meta_len = (
+            V2_HEADER.unpack_from(frame, PREFIX.size)
+        )
+        assert n_entries == 0
+        assert np.array_equal(decode_frame(frame)[0]["arr"], arr)
+
+    def test_metadata_over_frame_bound_is_frame_error(self):
+        # A header announcing metadata past MAX_FRAME_BYTES is corruption,
+        # not a giant payload: FrameError before any allocation happens.
+        bad = PREFIX.pack(MAGIC, WIRE_VERSION) + V2_HEADER.pack(
+            0, 5, 0, 0, MAX_FRAME_BYTES
+        )
+        with pytest.raises(FrameError) as err:
+            decode_frame(bad)
+        assert not isinstance(err.value, TruncatedFrame)
 
 
 class TestSocketPaths:
@@ -138,6 +206,44 @@ class TestSocketPaths:
         with pytest.raises(VersionMismatch):
             recv_message(right)
 
+    def test_v1_peer_rejected_by_v2_reader(self, pair):
+        # Both generations put the version right after the magic, so a v1
+        # frame hitting a v2 reader fails the handshake cleanly instead of
+        # being misparsed as lengths.
+        left, right = pair
+        left.sendall(encode_frame_v1(Message("probe", {"n": 1})))
+        with pytest.raises(VersionMismatch):
+            recv_message(right)
+
+    def test_v2_frame_rejected_by_v1_decoder(self, pair):
+        left, right = pair
+        frame = encode_frame(Message("probe", {"n": 1}))
+        left.sendall(frame)
+        received = right.recv(len(frame), socket.MSG_WAITALL)
+        with pytest.raises(VersionMismatch):
+            decode_frame_v1(received)
+
+    def test_eof_inside_oob_buffer_section_is_truncated(self, pair):
+        # The peer dies after the metadata but mid-way through the raw
+        # buffer section; the reader must surface TruncatedFrame, never
+        # block waiting for bytes that cannot come.
+        left, right = pair
+        arr = np.arange(ARRAY_OOB_BYTES, dtype=np.float64)
+        frame = encode_frame(Message("payload", {"arr": arr}))
+        left.sendall(frame[: len(frame) - arr.nbytes // 2])
+        left.close()
+        with pytest.raises(TruncatedFrame):
+            recv_message(right)
+
+    def test_metadata_over_frame_bound_over_the_wire(self, pair):
+        left, right = pair
+        left.sendall(
+            PREFIX.pack(MAGIC, WIRE_VERSION)
+            + V2_HEADER.pack(0, 5, 0, 0, MAX_FRAME_BYTES)
+        )
+        with pytest.raises(FrameError):
+            recv_message(right)
+
 
 class TestFramedConnection:
     def test_byte_accounting_both_directions(self, pair):
@@ -148,6 +254,31 @@ class TestFramedConnection:
         assert message.kind == "probe"
         assert a.bytes_sent == sent == b.bytes_received
         assert a.bytes_received == 0
+
+    def test_sending_flag_covers_a_blocked_send(self, pair):
+        # A liveness monitor must be able to tell "this link is busy
+        # moving a huge frame" from "the peer went quiet": `sending` stays
+        # true for the whole of send(), including the socket write blocked
+        # on a full buffer.
+        left, right = pair
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 8192)
+        a, b = FramedConnection(left), FramedConnection(right)
+        arr = np.arange(1 << 19, dtype=np.float64)  # 4 MB >> both buffers
+        assert not a.sending
+        pusher = threading.Thread(
+            target=a.send, args=("batch",), kwargs={"payload": arr},
+            daemon=True,
+        )
+        pusher.start()
+        deadline = time.monotonic() + 10.0
+        while not a.sending and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert a.sending  # parked mid-write; the receiver hasn't read yet
+        message = b.recv()
+        pusher.join(timeout=10.0)
+        assert not pusher.is_alive()
+        assert not a.sending
+        assert np.array_equal(message["payload"], arr)
 
     def test_concurrent_senders_keep_frames_atomic(self, pair):
         left, right = pair

@@ -13,6 +13,11 @@ A benchmark fails the gate when:
 
 * its fresh ``identical`` flag is false (the optimized path no longer
   matches its reference bit-for-bit), or
+* its result carries a ``floor`` field — an *absolute* speedup bar the
+  benchmark declares for itself (e.g. the cluster bench's ``1.0``:
+  distributed serving must beat one host outright) — and the fresh
+  ``speedup`` is below it, regardless of how the committed baseline
+  moved, or
 * its fresh ``speedup`` dropped more than ``--tolerance`` (default 15%)
   below the committed baseline's ``speedup``.
 
@@ -115,16 +120,29 @@ def gate_one(name: str, baseline_path: Path, tolerance: float) -> Dict[str, obje
     committed = float(baseline["speedup"])
     measured = float(fresh["speedup"])
     floor = committed * (1.0 - tolerance)
+    # A benchmark may declare an absolute speedup bar for itself; the fresh
+    # run's declaration wins, the committed baseline's fills in when a
+    # bench stops emitting it.
+    absolute = fresh.get("floor", baseline.get("floor"))
     data = {
         "baseline_speedup": committed,
         "measured_speedup": measured,
         "floor": floor,
         "tolerance": tolerance,
     }
+    if absolute is not None:
+        data["absolute_floor"] = float(absolute)
     if "identical" in fresh and not fresh["identical"]:
         return gate_check(
             name, False,
             "optimized path no longer matches its reference bit-for-bit",
+            data,
+        )
+    if absolute is not None and measured < float(absolute):
+        return gate_check(
+            name, False,
+            f"speedup {measured:.2f}x below the benchmark's absolute "
+            f"{float(absolute):.2f}x floor",
             data,
         )
     if measured < floor:

@@ -49,6 +49,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 import tempfile
 from pathlib import Path
 
@@ -504,7 +505,13 @@ def cluster_check(seed: int = 53) -> None:
        completes every future — none lost, all before the deadline;
     2. a second mixed statistical/functional wave runs through the healthy
        worker;
-    3. every response must be bit-for-bit identical to a direct
+    3. two further functional waves carry a **big-FC network** whose weight
+       matrix sits far above the wire's blob threshold: the weights must
+       cross each link exactly once (``__need_blob__`` traffic and
+       ``net.blob`` misses stay flat across the second wave) and the
+       per-request dispatch bytes of that second wave must be at least 5x
+       smaller than the same batch under the v1 monolithic-pickle codec;
+    4. every response must be bit-for-bit identical to a direct
        :class:`~repro.session.Session` call, and the lock tracer must come
        back clean (no order cycles, no unguarded link-table access).
     """
@@ -514,8 +521,14 @@ def cluster_check(seed: int = 53) -> None:
     from repro.eval.sweeps import functional_network
     from repro.lint.locktrace import instrument_coordinator
     from repro.net import Coordinator, spawn_worker
+    from repro.net.framing import Message, encode_frame_v1
     from repro.session import Session
     from repro.snn.datasets import SyntheticCIFAR10
+    from repro.snn.layers import (
+        Flatten, SpikingConv2d, SpikingLinear, SpikingMaxPool2d,
+    )
+    from repro.snn.network import SpikingNetwork
+    from repro.snn.neuron import LIFParameters
     from repro.types import TensorShape
 
     config = spikestream_config(batch_size=1, timesteps=1, seed=seed)
@@ -568,6 +581,84 @@ def cluster_check(seed: int = 53) -> None:
             (mode, index, future.result(timeout=240))
             for mode, index, future in wave2
         )
+
+        # Waves 3 and 4: a network whose FC weights (512x128 float64 =
+        # 512 KB) dwarf the blob threshold.  The weights must cross the
+        # healthy worker's link once — wave 4 re-uses the digest.
+        lif = LIFParameters(alpha=0.9, v_threshold=0.25)
+        big_network = SpikingNetwork([
+            SpikingConv2d(3, 8, kernel_size=3, padding=1, lif=lif,
+                          encodes_input=True, name="conv1"),
+            SpikingMaxPool2d(name="pool1"),
+            Flatten(name="flatten"),
+            SpikingLinear(8 * 8 * 8, 128, lif=lif, name="big-fc"),
+            SpikingLinear(128, 10, lif=lif, name="out", is_output=True),
+        ], input_shape=TensorShape(16, 16, 3), name="big-fc-net")
+        big_network.initialize(seed)
+        big_frames, _ = SyntheticCIFAR10(
+            seed=seed + 100, image_shape=TensorShape(16, 16, 3)
+        ).sample(8)
+
+        def _big_wave(offset):
+            futures = [
+                coordinator.submit_functional(
+                    big_network, big_frames[offset + i:offset + i + 1],
+                    config=config,
+                )
+                for i in range(4)
+            ]
+            return [future.result(timeout=240) for future in futures]
+
+        def _settle(predicate, timeout=10.0):
+            end = time.monotonic() + timeout
+            while time.monotonic() < end and not predicate():
+                time.sleep(0.05)
+
+        big_served = [("big-fc", index, result)
+                      for index, result in enumerate(_big_wave(0))]
+        # Worker-side blob counters travel on heartbeats; wait for the
+        # wave-3 miss to be visible before snapshotting the plateau.
+        _settle(lambda: coordinator.stats()["net.blob"]["misses"] >= 1)
+        after_wave3 = coordinator.stats()
+        assert after_wave3["net.blob"]["misses"] >= 1, (
+            "the big-FC weights never took the blob path"
+        )
+
+        big_served += [("big-fc", 4 + index, result)
+                       for index, result in enumerate(_big_wave(4))]
+        time.sleep(3 * coordinator.heartbeat_interval_s)
+        after_wave4 = coordinator.stats()
+        assert (after_wave4["net.blob"]["misses"]
+                == after_wave3["net.blob"]["misses"]), (
+            "the second big-FC wave re-missed blobs the workers already hold"
+        )
+        need_blob_key = "__need_blob__"
+        assert (
+            after_wave4["net.bytes"]["received_by_kind"].get(need_blob_key, 0)
+            == after_wave3["net.bytes"]["received_by_kind"].get(need_blob_key, 0)
+        ), "the second big-FC wave still requested blob bytes"
+
+        # And the dedup must show up as wire savings: wave-4 dispatch
+        # traffic per request must be >= 5x smaller than the same single
+        # request under the v1 monolithic-pickle codec, which re-ships the
+        # weights every time.
+        wave4_batch_bytes = (
+            after_wave4["net.bytes"]["sent_by_kind"].get("batch", 0)
+            - after_wave3["net.bytes"]["sent_by_kind"].get("batch", 0)
+        )
+        v1_request_bytes = len(encode_frame_v1(Message("batch", {
+            "batch_id": 0,
+            "requests": [{
+                "mode": "functional", "config": config,
+                "network": big_network, "frames": big_frames[4:5],
+            }],
+        })))
+        assert wave4_batch_bytes / 4 * 5 <= v1_request_bytes, (
+            f"big-FC dispatch costs {wave4_batch_bytes / 4:.0f} B/request "
+            f"on the v2 wire — not even 5x below the {v1_request_bytes} B "
+            f"a v1 frame would need"
+        )
+        served.extend(big_served)
         stats = coordinator.stats()
     finally:
         coordinator.close()
@@ -591,6 +682,10 @@ def cluster_check(seed: int = 53) -> None:
             if mode == "statistical":
                 expected = reference.run_inference(
                     config, batch_size=1, seed=seed + index
+                )
+            elif mode == "big-fc":
+                expected = reference.run_functional(
+                    big_network, big_frames[index:index + 1], config=config
                 )
             else:
                 expected = reference.run_functional(
