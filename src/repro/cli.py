@@ -13,6 +13,8 @@ Six subcommands cover the common workflows, all built on the unified
     python -m repro.cli sweep      --sweep firing_rate --backend sharded --shards 4
     python -m repro.cli plan       --list                            # declarative sweep specs
     python -m repro.cli serve      --workers 2 --max-batch 16        # micro-batching service demo
+    python -m repro.cli serve      --trace-out spans.jsonl --stats-out stats.json
+    python -m repro.cli trace      --input spans.jsonl --format chrome --output trace.json
     python -m repro.cli check      --format json                     # repo lint rules (repro.lint)
 
 Every command prints an aligned text table (the same rows the corresponding
@@ -244,6 +246,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="telemetry output format")
     serve.add_argument("--output", default=None, metavar="PATH",
                        help="write the rendered output to a file instead of stdout")
+    serve.add_argument("--stats-out", default=None, metavar="PATH",
+                       help="also write the final MetricsRegistry snapshot "
+                            "as JSON to this file (a machine-readable "
+                            "artifact of the load run)")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="enable request tracing and write completed "
+                            "traces to this file as JSONL span records "
+                            "(render them with `repro.cli trace`)")
+    serve.add_argument("--trace-sample", type=float, default=1.0, metavar="P",
+                       help="per-trace sampling probability under "
+                            "--trace-out (default: 1.0, trace everything)")
+    serve.add_argument("--profile-layers", action="store_true",
+                       help="record per-layer engine timings inside every "
+                            "traced engine pass (needs --trace-out)")
 
     worker = subparsers.add_parser(
         "worker",
@@ -280,6 +296,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)
     worker.add_argument("--chaos-exit-after", type=int, default=None,
                         help=argparse.SUPPRESS)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a span export written by `serve --trace-out`",
+        description="Read the JSONL span records `repro.cli serve "
+                    "--trace-out` exports and render them as a "
+                    "chrome://tracing / Perfetto `trace_event` document "
+                    "(or normalized JSONL, one span per line).",
+    )
+    trace.add_argument("--input", required=True, metavar="PATH",
+                       help="JSONL span export (`serve --trace-out PATH`)")
+    trace.add_argument("--format", choices=("chrome", "jsonl"),
+                       default="chrome", dest="output_format",
+                       help="chrome: a trace_event JSON document loadable "
+                            "in chrome://tracing and Perfetto; jsonl: one "
+                            "span record per line")
+    trace.add_argument("--output", default=None, metavar="PATH",
+                       help="write the rendered export to a file instead "
+                            "of stdout")
 
     from .lint import RULES
 
@@ -599,6 +634,23 @@ def _command_serve(args: argparse.Namespace) -> str:
             "only; the statistical workload ignores them",
             file=sys.stderr,
         )
+    tracer = None
+    if args.trace_out:
+        from .obs import Tracer
+
+        tracer = Tracer(
+            enabled=True,
+            sample=args.trace_sample,
+            capacity=max(args.requests, 256),
+            profile_layers=args.profile_layers,
+            seed=args.seed,
+        )
+    elif args.profile_layers:
+        print(
+            "warning: --profile-layers records into traces; ignored "
+            "without --trace-out",
+            file=sys.stderr,
+        )
     service_kwargs = dict(
         session=session,
         max_batch=args.max_batch,
@@ -606,6 +658,7 @@ def _command_serve(args: argparse.Namespace) -> str:
         max_queue=args.queue_depth,
         default_deadline_s=deadline_s,
         default_numerics=numerics,
+        tracer=tracer,
     )
     processes = []
     if args.distributed:
@@ -671,6 +724,27 @@ def _command_serve(args: argparse.Namespace) -> str:
             process.wait(timeout=10.0)
         except Exception:
             process.terminate()
+    if args.stats_out:
+        try:
+            with open(args.stats_out, "w") as handle:
+                json_module.dump(snapshot, handle, sort_keys=True, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            raise SystemExit(f"error: cannot write --stats-out file: {error}")
+    if args.trace_out:
+        from .obs import to_jsonl
+
+        traces = server.tracer.completed()
+        try:
+            with open(args.trace_out, "w") as handle:
+                spans_written = to_jsonl(traces, handle)
+        except OSError as error:
+            raise SystemExit(f"error: cannot write --trace-out file: {error}")
+        print(
+            f"traces: {len(traces)} completed, {spans_written} spans "
+            f"-> {args.trace_out}",
+            file=sys.stderr,
+        )
     if args.output_format == "json":
         rendered = json_module.dumps(
             {"load": report.to_dict(), "telemetry": snapshot}, sort_keys=True
@@ -809,6 +883,26 @@ def _command_check(args: argparse.Namespace) -> str:
     raise SystemExit(1)
 
 
+def _command_trace(args: argparse.Namespace) -> str:
+    import io
+    import json as json_module
+
+    from .obs import read_jsonl, to_chrome, to_jsonl
+
+    try:
+        with open(args.input) as handle:
+            traces = read_jsonl(handle)
+    except OSError as error:
+        raise SystemExit(f"error: cannot read --input file: {error}")
+    if args.output_format == "chrome":
+        rendered = json_module.dumps(to_chrome(traces), sort_keys=True)
+    else:
+        buffer = io.StringIO()
+        to_jsonl(traces, buffer)
+        rendered = buffer.getvalue().rstrip("\n")
+    return _emit(rendered, args)
+
+
 def _command_spva(args: argparse.Namespace) -> str:
     with Session() as session:
         result = session.run("spva_microbenchmark", stream_lengths=tuple(args.lengths))
@@ -828,6 +922,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "plan": _command_plan,
         "serve": _command_serve,
         "worker": _command_worker,
+        "trace": _command_trace,
         "check": _command_check,
     }
     output = handlers[args.command](args)

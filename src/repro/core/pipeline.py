@@ -42,8 +42,11 @@ equivalence tests plus ``benchmarks/bench_batch_engine.py`` and
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields as dataclass_fields, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -63,6 +66,31 @@ from ..utils.rng import SeedLike, make_rng, spawn_rngs
 from .layer_mapping import KernelKind, LayerPlan
 from .optimizer import SpikeStreamOptimizer
 from .results import InferenceResult, LayerResult
+
+
+#: Thread-local per-layer profiling hook installed by :func:`layer_profiler`.
+#: Thread-local because concurrent server worker threads run independent
+#: engine passes — one traced batch must not time another thread's layers.
+_LAYER_PROFILER = threading.local()
+
+
+@contextmanager
+def layer_profiler(hook: Optional[Callable[[str, float, float], None]]):
+    """Install a per-layer timing hook for engine passes on this thread.
+
+    While active, :meth:`SpikeStreamInference._run_layer_batches` calls
+    ``hook(layer_name, start, end)`` (``time.monotonic`` seconds) once per
+    layer workload it costs.  ``None`` uninstalls (a no-op guard, so
+    callers need not branch on whether profiling is enabled).  The engine
+    pays one attribute read per pass when no hook is installed — profiling
+    cost exists only for profiled passes.
+    """
+    previous = getattr(_LAYER_PROFILER, "hook", None)
+    _LAYER_PROFILER.hook = hook
+    try:
+        yield
+    finally:
+        _LAYER_PROFILER.hook = previous
 
 
 @dataclass
@@ -244,13 +272,17 @@ class SpikeStreamInference:
         public modes differ *only* in how they build ``workloads``.
         """
         accumulators = []
+        profile = getattr(_LAYER_PROFILER, "hook", None)
         for work in workloads:
             accumulator = _LayerAccumulator(work.plan)
+            layer_started = time.monotonic() if profile is not None else 0.0
             for stats in self._cost_layer_batch(work):
                 if timesteps > 1:
                     stats = _scale_stats(stats, timesteps)
                 energy = self.layer_energy(work.plan, stats)
                 accumulator.add(stats, energy, self.cluster.clock_hz)
+            if profile is not None:
+                profile(work.plan.name, layer_started, time.monotonic())
             accumulators.append(accumulator)
         return InferenceResult(
             config=self.config,

@@ -36,6 +36,7 @@ from .locktrace import (
     LockTracer,
     TracedLock,
     UnguardedAccessError,
+    instrument_collector,
     instrument_server,
 )
 
@@ -54,6 +55,7 @@ __all__ = [
     "UnguardedAccessError",
     "check_project",
     "fix_suppressions",
+    "instrument_collector",
     "instrument_server",
     "load_project",
     "register",

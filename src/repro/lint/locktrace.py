@@ -42,6 +42,7 @@ __all__ = [
     "LockTracer",
     "TracedLock",
     "UnguardedAccessError",
+    "instrument_collector",
     "instrument_coordinator",
     "instrument_metrics",
     "instrument_queue",
@@ -354,6 +355,22 @@ def instrument_queue(queue, tracer: LockTracer, name: str = "queue") -> None:
     queue._not_empty = threading.Condition(traced)
 
 
+def instrument_collector(collector, tracer: LockTracer,
+                         name: str = "obs.collector") -> None:
+    """Trace a :class:`~repro.obs.TraceCollector`'s lock and trace table.
+
+    The table (``_traces``) is mutated by every span-producing thread —
+    server workers, the coordinator's link threads, the monitor's rescue
+    path — so it gets the guarded-mapping treatment like the result store's
+    LRU map.
+    """
+    traced = tracer.wrap(threading.Lock(), name)
+    collector._lock = traced
+    collector._traces = tracer.guard_mapping(
+        collector._traces, traced, f"{name}._traces"
+    )
+
+
 def instrument_server(server, tracer: Optional[LockTracer] = None) -> LockTracer:
     """Wire one :class:`~repro.serve.server.InferenceServer` onto a tracer.
 
@@ -370,6 +387,9 @@ def instrument_server(server, tracer: Optional[LockTracer] = None) -> LockTracer
     instrument_metrics(server.metrics, tracer, name="serve.metrics")
     instrument_store(server.session.store, tracer, name="session.store")
     server._close_lock = tracer.wrap(threading.Lock(), "serve.close")
+    collector = getattr(getattr(server, "tracer", None), "collector", None)
+    if collector is not None:
+        instrument_collector(collector, tracer)
     # Idle workers wait on the queue's previous condition for up to one pop
     # timeout (50 ms); give every worker one cycle to re-read the traced
     # replacement before the caller starts submitting.

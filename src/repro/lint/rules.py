@@ -27,6 +27,7 @@ __all__ = [
     "MutableDefaultRule",
     "RegistryDocsRule",
     "SocketDisciplineRule",
+    "SpanDisciplineRule",
     "UnpicklablePointRule",
     "UnseededRngRule",
 ]
@@ -959,3 +960,84 @@ class SocketDisciplineRule(Rule):
                     f"teardown method (close/stop/shutdown/__exit__/__del__) "
                     f"or finally block",
                 )
+
+
+# --------------------------------------------------------------------------- #
+# R10 — trace spans are opened as context managers
+# --------------------------------------------------------------------------- #
+@register
+class SpanDisciplineRule(Rule):
+    """Trace spans must be opened via ``with tracer.span(...)``.
+
+    A span opened as a bare call and closed by hand (``span = tracer.span``
+    then ``start()``/``finish()`` pairs) leaks open the moment any path
+    between the two raises or returns early — and an unfinished span keeps
+    its whole trace from ever completing, silently hollowing out the
+    observability the tracer exists to provide.  The ``with`` form closes
+    the span on every exit path, including exceptions (which also mark the
+    span's status).
+
+    Two findings: a ``*tracer*.span(...)`` call that is not the context
+    expression of a ``with`` statement, and any ``start()``/``finish()``
+    call on a name bound from such a call.  Intervals whose open and close
+    genuinely live on different threads (the request root span, the
+    coordinator's dispatch span) use the explicitly-named
+    :meth:`~repro.obs.Tracer.open_span` escape hatch, which this rule
+    deliberately does not police.
+    """
+
+    name = "span-discipline"
+    description = (
+        "tracer.span(...) must be a `with` context expression; no bare "
+        "start()/finish() pairs on span objects"
+    )
+
+    def _is_span_call(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "span"
+            and "tracer" in _dotted(node.func.value).lower()
+        )
+
+    def check_module(self, module: ParsedModule, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        with_exprs: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(id(item.context_expr))
+        span_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and self._is_span_call(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        span_names.add(target.id)
+            if self._is_span_call(node) and id(node) not in with_exprs:
+                findings.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        "span opened outside a `with` statement; bare spans "
+                        "leak open on any early exit — use "
+                        "`with tracer.span(...):`",
+                    )
+                )
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("start", "finish")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in span_names
+            ):
+                findings.append(
+                    module.finding(
+                        self.name,
+                        node,
+                        f"bare {node.func.attr}() on span "
+                        f"{node.func.value.id!r}; the `with` block owns the "
+                        f"span lifecycle",
+                    )
+                )
+        return findings

@@ -87,7 +87,8 @@ _LINK_ERRORS = (FrameError, OSError)
 class DispatchedBatch:
     """One micro-batch in flight on a worker, tracked for rescue."""
 
-    __slots__ = ("batch_id", "requests", "worker_id", "dispatched_at", "deadline")
+    __slots__ = ("batch_id", "requests", "worker_id", "dispatched_at",
+                 "deadline", "span")
 
     def __init__(self, batch_id: int, requests: List[InferenceRequest],
                  worker_id: str):
@@ -98,6 +99,9 @@ class DispatchedBatch:
         deadlines = [r.deadline for r in requests if r.deadline is not None]
         #: the earliest deadline in the batch (monotonic) or None
         self.deadline = min(deadlines) if deadlines else None
+        #: the dispatch span covering this batch's sampled traces (None when
+        #: tracing is off); finished by the results handler or a rescue
+        self.span = None
 
 
 class _WorkerLink:
@@ -183,6 +187,7 @@ class Coordinator(InferenceServer):
         drain_timeout_s: float = 30.0,
         blob_threshold: Optional[int] = None,
         wire_compress: bool = False,
+        tracer=None,
     ):
         super().__init__(
             session=session,
@@ -193,6 +198,7 @@ class Coordinator(InferenceServer):
             default_deadline_s=default_deadline_s,
             metrics=metrics,
             default_numerics=default_numerics,
+            tracer=tracer,
         )
         self.heartbeat_interval_s = heartbeat_interval_s
         self.liveness_timeout_s = liveness_timeout_s
@@ -463,6 +469,24 @@ class Coordinator(InferenceServer):
     def _send_batch(self, link: _WorkerLink, batch: List[InferenceRequest]) -> None:
         batch_id = next(self._batch_ids)
         dispatched = DispatchedBatch(batch_id, batch, link.worker_id)
+        # Open the dispatch span BEFORE the batch becomes rescuable (it is
+        # registered in ``inflight`` below, and the wire copy of each trace
+        # context must already parent under this span).  A rescue of this
+        # batch links the span as a follow-from on the re-dispatch.
+        ctxs = self.tracer.sampled(batch)
+        if ctxs:
+            follows: List[str] = []
+            for ctx in ctxs:
+                if ctx.follows is not None:
+                    if ctx.follows not in follows:
+                        follows.append(ctx.follows)
+                    ctx.follows = None
+            dispatched.span = self.tracer.open_span(
+                "dispatch", ctxs, follows=follows,
+                worker=link.worker_id, requests=len(batch),
+            )
+            for ctx in ctxs:
+                ctx.parent_id = dispatched.span.id
         with self._net_lock:
             alive = link.alive
             if alive:
@@ -470,6 +494,7 @@ class Coordinator(InferenceServer):
                 link.dispatches += 1
         if not alive:
             # Lost between pick and dispatch: hand the batch straight back.
+            self._mark_rescued(dispatched)
             for request in reversed(batch):
                 self.queue.requeue(request)
             return
@@ -479,6 +504,26 @@ class Coordinator(InferenceServer):
             requests=[request_to_wire(request) for request in batch],
         )
         self.metrics.counter("net.dispatches").inc()
+
+    def _mark_rescued(self, batch: DispatchedBatch) -> None:
+        """Close a doomed dispatch span and chain its lineage forward.
+
+        The span finishes with ``status="rescued"``, and every still-pending
+        sampled trace records it as the follow-from of its *next* dispatch
+        span; ``wait_from`` restarts the queue-wait clock at the requeue
+        (``enqueued_at`` is latency accounting and is never restamped).
+        """
+        if batch.span is None:
+            return
+        batch.span.finish(status="rescued")
+        now = time.monotonic()
+        for request in batch.requests:
+            trace = request.trace
+            if trace is None or not trace.sampled or request.future.done():
+                continue
+            trace.follows = batch.span.id
+            trace.wait_from = now
+            trace.parent_id = trace.root_id
 
     # -- results ------------------------------------------------------------
     def _on_results(self, link: _WorkerLink, message: Message) -> None:
@@ -493,6 +538,21 @@ class Coordinator(InferenceServer):
             self.metrics.histogram("net.batch_rtt_ms").observe(
                 (now - dispatched.dispatched_at) * 1e3
             )
+            # Stitch the worker's spans into the local traces (rebased onto
+            # this process's clock) and close the dispatch span BEFORE any
+            # future resolves — the root span finishes from the future's
+            # done-callback, and a trace completes only once every span is
+            # closed, so ordering here is what makes traces whole.  Late
+            # frames (dispatched is None: the batch was already rescued)
+            # skip adoption — their traces re-dispatched elsewhere.
+            spans = message.get("spans")
+            if spans:
+                self.tracer.adopt(
+                    spans, dispatched.dispatched_at, now,
+                    remote_clock=message.get("span_clock"),
+                )
+            if dispatched.span is not None:
+                dispatched.span.finish()
         # Late results (the batch was already rescued) still flow into the
         # store below: the re-queued requests' dispatch-time store check
         # then resolves them without a second engine pass.
@@ -698,6 +758,7 @@ class Coordinator(InferenceServer):
 
     def _requeue_batch(self, link: _WorkerLink, batch: DispatchedBatch) -> None:
         """Re-dispatch a batch's unresolved requests at the queue head."""
+        self._mark_rescued(batch)
         pending = [
             request for request in batch.requests if not request.future.done()
         ]

@@ -710,11 +710,15 @@ def recv_message(sock: socket.socket) -> Tuple[Message, int]:
 # home (a concurrent.futures.Future is process-local by definition) and
 # ``deadline``/``enqueued_at`` are coordinator-clock values that would be
 # meaningless under the worker's time.monotonic(); the coordinator owns
-# deadline enforcement and latency accounting.
+# deadline enforcement and latency accounting.  ``trace`` ships: the
+# TraceContext carries only clock-free identifiers (trace/span ids and the
+# sampling bit), and the worker's span *timestamps* are translated back
+# into the coordinator's clock at adoption (Tracer.adopt) rather than ever
+# comparing monotonic values across hosts.
 _REQUEST_WIRE_FIELDS = (
     "mode", "config", "group_key", "fingerprint", "frames_count",
     "batch_size", "seed", "timesteps", "firing_rates", "network", "frames",
-    "policy", "id",
+    "policy", "trace", "id",
 )
 
 

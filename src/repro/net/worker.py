@@ -52,6 +52,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import Tracer
 from ..serve.batcher import MicroBatcher
 from ..session import Session
 from .blob import BlobCache
@@ -141,7 +142,13 @@ class NetWorker:
         self.chaos_hang_after = chaos_hang_after
         self.chaos_exit_after = chaos_exit_after
         self.store = ReplicatedResultStore(self.session.store)
-        self.batcher = MicroBatcher(self.session)
+        # Always-on: with no sampled trace contexts in a batch every hook
+        # degrades to the null span, so an untraced cluster pays nothing —
+        # and a traced coordinator gets worker spans with zero worker-side
+        # configuration.  Spans are drained per batch and shipped home on
+        # the results frame (the coordinator rebases their clock).
+        self.tracer = Tracer(enabled=True)
+        self.batcher = MicroBatcher(self.session, tracer=self.tracer)
         self.counters: Dict[str, int] = {
             "batches": 0,
             "requests": 0,
@@ -273,6 +280,7 @@ class NetWorker:
             raise FrameError("chaos hang released by stop()")
 
     def _handle_batch(self, connection: FramedConnection, message: Message) -> None:
+        received_at = time.monotonic()
         self.counters["batches"] += 1
         self._chaos()
         requests = [request_from_wire(data) for data in message["requests"]]
@@ -292,8 +300,13 @@ class NetWorker:
                 misses.append(request)
         self.counters["local_hits"] += hits
         if misses:
+            ctxs = self.tracer.sampled(misses)
             try:
-                results = self.batcher.execute(misses)
+                with self.tracer.span(
+                    "worker_execute", ctxs,
+                    worker=self.worker_id, local_hits=hits,
+                ):
+                    results = self.batcher.execute(misses)
             except Exception as error:  # noqa: BLE001 — shipped to the caller
                 wired = _wire_error(error)
                 entries.extend(
@@ -308,12 +321,21 @@ class NetWorker:
                         {"id": request.id, "fingerprint": request.fingerprint,
                          "result": result, "error": None}
                     )
-        connection.send(
-            "results",
-            batch_id=message["batch_id"],
-            results=entries,
-            local_hits=hits,
-        )
+        payload: Dict[str, object] = {
+            "batch_id": message["batch_id"],
+            "results": entries,
+            "local_hits": hits,
+        }
+        # Tracing rides the results frame only when it produced something:
+        # an untraced cluster's frames stay byte-identical to pre-tracing
+        # builds.  span_clock brackets this worker's handling of the batch
+        # on ITS monotonic clock so the coordinator can rebase the records
+        # into its own (Tracer.adopt).
+        spans = self.tracer.drain()
+        if spans:
+            payload["spans"] = spans
+            payload["span_clock"] = (received_at, time.monotonic())
+        connection.send("results", **payload)
 
     # -- evaluate plan shards -----------------------------------------------
     def _handle_plan(self, connection: FramedConnection, message: Message) -> None:

@@ -1,0 +1,156 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSONL.
+
+The Chrome format is the `trace_event` JSON the ``chrome://tracing`` and
+Perfetto UIs load directly: one complete event (``ph: "X"``) per span with
+microsecond ``ts``/``dur``, plus a flow-event pair (``ph: "s"`` → ``"f"``)
+per follow-from link so rescue re-dispatch lineage renders as an arrow from
+the failed dispatch span to its replacement.  JSONL is one span record per
+line — grep-able, and round-trips through :func:`read_jsonl`.
+
+:func:`well_nested` is the structural validator tests and the smoke ``obs``
+step share: every parent resolvable, every span finished, every child
+inside its parent's interval (within a slack for cross-host clamping).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO
+
+__all__ = [
+    "read_jsonl",
+    "to_chrome",
+    "to_jsonl",
+    "well_nested",
+]
+
+
+def _tid_table(trace: Dict[str, object]) -> Dict[tuple, int]:
+    """Stable small integer per (pid, thread-name), in first-seen order."""
+    table: Dict[tuple, int] = {}
+    for span in trace["spans"]:
+        key = (span["pid"], span["thread"])
+        if key not in table:
+            table[key] = len(table) + 1
+    return table
+
+
+def to_chrome(traces: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Render completed traces as a ``chrome://tracing`` document."""
+    events: List[Dict[str, object]] = []
+    flow_ids = 0
+    for trace in traces:
+        tids = _tid_table(trace)
+        by_id = {span["span_id"]: span for span in trace["spans"]}
+        for span in trace["spans"]:
+            tid = tids[(span["pid"], span["thread"])]
+            ts = span["start"] * 1e6
+            args = dict(span["attrs"])
+            args["trace_id"] = span["trace_id"]
+            args["span_id"] = span["span_id"]
+            if span["parent_id"] is not None:
+                args["parent_id"] = span["parent_id"]
+            if span["status"] != "ok":
+                args["status"] = span["status"]
+            events.append({
+                "name": span["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": ts,
+                "dur": max(span["end"] - span["start"], 0.0) * 1e6,
+                "pid": span["pid"],
+                "tid": tid,
+                "args": args,
+            })
+            for origin_id in span["follows"]:
+                origin = by_id.get(origin_id)
+                if origin is None:
+                    continue
+                flow_ids += 1
+                flow = {
+                    "name": "follows",
+                    "cat": "repro.flow",
+                    "id": flow_ids,
+                }
+                events.append(dict(
+                    flow, ph="s",
+                    ts=origin["end"] * 1e6,
+                    pid=origin["pid"],
+                    tid=tids[(origin["pid"], origin["thread"])],
+                ))
+                events.append(dict(
+                    flow, ph="f", bp="e", ts=ts,
+                    pid=span["pid"], tid=tid,
+                ))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_jsonl(traces: Iterable[Dict[str, object]], stream: TextIO) -> int:
+    """Write one span record per line; returns the number of lines."""
+    lines = 0
+    for trace in traces:
+        for span in trace["spans"]:
+            stream.write(json.dumps(span, sort_keys=True))
+            stream.write("\n")
+            lines += 1
+    return lines
+
+
+def read_jsonl(stream: TextIO) -> List[Dict[str, object]]:
+    """Regroup a JSONL export into trace dicts (insertion-ordered)."""
+    grouped: Dict[str, List[Dict[str, object]]] = {}
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        span = json.loads(line)
+        grouped.setdefault(span["trace_id"], []).append(span)
+    return [
+        {"trace_id": trace_id, "spans": spans}
+        for trace_id, spans in grouped.items()
+    ]
+
+
+def well_nested(trace: Dict[str, object],
+                slack: float = 1e-3) -> Optional[str]:
+    """Validate one completed trace's structure; ``None`` means clean.
+
+    Checks: exactly one root (``parent_id`` is ``None``); every other
+    parent resolves to a span in the same trace; every span has
+    ``end >= start``; every child's interval sits inside its parent's,
+    within ``slack`` seconds (cross-host adoption clamps records into the
+    dispatch window, but scheduling jitter can leave sub-millisecond
+    overhang); every follow-from link resolves.  Returns a description of
+    the first violation found.
+    """
+    spans = trace["spans"]
+    if not spans:
+        return "trace has no spans"
+    by_id = {span["span_id"]: span for span in spans}
+    roots = [span for span in spans if span["parent_id"] is None]
+    if len(roots) != 1:
+        return f"expected exactly one root span, found {len(roots)}"
+    for span in spans:
+        if span["end"] < span["start"]:
+            return f"span {span['name']} ends before it starts"
+        parent_id = span["parent_id"]
+        if parent_id is None:
+            continue
+        parent = by_id.get(parent_id)
+        if parent is None:
+            return f"span {span['name']} has orphan parent {parent_id}"
+        if span["start"] < parent["start"] - slack:
+            return (
+                f"span {span['name']} starts before parent "
+                f"{parent['name']}"
+            )
+        if span["end"] > parent["end"] + slack:
+            return (
+                f"span {span['name']} ends after parent {parent['name']}"
+            )
+        for origin in span["follows"]:
+            if origin not in by_id:
+                return (
+                    f"span {span['name']} follows unknown span {origin}"
+                )
+    return None

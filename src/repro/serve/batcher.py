@@ -38,8 +38,9 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..config import RunConfig
-from ..core.pipeline import concat_workloads
+from ..core.pipeline import concat_workloads, layer_profiler
 from ..core.results import InferenceResult
+from ..obs import Tracer, layer_hook
 from ..session import Session
 from .metrics import MetricsRegistry
 from .queue import InferenceRequest, RequestQueue
@@ -112,6 +113,7 @@ class MicroBatcher:
         max_batch: int = 16,
         max_wait_ms: float = 5.0,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -121,6 +123,26 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # A disabled tracer by default: every hook below degrades to one
+        # attribute test, so untraced batching stays on the fast path.
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def _record_queue_wait(self, request: InferenceRequest, now: float) -> None:
+        """File the request's queue-wait interval at batch-join time.
+
+        The wait starts at admission (``enqueued_at``) — or, after a rescue
+        re-dispatch, at the requeue stamp the coordinator left in
+        ``trace.wait_from`` (``enqueued_at`` belongs to latency accounting
+        and is never restamped by rescues).
+        """
+        trace = request.trace
+        if trace is None or not trace.sampled:
+            return
+        start = trace.wait_from if trace.wait_from is not None else request.enqueued_at
+        self.tracer.record_span(
+            "queue_wait", (trace,), start, now,
+            parent_id=trace.root_id, request=request.id,
+        )
 
     # -- collection ---------------------------------------------------------
     def collect(
@@ -135,23 +157,46 @@ class MicroBatcher:
         """
         requests = [first]
         frames = first.frames_count
-        deadline = time.monotonic() + self.max_wait_s
+        started = time.monotonic()
+        deadline = started + self.max_wait_s
+        traced = self.tracer.enabled
+        joins = [started]
+        if traced:
+            self._record_queue_wait(first, started)
         while frames < self.max_batch:
             request = queue.pop_matching(first.group_key)
             if request is not None:
                 requests.append(request)
                 frames += request.frames_count
+                if traced:
+                    joined = time.monotonic()
+                    joins.append(joined)
+                    self._record_queue_wait(request, joined)
                 continue
             if queue.depth() > 0:
                 break  # incompatible head: waiting longer cannot help
             remaining = deadline - time.monotonic()
             if remaining <= 0 or not queue.wait_nonempty(remaining):
                 break
-        wait_ms = (time.monotonic() - (deadline - self.max_wait_s)) * 1e3
+        finished = time.monotonic()
+        wait_ms = (finished - started) * 1e3
         self.metrics.counter("serve.batches").inc()
         self.metrics.histogram("serve.batch_frames").observe(frames)
         self.metrics.histogram("serve.batch_requests").observe(len(requests))
         self.metrics.histogram("serve.batch_collect_ms").observe(wait_ms)
+        if traced:
+            # Per-request records, each clamped to the request's own
+            # batch-join time: a request admitted mid-collection must not
+            # get an assembly span starting before its root.
+            for request, joined in zip(requests, joins):
+                trace = request.trace
+                if trace is None or not trace.sampled:
+                    continue
+                self.tracer.record_span(
+                    "batch_assembly", (trace,), joined, finished,
+                    parent_id=trace.root_id,
+                    requests=len(requests), frames=frames,
+                )
         return requests
 
     # -- execution ----------------------------------------------------------
@@ -169,31 +214,40 @@ class MicroBatcher:
         if any(r.group_key != first.group_key for r in requests):
             raise ValueError("cannot execute a batch of incompatible requests")
         engine = self.session.engine(first.config)
-        if first.mode == "functional":
-            if len(requests) == 1:
-                stacked = np.asarray(first.frames)
-            else:
-                stacked = np.concatenate(
-                    [np.asarray(r.frames) for r in requests], axis=0
-                )
-            batch_result = engine.run_functional(
-                first.network, stacked, firing_rates=first.firing_rates,
-                numerics=first.policy,
-            )
-            # Functional metric rows enumerate (frame, timestep) frame-major.
-            rows_per_request = [
-                r.frames_count * first.config.timesteps for r in requests
-            ]
-        else:
-            plans = engine.optimizer.plan_svgg11(first.firing_rates)
-            workloads = [
-                engine.statistical_workloads(plans, r.batch_size, r.seed)
-                for r in requests
-            ]
-            batch_result = engine.run_workloads(
-                concat_workloads(workloads), timesteps=first.timesteps
-            )
-            rows_per_request = [r.batch_size for r in requests]
+        ctxs = self.tracer.sampled(requests)
+        with self.tracer.span(
+            "engine_pass", ctxs, mode=first.mode, requests=len(requests),
+        ) as span:
+            hook = None
+            if ctxs and self.tracer.profile_layers:
+                hook = layer_hook(self.tracer, ctxs, span.id)
+            with layer_profiler(hook):
+                if first.mode == "functional":
+                    if len(requests) == 1:
+                        stacked = np.asarray(first.frames)
+                    else:
+                        stacked = np.concatenate(
+                            [np.asarray(r.frames) for r in requests], axis=0
+                        )
+                    batch_result = engine.run_functional(
+                        first.network, stacked, firing_rates=first.firing_rates,
+                        numerics=first.policy,
+                    )
+                    # Functional metric rows enumerate (frame, timestep)
+                    # frame-major.
+                    rows_per_request = [
+                        r.frames_count * first.config.timesteps for r in requests
+                    ]
+                else:
+                    plans = engine.optimizer.plan_svgg11(first.firing_rates)
+                    workloads = [
+                        engine.statistical_workloads(plans, r.batch_size, r.seed)
+                        for r in requests
+                    ]
+                    batch_result = engine.run_workloads(
+                        concat_workloads(workloads), timesteps=first.timesteps
+                    )
+                    rows_per_request = [r.batch_size for r in requests]
         if len(requests) == 1:
             return [batch_result]
         results: List[InferenceResult] = []

@@ -22,7 +22,9 @@ state.
 from __future__ import annotations
 
 import json
+import random
 import threading
+import zlib
 from bisect import insort
 from typing import Callable, Dict, List, Mapping, Optional
 
@@ -130,10 +132,22 @@ class Histogram:
         # Deterministic reservoir replacement (no global RNG state touched;
         # crc32, unlike hash(), is not salted per process, so the same
         # workload retains the same sample across runs).
-        import random
-        import zlib
-
         self._random = random.Random(zlib.crc32(name.encode()))
+
+    def reset(self) -> None:
+        """Discard every observation and re-seed the reservoir RNG.
+
+        Test support: resetting in place is cheaper than rebuilding a whole
+        registry, and re-seeding keeps the reservoir deterministic across
+        resets exactly as across fresh constructions.
+        """
+        with self._lock:
+            self._sorted = []
+            self.count = 0
+            self.sum = 0.0
+            self.min = None
+            self.max = None
+            self._random = random.Random(zlib.crc32(self.name.encode()))
 
     def observe(self, value: float) -> None:
         value = float(value)

@@ -96,7 +96,9 @@ class InferenceRequest:
     :class:`~repro.snn.numerics.NumericsPolicy` (``None`` -> the FP64 dense
     reference); it is already baked into ``group_key`` and ``fingerprint``,
     so requests with different policies never coalesce or share store
-    entries.
+    entries.  ``trace`` is the request's :class:`repro.obs.TraceContext`
+    when the server's tracer sampled it (``None`` otherwise); it ships to
+    remote workers so their spans stitch into the same trace.
     """
 
     mode: str
@@ -112,6 +114,7 @@ class InferenceRequest:
     frames: object = None
     policy: object = None
     deadline: Optional[float] = None
+    trace: object = None
     future: Future = field(default_factory=Future)
     id: int = field(default_factory=lambda: next(_REQUEST_IDS))
     enqueued_at: float = field(default_factory=time.monotonic)

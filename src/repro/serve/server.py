@@ -38,6 +38,7 @@ from concurrent.futures import Future
 from typing import Dict, List, Optional
 
 from ..config import RunConfig
+from ..obs import Tracer
 from ..session import Session
 from ..snn.numerics import NumericsPolicy, resolve as resolve_numerics
 from .batcher import MicroBatcher, functional_group_key, statistical_group_key
@@ -83,6 +84,14 @@ class InferenceServer:
         functional requests that do not bring their own (``None`` -> the
         FP64 dense reference).  Per-request ``numerics=`` on
         :meth:`submit_functional` overrides it.
+    tracer:
+        A :class:`repro.obs.Tracer`.  Omitted: a disabled tracer, whose
+        hooks cost one attribute test per call site (the ≤2% overhead bar
+        ``benchmarks/bench_trace.py`` gates).  An enabled tracer opens a
+        root span per sampled request at admission, records
+        queue_wait/batch_assembly/engine_pass stage spans through the
+        batcher, and feeds ``serve.stage_latency.*`` histograms plus the
+        ``obs.trace`` probe into :attr:`metrics`.
     """
 
     #: A server with no execution threads is a configuration error here;
@@ -100,6 +109,7 @@ class InferenceServer:
         default_deadline_s: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
         default_numerics: Optional[NumericsPolicy] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if workers < self._MIN_WORKERS:
             raise ValueError(
@@ -110,14 +120,17 @@ class InferenceServer:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.default_deadline_s = default_deadline_s
         self.default_numerics = resolve_numerics(default_numerics)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tracer.bind_metrics(self.metrics)
         self.queue = RequestQueue(max_queue, on_expired=self._on_expired)
         self.batcher = MicroBatcher(
             self.session, max_batch=max_batch, max_wait_ms=max_wait_ms,
-            metrics=self.metrics,
+            metrics=self.metrics, tracer=self.tracer,
         )
         self.metrics.add_probe("serve.store", self.session.store.stats)
         self.metrics.add_probe("serve.queue", self._queue_stats)
         self.metrics.add_probe("serve.numerics", self._numerics_stats)
+        self.metrics.add_probe("obs.trace", self.tracer.stats)
         self.metrics.gauge("serve.workers").set(workers)
         # Mixed-precision observability: a 0/1 gauge flags a non-reference
         # default policy, and per-policy request counters
@@ -134,6 +147,11 @@ class InferenceServer:
         for histogram in ("serve.latency_ms", "serve.batch_frames",
                           "serve.batch_requests", "serve.batch_collect_ms"):
             self.metrics.histogram(histogram)
+        if self.tracer.enabled:
+            from ..obs import STAGE_NAMES
+
+            for stage in STAGE_NAMES:
+                self.metrics.histogram(f"serve.stage_latency.{stage}")
         self._close_lock = threading.Lock()
         self._closed = False
         self._threads: List[threading.Thread] = [
@@ -170,19 +188,25 @@ class InferenceServer:
     def _admit(self, request: InferenceRequest) -> Future:
         """Store short-circuit, then bounded enqueue; rejections count."""
         self.metrics.counter("serve.requests").inc()
+        # Root span first: the future's done-callback finishes it, so every
+        # exit below (store hit, rejection, execution) closes the trace.
+        self.tracer.admit(request)
         hit = self.session.store.get(request.fingerprint)
         if hit is not None:
             self.metrics.counter("serve.store_short_circuits").inc()
             resolve_future(request.future, hit)
             self.metrics.histogram("serve.latency_ms").observe(0.0)
             return request.future
-        if self._closed:
-            self.metrics.counter("serve.rejected").inc()
-            raise ServerClosed("server is closed to new requests")
         try:
+            if self._closed:
+                raise ServerClosed("server is closed to new requests")
             self.queue.put(request)
-        except (QueueFull, ServerClosed):
+        except (QueueFull, ServerClosed) as error:
             self.metrics.counter("serve.rejected").inc()
+            # The caller sees the exception, not the future — but failing
+            # the (discarded) future fires its done-callbacks, closing the
+            # trace's root span instead of leaking it open.
+            resolve_future(request.future, error=error)
             raise
         return request.future
 

@@ -1,0 +1,17 @@
+"""Seeded span-discipline violations: bare span lifecycle management."""
+
+import time
+
+
+def sloppy_trace(tracer, request):
+    span = tracer.span("queue_wait", request=request)  # 1: outside `with`
+    span.start()  # 2: bare start()
+    time.sleep(0.001)
+    span.finish()  # 3: bare finish()
+    return span
+
+
+def fine_trace(tracer, request):
+    # The sanctioned shape: context manager scopes the span lifetime.
+    with tracer.span("engine_pass", request=request):
+        time.sleep(0.001)

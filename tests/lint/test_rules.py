@@ -37,6 +37,7 @@ FIXTURE_MATRIX = {
     "mutable-default": ("bad_default.py", 2),
     "all-exports": ("bad_exports.py", 1),
     "socket-discipline": ("bad_socket.py", 5),
+    "span-discipline": ("bad_span.py", 3),
 }
 
 

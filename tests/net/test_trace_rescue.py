@@ -1,0 +1,127 @@
+"""Distributed tracing survives chaos: rescue lineage stitches into traces.
+
+A worker killed mid-batch (``chaos_exit_after``) forces a re-dispatch; the
+exported trace must show **both** dispatch spans — the doomed one finished
+with ``status="rescued"`` and the replacement carrying the doomed span's id
+as a follow-from — with every span finished and the tree well-nested.
+This is the end-to-end proof of ISSUE satellite 4.
+"""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.config import spikestream_config
+from repro.net import Coordinator, NetWorker, spawn_worker
+from repro.obs import Tracer, read_jsonl, to_chrome, to_jsonl, well_nested
+
+
+@pytest.fixture
+def config():
+    return spikestream_config(batch_size=1, timesteps=1, seed=71)
+
+
+def _start_inline_worker(address, **kwargs):
+    worker = NetWorker(address, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+def _wait(predicate, timeout=30.0, interval=0.02):
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def test_rescued_trace_links_original_dispatch_as_follow_from(config):
+    coordinator = Coordinator(
+        max_batch=4, max_wait_ms=10, liveness_timeout_s=1.0,
+        default_deadline_s=90.0, tracer=Tracer(enabled=True),
+    )
+    process = None
+    healthy = None
+    try:
+        process = spawn_worker(
+            coordinator.address, worker_id="doomed", chaos_exit_after=0
+        )
+        assert coordinator.wait_for_workers(1, timeout=60)
+        futures = [
+            coordinator.submit_statistical(config=config, seed=71 + index)
+            for index in range(4)
+        ]
+        assert _wait(lambda: coordinator.live_workers() == 0), (
+            "the chaos worker should have died on its first batch"
+        )
+        healthy, healthy_thread = _start_inline_worker(
+            coordinator.address, worker_id="healthy"
+        )
+        for future in futures:
+            assert future.result(timeout=60) is not None
+        traces = coordinator.tracer.completed()
+        stats = coordinator.stats()
+    finally:
+        coordinator.close()
+        if process is not None:
+            process.wait(timeout=30)
+        if healthy is not None:
+            healthy_thread.join(timeout=10)
+
+    assert stats["net.rescues"] >= 1
+    assert len(traces) == 4, "one completed trace per submitted request"
+
+    rescued_traces = 0
+    for trace in traces:
+        # Structural soundness: one root, everything nested, no orphans,
+        # every follow-from resolvable -> no unfinished/lost spans.
+        error = well_nested(trace)
+        assert error is None, f"{error}\n{trace['spans']}"
+        spans = trace["spans"]
+        names = [span["name"] for span in spans]
+        assert names.count("request") == 1
+        assert "queue_wait" in names
+        assert "worker_execute" in names, (
+            "the healthy worker's remote spans must stitch into the trace"
+        )
+
+        dispatches = [s for s in spans if s["name"] == "dispatch"]
+        doomed = [s for s in dispatches if s["status"] == "rescued"]
+        if not doomed:
+            continue
+        rescued_traces += 1
+        assert len(dispatches) >= 2, (
+            "a rescued request needs the original AND the re-dispatch span"
+        )
+        rescuers = [s for s in dispatches if s["follows"]]
+        assert rescuers, "the re-dispatch must follow from the doomed span"
+        doomed_ids = {s["span_id"] for s in doomed}
+        for rescuer in rescuers:
+            assert doomed_ids.intersection(rescuer["follows"])
+
+    assert rescued_traces >= 1, (
+        "the batch died mid-flight: at least one trace must show the rescue"
+    )
+
+    # The Chrome export must carry the lineage as flow events and stay
+    # loadable (serializable as-is, ph "s"/"f" pairs by shared id).
+    document = to_chrome(traces)
+    flows_open = [e for e in document["traceEvents"] if e["ph"] == "s"]
+    flows_close = [e for e in document["traceEvents"] if e["ph"] == "f"]
+    assert len(flows_open) >= 1
+    assert {e["id"] for e in flows_open} == {e["id"] for e in flows_close}
+
+    # And the JSONL round-trip preserves every span bit-for-bit.
+    buffer = io.StringIO()
+    to_jsonl(traces, buffer)
+    buffer.seek(0)
+    recovered = read_jsonl(buffer)
+    assert sorted(t["trace_id"] for t in recovered) == sorted(
+        t["trace_id"] for t in traces
+    )
+    for trace in recovered:
+        assert well_nested(trace) is None

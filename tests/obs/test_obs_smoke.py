@@ -1,0 +1,32 @@
+"""Tier-1 wiring of the tools/smoke.py distributed-tracing (obs) check.
+
+A traced :class:`~repro.net.coordinator.Coordinator` with two in-process
+workers serves 32 mixed statistical/functional requests; every request
+must export exactly one completed, well-nested trace whose ``queue_wait``,
+``dispatch`` and remote ``worker_execute``/``engine_pass`` spans stitch
+under the root on one timeline, and the Chrome ``trace_event`` rendering
+must serialize as-is.  The check itself lives in ``tools/smoke.py`` so the
+standalone smoke script and this ``smoke``-marked test can never drift.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SMOKE_PATH = Path(__file__).resolve().parents[2] / "tools" / "smoke.py"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("repro_tools_smoke", _SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("repro_tools_smoke", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.smoke
+def test_traced_cluster_wave_exports_complete_well_nested_traces():
+    smoke = _load_smoke()
+    smoke.obs_trace_check()

@@ -71,6 +71,24 @@ class TestHistogram:
         with pytest.raises(ValueError, match="positive"):
             MetricsRegistry().histogram("latency", max_samples=0)
 
+    def test_reset_restores_pristine_state(self):
+        histogram = MetricsRegistry().histogram("latency", max_samples=16)
+        for value in range(1000):
+            histogram.observe(float(value))
+        retained_first = list(histogram._sorted)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert histogram.min is None and histogram.max is None
+        assert histogram.summary()["count"] == 0
+        assert histogram.percentile(50.0) == 0.0
+        # Re-seeded reservoir: replaying the same stream retains the same
+        # sample as the first pass — reset is indistinguishable from a
+        # fresh construction.
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert list(histogram._sorted) == retained_first
+
 
 class TestRegistry:
     def test_same_name_returns_same_instrument(self):

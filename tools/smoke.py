@@ -37,7 +37,8 @@ imports :func:`functional_equivalence_check`,
 ``tests/serve/test_serve_smoke.py`` imports
 :func:`serve_equivalence_check`, ``tests/serve/test_precision_serve.py``
 imports :func:`precision_matrix_check`, ``tests/net/test_cluster_smoke.py``
-imports :func:`cluster_check`, ``tests/lint/test_locktrace.py``
+imports :func:`cluster_check`, ``tests/obs/test_obs_smoke.py`` imports
+:func:`obs_trace_check`, ``tests/lint/test_locktrace.py``
 imports :func:`lint_repo_check` and :func:`locktrace_serve_check`), so
 every plain ``pytest`` run covers them and ``pytest -m smoke`` runs them
 alone.
@@ -703,6 +704,105 @@ def cluster_check(seed: int = 53) -> None:
     )
 
 
+def obs_trace_check(requests: int = 32, seed: int = 59) -> None:
+    """A traced mixed-mode cluster wave must export complete, nested traces.
+
+    Importable (used by the ``smoke``-marked tier-1 test in
+    ``tests/obs/test_obs_smoke.py``) and raising ``AssertionError`` on the
+    first violation.  Starts a :class:`~repro.net.coordinator.Coordinator`
+    with an enabled :class:`~repro.obs.Tracer` and two in-process
+    :class:`~repro.net.worker.NetWorker` threads, fires ``requests``
+    alternating statistical/functional requests, and asserts every request
+    produced exactly one **completed** trace that
+
+    * passes :func:`~repro.obs.well_nested` (one root, no orphans, every
+      child inside its parent, every follow-from resolvable),
+    * accounts the full path — ``queue_wait``, ``dispatch`` and the
+      worker's remote ``worker_execute``/``engine_pass`` spans all stitch
+      under the root on the coordinator's clock,
+    * and renders to Chrome ``trace_event`` JSON that serializes as-is.
+    """
+    if str(REPO_ROOT / "src") not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+    import threading
+
+    from repro.config import spikestream_config
+    from repro.eval.sweeps import functional_network
+    from repro.net import Coordinator, NetWorker
+    from repro.obs import Tracer, to_chrome, well_nested
+    from repro.snn.datasets import SyntheticCIFAR10
+    from repro.types import TensorShape
+
+    config = spikestream_config(batch_size=1, timesteps=1, seed=seed)
+    network = functional_network(seed)
+    frames, _ = SyntheticCIFAR10(
+        seed=seed, image_shape=TensorShape(16, 16, 3)
+    ).sample(requests)
+
+    coordinator = Coordinator(
+        max_batch=8, max_wait_ms=10, liveness_timeout_s=5.0,
+        tracer=Tracer(enabled=True, capacity=max(requests, 256)),
+    )
+    workers = []
+    try:
+        for index in range(2):
+            worker = NetWorker(coordinator.address, worker_id=f"obs-{index}")
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            workers.append((worker, thread))
+        assert coordinator.wait_for_workers(2, timeout=120)
+        futures = []
+        for index in range(requests):
+            if index % 2 == 0:
+                futures.append(coordinator.submit_statistical(
+                    config=config, batch_size=1, seed=seed + index,
+                ))
+            else:
+                futures.append(coordinator.submit_functional(
+                    network, frames[index:index + 1], config=config,
+                ))
+        for future in futures:
+            assert future.result(timeout=240) is not None
+        traces = coordinator.tracer.completed()
+        stats = coordinator.tracer.stats()
+    finally:
+        coordinator.close()
+        for worker, thread in workers:
+            thread.join(timeout=30)
+
+    assert len(traces) == requests, (
+        f"{requests} requests must complete {requests} traces, "
+        f"got {len(traces)} (stats: {stats})"
+    )
+    assert stats["open_spans"] == 0, f"unfinished spans left: {stats}"
+    for trace in traces:
+        error = well_nested(trace)
+        assert error is None, f"malformed trace: {error}"
+        names = [span["name"] for span in trace["spans"]]
+        for stage in ("request", "queue_wait", "dispatch",
+                      "worker_execute", "engine_pass"):
+            assert stage in names, (
+                f"trace is missing its {stage!r} span (has {sorted(names)})"
+            )
+    document = to_chrome(traces)
+    json.dumps(document)  # must load in chrome://tracing / Perfetto as-is
+    assert len(document["traceEvents"]) >= requests * 5
+
+
+def run_obs() -> int:
+    """The tracing check as a smoke step (summary + return code)."""
+    print("== obs (32 traced mixed-mode cluster requests, nested traces) ==",
+          flush=True)
+    try:
+        obs_trace_check()
+    except AssertionError as error:
+        print(f"obs trace check failed: {error}", file=sys.stderr)
+        return 1
+    print("obs ok: every request exported one complete well-nested trace "
+          "with queue/dispatch/worker stages on one timeline")
+    return 0
+
+
 def run_cluster() -> int:
     """The distributed-serving check as a smoke step."""
     print("== cluster (2 worker processes, chaos kill, vs direct Session) ==",
@@ -739,8 +839,8 @@ def run_check() -> int:
 def main() -> int:
     for step in (run_tier1_tests, run_fast_sweep, run_backend_matrix,
                  run_functional_equivalence, run_serve_smoke,
-                 run_precision_matrix, run_cluster, run_session_store_check,
-                 run_check):
+                 run_precision_matrix, run_cluster, run_obs,
+                 run_session_store_check, run_check):
         code = step()
         if code != 0:
             return code
